@@ -1,0 +1,28 @@
+# Convenience targets for the checksum reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report figures quicktest clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+quicktest:
+	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.cli report -o report.md --bytes 400000
+
+figures:
+	$(PYTHON) -m repro.cli run figure2 --bytes 600000 --svg figure2.svg
+	$(PYTHON) -m repro.cli run figure3 --bytes 600000 --svg figure3.svg
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

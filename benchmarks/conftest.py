@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has one benchmark that (a) regenerates it at a
+benchmark-friendly corpus size, (b) prints the rows the paper reports,
+and (c) asserts the published *shape* (who wins, by roughly what
+factor).  Timings come from pytest-benchmark; run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+#: Corpus size for benchmark runs: large enough for every observable
+#: rate the assertions check, small enough to keep the suite fast.
+BENCH_FS_BYTES = 400_000
+BENCH_SEED = 3
+
+
+def regenerate(benchmark, experiment_id, **kwargs):
+    """Run one experiment under the benchmark timer and print it."""
+    if experiment_id != "epd":
+        kwargs.setdefault("fs_bytes", BENCH_FS_BYTES)
+        kwargs.setdefault("seed", BENCH_SEED)
+    report = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, **kwargs), rounds=1, iterations=1
+    )
+    print("\n" + str(report))
+    return report
+
+
+@pytest.fixture
+def bench_fs_bytes():
+    return BENCH_FS_BYTES

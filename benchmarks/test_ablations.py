@@ -1,0 +1,37 @@
+"""Section 6.x / 7 ablations.
+
+* inverted vs plain stored checksum: equivalent miss rates (6.3);
+* unfilled IP header (the 1995 simulator bug): misses inflate by
+  orders of magnitude (6.2);
+* adding a constant to every word: permuted distribution, comparable
+  rate -- zero is frequent, not special (6.1);
+* Early Packet Discard: zero valid splices (7).
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_inverted_checksum_equivalence(benchmark):
+    report = regenerate(benchmark, "ablation-inverted", fs_bytes=500_000)
+    inverted = report.data["inverted_pct"]
+    plain = report.data["plain_pct"]
+    assert inverted > 0
+    assert 0.5 < plain / inverted < 2.0
+
+
+def test_unfilled_header_inflation(benchmark):
+    report = regenerate(benchmark, "ablation-unfilled-header", fs_bytes=500_000)
+    assert report.data["inflation"] > 10
+
+
+def test_add_constant_rate_stable(benchmark):
+    report = regenerate(benchmark, "ablation-add-constant", fs_bytes=500_000)
+    original = report.data["original_pct"]
+    shifted = report.data["shifted_pct"]
+    assert original > 0
+    assert 0.2 < shifted / original < 5.0
+
+
+def test_early_packet_discard(benchmark):
+    report = regenerate(benchmark, "epd")
+    assert report.data["reachable_splices"] == 0

@@ -1,0 +1,95 @@
+"""Extension experiments: error models, MSS sweep, loss models, Monte Carlo.
+
+These go beyond the paper's tables to the questions it raises: how the
+checksums fare under non-splice error models (Section 7), how segment
+size changes the picture (Corollary 3), what realistic loss processes
+do to the splice mix (Section 4.6's caveat), and whether the physical
+drop-and-reassemble simulation agrees with the exact enumeration.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_error_models(benchmark):
+    report = regenerate(benchmark, "error-models", fs_bytes=150_000)
+    data = report.data
+
+    # Plummer's guarantees for the Internet checksum.
+    assert data["1-bit flip"]["tcp_pct"] == 100.0
+    assert data["15-bit burst"]["tcp_pct"] == 100.0
+    # Order-independence: the word swap is invisible to the TCP sum,
+    # largely visible to Fletcher, and always visible to the CRC.
+    assert data["16-bit word swap"]["tcp_pct"] == 0.0
+    assert data["16-bit word swap"]["f256_pct"] > 90.0
+    assert data["16-bit word swap"]["crc32_pct"] == 100.0
+    # CRC-32 catches every injected error at this scale.
+    for row in data.values():
+        assert row["crc32_pct"] == 100.0
+    # Garbage replacement: near-certain detection for any 16-bit sum.
+    assert data["48-byte garbage"]["tcp_pct"] > 99.0
+
+
+def test_mss_sweep(benchmark):
+    report = regenerate(benchmark, "mss-sweep", fs_bytes=200_000)
+    rows = {row["mss"]: row for row in report.data["rows"]}
+    # Larger segments -> more convolved cells -> lower miss rate
+    # (compare the extremes; the middle is noisy).
+    assert rows[1024]["miss_pct"] < rows[128]["miss_pct"]
+    assert rows[1024]["cells"] == 23 and rows[128]["cells"] == 4
+    for row in rows.values():
+        assert row["splices"] > 0
+
+
+def test_loss_models(benchmark):
+    report = regenerate(benchmark, "loss-models", fs_bytes=150_000)
+    data = report.data
+    iid_low = data["independent p=0.1"]
+    iid_high = data["independent p=0.3"]
+    # Independent loss: conditional miss rate is invariant in p ...
+    assert abs(
+        iid_low["conditional_miss_pct"] - iid_high["conditional_miss_pct"]
+    ) < 1e-9
+    # ... while the per-transmission probability obviously is not.
+    assert iid_high["p_transport_miss"] > 10 * iid_low["p_transport_miss"]
+    # Bursty loss shifts the conditional rate (different splice mix).
+    burst = data["Gilbert bursty (0.05, 0.3)"]
+    assert burst["conditional_miss_pct"] != iid_low["conditional_miss_pct"]
+
+
+def test_monte_carlo_crosscheck(benchmark):
+    report = regenerate(
+        benchmark, "montecarlo", fs_bytes=150_000, trials=120
+    )
+    data = report.data
+    assert data["mc_corrupted"] > 50
+    # The physical simulation agrees with the enumeration within
+    # generous sampling noise, and nothing slips past both checks.
+    assert data["enum_miss_pct"] > 1.0
+    assert 0.2 * data["enum_miss_pct"] < data["mc_miss_pct"] < 5 * data["enum_miss_pct"]
+    assert data["undetected"] == 0
+
+
+def test_fragment_splices(benchmark):
+    report = regenerate(benchmark, "fragment-splices", fs_bytes=120_000)
+    data = report.data
+    # Cell-splice model: Fletcher-256 enjoys a large colouring
+    # advantage over TCP ...
+    assert data["fletcher256"]["cell_pct"] < data["tcp"]["cell_pct"] / 5
+    # ... which disappears when substitutions preserve offsets.
+    assert data["fletcher256"]["fragment_pct"] > data["tcp"]["fragment_pct"] / 3
+    assert data["tcp"]["fragment_remaining"] > 0
+
+
+def test_failure_locality(benchmark):
+    report = regenerate(benchmark, "failure-locality", fs_bytes=500_000)
+    data = report.data
+    # Section 5.5: a handful of files carries a wildly outsized share
+    # of the misses.
+    assert data["top_share_pct"] > 5 * data["top_byte_share_pct"]
+    assert data["worst"][0]["missed"] > 0
+
+
+def test_uniformity(benchmark):
+    report = regenerate(benchmark, "uniformity", samples=100_000)
+    for name, p_value in report.data.items():
+        assert p_value > 1e-3, name

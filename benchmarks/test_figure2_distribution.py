@@ -1,0 +1,40 @@
+"""Figure 2: the TCP checksum distribution over k-cell blocks.
+
+Paper shape: heavily skewed sorted PDFs far above the uniform line;
+the most common single-cell value covers orders of magnitude more than
+1/65536; aggregating cells flattens the curve much more slowly than
+the i.i.d. prediction.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import regenerate
+
+UNIFORM = 1.0 / 65536
+
+
+def test_figure2(benchmark):
+    report = regenerate(benchmark, "figure2", fs_bytes=700_000)
+    data = report.data
+
+    # Hot-spots: the most common value is >> uniform.
+    assert data["pmax_pct"] / 100 > 30 * UNIFORM
+    # The top 0.1% of values covers percents of the mass (paper: 1-5%+).
+    assert data["top_0p1pct_share_pct"] > 1.0
+
+    pdf1 = np.array(data["pdf_k1"])
+    pdf5 = np.array(data["pdf_k5"])
+    predict = np.array(data["predict_k2"])
+    measured2 = np.array(data["pdf_k2"])
+
+    # Sorted PDFs are non-increasing and above uniform at the head.
+    assert (np.diff(pdf1) <= 1e-12).all()
+    assert pdf1[0] > 10 * UNIFORM
+
+    # Aggregation flattens the head ... slowly.
+    assert pdf5[0] <= pdf1[0] + 1e-12
+    assert pdf5[0] > 5 * UNIFORM
+
+    # The measured k=2 head stays far above the i.i.d. prediction's
+    # tail region (the paper's central panel).
+    assert measured2[10] > predict[30]

@@ -1,0 +1,29 @@
+"""Figure 3: per-cell PDFs of TCP, F-255 and F-256.
+
+Paper shape: all three sums have similarly skewed per-cell
+distributions over real data -- the per-cell match probabilities are
+all within a small factor of each other (0.011%-0.016% in the paper).
+Fletcher's splice advantage comes from positional colouring, not from
+a more uniform per-cell distribution.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_figure3(benchmark):
+    report = regenerate(benchmark, "figure3", fs_bytes=700_000)
+    match = report.data["match_pct"]
+
+    uniform_pct = 100.0 / 65536
+    for label, value in match.items():
+        # Every sum is an order of magnitude worse than uniform per cell.
+        assert value > 10 * uniform_pct, label
+
+    values = sorted(match.values())
+    # ... and they are within a small factor of each other.
+    assert values[-1] < 10 * values[0]
+
+    # The sorted PDFs themselves are skewed.
+    for key in ("pdf_ip_tcp", "pdf_f255", "pdf_f256"):
+        pdf = report.data[key]
+        assert pdf[0] > 10 * (1.0 / 65536)

@@ -1,0 +1,34 @@
+"""Section 5.5: pathological data families.
+
+Paper shape: black-and-white PBM data causes total failure of
+Fletcher-255 (~25% of all permutations pass, i.e. about half of the
+remaining splices); hex-encoded PostScript bitmaps hurt both F-256 and
+TCP; gmon-style sparse profiles devastate the TCP sum; uniform data is
+fine for everyone.
+"""
+
+from benchmarks.conftest import regenerate
+
+UNIFORM_PCT = 100.0 / 65536
+
+
+def test_pathological_families(benchmark):
+    report = regenerate(benchmark, "pathological", fs_bytes=300_000)
+    data = report.data
+
+    pbm = data["pathological-pbm"]
+    # Catastrophic F-255 failure: tens of percent.
+    assert pbm["F-255"] > 20
+    assert pbm["F-255"] > pbm["TCP"] > 1
+    assert pbm["F-256"] < pbm["F-255"] / 50
+
+    gmon = data["pathological-gmon"]
+    assert gmon["TCP"] > 1
+    assert gmon["TCP"] > 100 * UNIFORM_PCT
+
+    hexps = data["pathological-hexps"]
+    assert hexps["TCP"] > 50 * UNIFORM_PCT
+
+    uniform = data["uniform"]
+    for label in ("TCP", "F-255", "F-256"):
+        assert uniform[label] < 10 * UNIFORM_PCT, label

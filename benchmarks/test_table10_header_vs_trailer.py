@@ -1,0 +1,20 @@
+"""Table 10: header vs trailer failure modes.
+
+Paper shape: the header checksum never rejects identical-data splices
+but misses far more corrupted ones; the trailer checksum spuriously
+rejects identical-data splices (benign) while missing a small fraction
+of the header sum's count.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_table10(benchmark):
+    report = regenerate(benchmark, "table10", fs_bytes=700_000)
+    data = report.data
+    assert data["header_identical_rejected"] == 0
+    assert data["trailer_identical_rejected"] > 0
+    assert data["trailer_missed"] < data["header_missed"] / 5
+    # The spurious rejections outnumber the real misses it still has
+    # (the paper's "two numbers are not comparable" row).
+    assert data["trailer_identical_rejected"] > data["trailer_missed"]

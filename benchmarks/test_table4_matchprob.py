@@ -1,0 +1,30 @@
+"""Table 4: match probability for k-cell substitutions.
+
+Paper shape: the i.i.d. prediction collapses to the uniform 0.0015% by
+k = 2-4, while the measured probability barely decays -- real cells are
+locally correlated, not independent.
+"""
+
+from benchmarks.conftest import regenerate
+
+UNIFORM_PCT = 100.0 / 65536
+
+
+def test_table4(benchmark):
+    report = regenerate(benchmark, "table4")
+    rows = {row["k"]: row for row in report.data["rows"]}
+
+    # k = 1: prediction equals measurement by construction.
+    assert abs(rows[1]["predicted_pct"] - rows[1]["measured_pct"]) < 1e-6
+
+    # The prediction tails off to uniform ...
+    assert rows[4]["predicted_pct"] < 3 * UNIFORM_PCT
+    assert rows[5]["predicted_pct"] < 2 * UNIFORM_PCT
+
+    # ... while the measurement stays orders of magnitude above it.
+    for k in (2, 3, 4, 5):
+        assert rows[k]["measured_pct"] > 10 * rows[k]["predicted_pct"], k
+        assert rows[k]["measured_pct"] > 10 * UNIFORM_PCT, k
+
+    # Measured decay is gentle (within ~4x of k=1 by k=5).
+    assert rows[5]["measured_pct"] > rows[1]["measured_pct"] / 4

@@ -1,0 +1,24 @@
+"""Table 5: global vs local congruence.
+
+Paper shape: blocks within 512 bytes are far more likely to be
+checksum-congruent than blocks drawn from anywhere in the filesystem,
+and most local congruences are byte-identical (benign); excluding them
+still leaves the local rate well above the global one.
+"""
+
+from benchmarks.conftest import regenerate
+
+UNIFORM_PCT = 100.0 / 65536
+
+
+def test_table5(benchmark):
+    report = regenerate(benchmark, "table5")
+    for row in report.data["rows"]:
+        k = row["k"]
+        assert row["local_pct"] > 2 * row["global_pct"], k
+        assert row["local_pct"] >= row["excl_identical_pct"] >= 0, k
+        # Identical data accounts for a large share of local congruence.
+        assert row["excl_identical_pct"] < row["local_pct"], k
+        # Everything sits far above the uniform expectation.
+        assert row["global_pct"] > 5 * UNIFORM_PCT, k
+        assert row["excl_identical_pct"] > 5 * UNIFORM_PCT, k

@@ -1,0 +1,32 @@
+"""Table 6: sample congruence statistics vs actual splice failures.
+
+Paper shape (Sections 4.6 and 5.4): the global statistics and the
+i.i.d. prediction badly underpredict the actual per-length failure
+rate; the local exclude-identical statistic with the cell-colouring
+correction ``(m - k)/(m - 1)`` lands in the right range.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import regenerate
+
+
+def test_table6(benchmark):
+    report = regenerate(benchmark, "table6", systems=("stanford-u1", "sics-opt"))
+    for system, data in report.data.items():
+        ks = data["ks"]
+        actual = np.array(data["actual_pct"])
+        predicted = np.array(data["predicted_pct"])
+        corrected = np.array(data["corrected_pct"])
+        local = np.array(data["local_pct"])
+
+        # By k = 4-5 the i.i.d. prediction has collapsed to ~uniform,
+        # yet the actual rate has not (the paper's "does not tail off
+        # with larger block sizes as it should").
+        tail = slice(3, 5)
+        assert (actual[tail] > 3 * predicted[tail]).all(), system
+        # The local statistic is an upper bound of the right magnitude:
+        # actual within [corrected/30, 1.5 * local] across k = 2..5.
+        mid = slice(1, 5)
+        assert (actual[mid] <= local[mid] * 1.5).all(), system
+        assert actual[mid].mean() > corrected[mid].mean() / 30, system

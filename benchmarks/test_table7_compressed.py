@@ -1,0 +1,19 @@
+"""Table 7: compressing the data restores the uniform miss rate.
+
+Paper shape: the worst filesystem's ~0.17% miss rate falls roughly a
+hundredfold after compression, back to the ~0.0015% uniform-data
+expectation.
+"""
+
+from benchmarks.conftest import regenerate
+
+UNIFORM_PCT = 100.0 / 65536
+
+
+def test_table7(benchmark):
+    report = regenerate(benchmark, "table7", fs_bytes=700_000)
+    before = report.data["miss_rate_before_pct"]
+    after = report.data["miss_rate_after_pct"]
+    assert before > 20 * UNIFORM_PCT
+    assert after < 10 * UNIFORM_PCT
+    assert after < before / 20

@@ -1,0 +1,28 @@
+"""Table 8: Fletcher mod-255 / mod-256 vs the TCP checksum.
+
+Paper shape: Fletcher-256 beats the TCP checksum by an order of
+magnitude or more (the positional colouring effect), while Fletcher-255
+loses to TCP on the Stanford volume containing the 0/255 PBM plots.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_table8(benchmark):
+    report = regenerate(benchmark, "table8", fs_bytes=500_000)
+    rows = {}
+    for row in report.data["rows"]:
+        rows.setdefault(row["system"], {})[row["checksum"]] = row["miss_rate_pct"]
+
+    for system, rates in rows.items():
+        # F-256 is consistently far stronger than the TCP checksum.
+        assert rates["F-256"] < rates["TCP"] / 3, system
+
+    # The Section 5.5 inversion: the PBM directory drags F-255 below
+    # plain TCP on stanford-u1.
+    assert rows["stanford-u1"]["F-255"] > rows["stanford-u1"]["TCP"]
+
+    # Everywhere else (no PBM data), F-255 beats the TCP checksum, as
+    # in the paper's Table 8.
+    for system in ("sics-opt", "sics-src1", "sics-src2", "stanford-usr-local"):
+        assert rows[system]["F-255"] < rows[system]["TCP"], system

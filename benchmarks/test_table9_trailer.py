@@ -1,0 +1,22 @@
+"""Table 9: trailer checksums vs header checksums.
+
+Paper shape: moving the TCP checksum to a trailer cuts the miss rate
+20x-50x, approaching (sometimes beating) the 2^-16 uniform line.
+"""
+
+from benchmarks.conftest import regenerate
+
+UNIFORM_PCT = 100.0 / 65536
+
+
+def test_table9(benchmark):
+    report = regenerate(benchmark, "table9", fs_bytes=500_000)
+    improvements = []
+    for row in report.data["rows"]:
+        assert row["trailer_miss_pct"] < row["tcp_miss_pct"], row["system"]
+        # The trailer rate lands near the uniform expectation.
+        assert row["trailer_miss_pct"] < 10 * UNIFORM_PCT, row["system"]
+        improvements.append(row["improvement"])
+    # Aggregate improvement in the paper's 20x-50x class (allow slack).
+    assert max(improvements) > 20
+    assert sum(i > 5 for i in improvements) >= len(improvements) - 1

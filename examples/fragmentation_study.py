@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Cell splices vs fragment splices: the offset-colouring effect.
+
+Run with::
+
+    python examples/fragmentation_study.py [--bytes N]
+
+The paper's Section 5.2 explains Fletcher's advantage over the TCP
+checksum on cell splices: every dropped cell *shifts* the cells behind
+it, so each cell's positional contribution is "coloured" by its
+offset, and non-uniform data makes a fixed-offset collision less
+likely than an equal-value collision (Lemma 9).
+
+IP fragmentation-and-reassembly errors (the abstract's other error
+model) substitute fragments at the **same byte offset** -- nothing
+shifts.  This example measures both models on the same corpus and
+shows Fletcher's advantage evaporate when the colouring does.
+"""
+
+import argparse
+
+from repro import build_filesystem, run_splice_experiment
+from repro.core.fragsplice import run_fragment_splice_experiment
+from repro.experiments.render import TextTable, fmt_pct
+from repro.protocols.packetizer import PacketizerConfig
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="sics-opt")
+    parser.add_argument("--bytes", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--mtu", type=int, default=92)
+    args = parser.parse_args()
+
+    fs = build_filesystem(args.profile, args.bytes, args.seed)
+    base = PacketizerConfig()
+
+    fragment_results = run_fragment_splice_experiment(fs, base, mtu=args.mtu)
+    table = TextTable(["checksum", "cell splices (shifted)",
+                       "fragment splices (same offset)"])
+    ratios = {}
+    for algorithm in ("tcp", "fletcher255", "fletcher256"):
+        cell = run_splice_experiment(
+            fs, base.with_overrides(algorithm=algorithm)
+        ).counters.miss_rate_transport
+        fragment = fragment_results[algorithm].miss_rate(algorithm)
+        ratios[algorithm] = (cell, fragment)
+        table.add_row(algorithm, fmt_pct(cell), fmt_pct(fragment))
+    print(table.render())
+
+    tcp_cell, tcp_frag = ratios["tcp"]
+    f_cell, f_frag = ratios["fletcher256"]
+    print("\ncell-splice model   : Fletcher-256 beats TCP by %.0fx"
+          % (tcp_cell / max(f_cell, 1e-9)))
+    print("fragment-splice model: Fletcher-256 vs TCP ratio is %.1fx --"
+          % (tcp_frag / max(f_frag, 1e-9)))
+    print("the positional colouring is gone when offsets are preserved.")
+
+
+if __name__ == "__main__":
+    main()

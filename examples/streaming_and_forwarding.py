@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The library as a networking toolbox: streams, UDP, NAT, options.
+
+Run with::
+
+    python examples/streaming_and_forwarding.py
+
+Beyond the reproduction, the checksum and protocol layers are usable
+on their own.  This example walks through:
+
+1. hashlib-style streaming checksums (data arriving in chunks);
+2. UDP datagrams and the two ones-complement zeros (0x0000 = "no
+   checksum", computed zero sent as 0xFFFF);
+3. a router path: TTL decrement and NAT rewrite with *incremental*
+   checksum updates (RFC 1141/1624), never recomputing from scratch;
+4. negotiating Fletcher via the RFC 1146 TCP alternate-checksum option.
+"""
+
+from repro.checksums.streaming import open_stream
+from repro.protocols.forwarding import (
+    decrement_ttl,
+    rewrite_addresses,
+    verify_ip_header,
+)
+from repro.protocols.ip import parse_ipv4_header
+from repro.protocols.packetizer import Packetizer, PacketizerConfig
+from repro.protocols.tcp import verify_tcp_checksum
+from repro.protocols.tcpoptions import (
+    alternate_checksum_request,
+    build_tcp_header_with_options,
+    negotiated_algorithm,
+)
+from repro.protocols.udp import build_udp_datagram, parse_udp_header, verify_udp_datagram
+
+
+def streaming_demo():
+    print("== streaming checksums ==")
+    chunks = [b"data arriving ", b"in arbitrary ", b"chunks"]
+    for name in ("internet", "fletcher256", "crc32-aal5", "crc16-ccitt"):
+        stream = open_stream(name)
+        for chunk in chunks:
+            stream.update(chunk)
+        print("%-12s -> 0x%x" % (name, stream.value()))
+
+
+def udp_demo():
+    print("\n== UDP and the two zeros ==")
+    datagram = build_udp_datagram("10.0.0.1", "10.0.0.2", 53, 9999, b"query")
+    header = parse_udp_header(datagram)
+    print("checksum field 0x%04x, verifies: %s" % (
+        header.checksum, verify_udp_datagram("10.0.0.1", "10.0.0.2", datagram)))
+    bare = build_udp_datagram("10.0.0.1", "10.0.0.2", 53, 9999, b"query",
+                              with_checksum=False)
+    print("no-checksum sentinel 0x%04x still accepted: %s" % (
+        parse_udp_header(bare).checksum,
+        verify_udp_datagram("10.0.0.1", "10.0.0.2", bare)))
+
+
+def forwarding_demo():
+    print("\n== incremental forwarding (RFC 1141/1624) ==")
+    packet = Packetizer(PacketizerConfig()).packetize(b"via three routers")[0]
+    hop = packet.ip_packet
+    for _ in range(3):
+        hop = decrement_ttl(hop)
+    nat = rewrite_addresses(hop, new_src="203.0.113.7")
+    header = parse_ipv4_header(nat)
+    print("after 3 hops + NAT: ttl=%d src=%08x" % (header.ttl, header.src))
+    print("IP header verifies : %s" % verify_ip_header(nat))
+    print("TCP still verifies : %s" % verify_tcp_checksum(
+        "203.0.113.7", PacketizerConfig().dst, nat[20:]))
+    print("(both checksums were patched from deltas, never recomputed)")
+
+
+def options_demo():
+    print("\n== RFC 1146 alternate checksum negotiation ==")
+    header = build_tcp_header_with_options(
+        20, 54321, 1, 0, [alternate_checksum_request("fletcher255")]
+    )
+    print("SYN carries options, data offset %d words" % (header[12] >> 4))
+    print("peer decodes request: %s" % negotiated_algorithm(header))
+
+
+if __name__ == "__main__":
+    streaming_demo()
+    udp_demo()
+    forwarding_demo()
+    options_demo()

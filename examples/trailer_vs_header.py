@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's surprise: trailer checksums beat header checksums.
+
+Run with::
+
+    python examples/trailer_vs_header.py [--bytes N]
+
+A splice that passes the header checks almost always carries the first
+packet's header cell -- and with it the checksum that covered that
+header.  A trailer-placed checksum instead travels with the *second*
+packet, so the splice must reconcile three differently-"coloured"
+distributions (data cells, first header, second header).  By Lemma 9,
+requiring two draws from the same distribution to differ by a fixed
+constant is never more likely than requiring them to be equal, so the
+trailer sum wins -- 20x-50x in the paper, and it also (benignly)
+rejects splices whose data happens to be identical.
+"""
+
+import argparse
+
+from repro import build_filesystem, run_splice_experiment
+from repro.experiments.render import TextTable, fmt_count, fmt_pct
+from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="stanford-u1")
+    parser.add_argument("--bytes", type=int, default=600_000)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    fs = build_filesystem(args.profile, args.bytes, args.seed)
+    base = PacketizerConfig()
+    header = run_splice_experiment(fs, base).counters
+    trailer = run_splice_experiment(
+        fs, base.with_overrides(placement=ChecksumPlacement.TRAILER)
+    ).counters
+
+    table = TextTable(["outcome", "header sum", "trailer sum"])
+    table.add_row("splices inspected", fmt_count(header.total),
+                  fmt_count(trailer.total))
+    table.add_row("remaining (corrupted)", fmt_count(header.remaining),
+                  fmt_count(trailer.remaining))
+    table.add_row("passes checksum, data changed",
+                  fmt_count(header.missed_transport),
+                  fmt_count(trailer.missed_transport))
+    table.add_row("fails checksum, data identical",
+                  fmt_count(header.identical_rejected),
+                  fmt_count(trailer.identical_rejected))
+    table.add_row("miss rate", fmt_pct(header.miss_rate_transport),
+                  fmt_pct(trailer.miss_rate_transport))
+    print(table.render())
+
+    if trailer.missed_transport:
+        ratio = header.missed_transport / trailer.missed_transport
+        print("\ntrailer placement misses %.0fx fewer corrupted splices" % ratio)
+    else:
+        print("\ntrailer placement missed nothing at this scale")
+    print("spurious rejections are benign: the packet was lost anyway, so")
+    print("a retransmission was already inevitable (Section 5.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: reproduction of "Performance of Checksums and CRCs over Real Data".
+
+Stone, Greenwald, Partridge, Hughes -- SIGCOMM 1995 (corrected version).
+
+The library has four layers:
+
+* :mod:`repro.checksums` -- the check codes themselves (Internet
+  checksum, Fletcher mod-255/mod-256, a generic CRC engine with the
+  AAL5 CRC-32 and friends) plus the partial-sum/combine algebra.
+* :mod:`repro.protocols` -- IPv4/TCP packet construction, ATM cells and
+  AAL5 framing, and the simulated FTP transfer.
+* :mod:`repro.corpus` -- deterministic synthetic filesystems with the
+  statistical structure of the paper's real UNIX volumes.
+* :mod:`repro.core` / :mod:`repro.analysis` / :mod:`repro.experiments`
+  -- the packet-splice engine, the distribution analyses, and one
+  callable per published table and figure.
+
+Quickstart::
+
+    from repro import build_filesystem, run_splice_experiment
+    fs = build_filesystem("stanford-u1", 1_000_000, seed=3)
+    result = run_splice_experiment(fs)
+    print(result.counters.miss_rate_transport)  # % of bad splices missed
+"""
+
+from repro.checksums import get_algorithm, internet_checksum
+from repro.core import EngineOptions, SpliceEngine, run_splice_experiment
+from repro.corpus import build_filesystem, profile_names
+from repro.experiments import run_experiment
+from repro.protocols import PacketizerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineOptions",
+    "PacketizerConfig",
+    "SpliceEngine",
+    "__version__",
+    "build_filesystem",
+    "get_algorithm",
+    "internet_checksum",
+    "profile_names",
+    "run_experiment",
+    "run_splice_experiment",
+]

@@ -1,0 +1,55 @@
+"""Distribution analyses behind the paper's figures and tables.
+
+- :mod:`repro.analysis.distribution` -- per-cell checksum value
+  distributions (Figure 2's PDFs/CDFs, Figure 3, Section 4.3's
+  hot-spot statistics).
+- :mod:`repro.analysis.convolution` -- the i.i.d. convolution
+  predictor over ones-complement arithmetic (Figure 2's "Predict"
+  line, Table 4's "Predicted" column).
+- :mod:`repro.analysis.locality` -- global vs local congruence with
+  identical-data exclusion (Tables 5 and 6).
+- :mod:`repro.analysis.theory` -- numerical forms of the appendix
+  results (Lemma 1, Corollary 3, Theorem 4's modular CLT, Lemma 9) and
+  the Section 5.4 cell-colouring correction.
+"""
+
+from repro.analysis.convolution import (
+    ONES_COMPLEMENT_CLASSES,
+    match_probability,
+    ones_complement_classes,
+    predicted_block_distribution,
+    predicted_match_probability,
+)
+from repro.analysis.distribution import (
+    ChecksumDistribution,
+    block_checksum_values,
+    cell_checksum_values,
+    distribution_over,
+)
+from repro.analysis.locality import LocalityStats, locality_statistics
+from repro.analysis.theory import (
+    coloring_correction,
+    effective_checksum_bits,
+    modular_clt_pmax,
+    prob_equal,
+    prob_offset,
+)
+
+__all__ = [
+    "ChecksumDistribution",
+    "LocalityStats",
+    "ONES_COMPLEMENT_CLASSES",
+    "block_checksum_values",
+    "cell_checksum_values",
+    "coloring_correction",
+    "distribution_over",
+    "effective_checksum_bits",
+    "locality_statistics",
+    "match_probability",
+    "modular_clt_pmax",
+    "ones_complement_classes",
+    "predicted_block_distribution",
+    "predicted_match_probability",
+    "prob_equal",
+    "prob_offset",
+]

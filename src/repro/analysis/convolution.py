@@ -1,0 +1,101 @@
+"""The i.i.d. convolution predictor (Figure 2's "Predict" line).
+
+If every cell were an independent draw from the single-cell checksum
+distribution, the distribution of the k-cell block checksum would be
+the k-fold convolution of the single-cell distribution under
+ones-complement addition:
+
+    ``P_k(c) = sum_x P_{k-1}(c - x) P_1(x)``   (Section 4.4)
+
+Ones-complement 16-bit addition is addition modulo 65535 with two
+representations of zero (0x0000 and 0xFFFF), so the convolution is
+cyclic over 65535 residue classes; :func:`ones_complement_classes`
+maps value space to class space.  The k-fold convolution is computed
+in the FFT domain in O(M log M).
+
+The paper's central observation is that the *measured* k-cell
+distribution stays far more skewed than this prediction -- real cells
+are locally correlated, not i.i.d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ONES_COMPLEMENT_CLASSES",
+    "cyclic_convolve",
+    "cyclic_self_convolve",
+    "match_probability",
+    "ones_complement_classes",
+    "predicted_block_distribution",
+    "predicted_match_probability",
+]
+
+#: Residue classes of 16-bit ones-complement arithmetic (0xFFFF == 0).
+ONES_COMPLEMENT_CLASSES = 0xFFFF
+
+
+def ones_complement_classes(values):
+    """Map 16-bit checksum values to their mod-65535 residue classes."""
+    values = np.asarray(values, dtype=np.int64)
+    return values % ONES_COMPLEMENT_CLASSES
+
+
+def class_pmf(values, space=ONES_COMPLEMENT_CLASSES):
+    """Empirical PMF over residue classes from raw checksum values."""
+    classes = ones_complement_classes(values)
+    counts = np.bincount(classes, minlength=space).astype(np.float64)
+    total = counts.sum()
+    if total:
+        counts /= total
+    return counts
+
+
+def cyclic_convolve(p, q):
+    """Cyclic convolution of two PMFs over the same modulus."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("PMFs must share a modulus")
+    result = np.fft.irfft(np.fft.rfft(p) * np.fft.rfft(q), n=p.size)
+    np.clip(result, 0.0, None, out=result)
+    total = result.sum()
+    if total:
+        result /= total
+    return result
+
+
+def cyclic_self_convolve(p, k):
+    """The k-fold cyclic self-convolution of a PMF (k >= 1)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    p = np.asarray(p, dtype=np.float64)
+    spectrum = np.fft.rfft(p) ** k
+    result = np.fft.irfft(spectrum, n=p.size)
+    np.clip(result, 0.0, None, out=result)
+    total = result.sum()
+    if total:
+        result /= total
+    return result
+
+
+def predicted_block_distribution(cell_values, k):
+    """Predicted k-cell block PMF from measured single-cell values.
+
+    ``cell_values`` are raw single-cell checksum values; the result is
+    the i.i.d. prediction over ones-complement residue classes, i.e.
+    the dotted "Predict" line of Figure 2.
+    """
+    return cyclic_self_convolve(class_pmf(cell_values), k)
+
+
+def match_probability(pmf):
+    """P[two independent draws from ``pmf`` are equal]."""
+    pmf = np.asarray(pmf, dtype=np.float64)
+    return float((pmf * pmf).sum())
+
+
+def predicted_match_probability(cell_values, k):
+    """Table 4's "Predicted": match probability of i.i.d. k-cell blocks."""
+    return match_probability(predicted_block_distribution(cell_values, k))

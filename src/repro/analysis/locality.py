@@ -1,0 +1,138 @@
+"""Global vs local congruence of block checksums (Tables 5 and 6).
+
+The paper's key diagnostic for *why* splices beat the TCP checksum:
+two blocks drawn from nearby offsets in the same file are far more
+likely to have congruent checksums than two blocks drawn from anywhere
+in the filesystem -- and most nearby congruences are identical bytes
+(benign).  Splices substitute cells from at most two packet lengths
+away, so the local statistics, not the global ones, predict the actual
+failure rate.
+
+Definitions used here (matching Section 4.6):
+
+* blocks are ``k`` consecutive 48-byte cells (cell-aligned, within one
+  file);
+* two blocks are *congruent* when their ones-complement sums agree
+  (compared as mod-65535 residue classes, since 0x0000 and 0xFFFF are
+  interchangeable in a checksum);
+* the *local* statistic restricts pairs to block starts at most
+  ``window`` bytes apart (512, i.e. two packet lengths);
+* *excluding identical* drops byte-for-byte equal pairs, which cause
+  no corruption when substituted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.convolution import ONES_COMPLEMENT_CLASSES
+from repro.checksums.internet import InternetChecksum
+
+__all__ = ["LocalityStats", "locality_statistics"]
+
+_CELL = 48
+
+
+@dataclass
+class LocalityStats:
+    """Congruence statistics for one block length ``k``."""
+
+    k: int
+    global_match: float = 0.0
+    local_pairs: int = 0
+    local_congruent: int = 0
+    local_identical_congruent: int = 0
+
+    @property
+    def local_match(self):
+        if not self.local_pairs:
+            return 0.0
+        return self.local_congruent / self.local_pairs
+
+    @property
+    def local_match_excluding_identical(self):
+        if not self.local_pairs:
+            return 0.0
+        return (
+            self.local_congruent - self.local_identical_congruent
+        ) / self.local_pairs
+
+    def as_percentages(self):
+        """(global, local, local-excluding-identical) in percent."""
+        return (
+            100.0 * self.global_match,
+            100.0 * self.local_match,
+            100.0 * self.local_match_excluding_identical,
+        )
+
+
+def _file_cells(data):
+    usable = len(data) - len(data) % _CELL
+    if usable <= 0:
+        return np.empty((0, _CELL), dtype=np.uint8)
+    return np.frombuffer(data, dtype=np.uint8, count=usable).reshape(-1, _CELL)
+
+
+def _block_classes(cell_sums, k):
+    """Mod-65535 classes of k-cell block sums, all start offsets."""
+    if cell_sums.size < k:
+        return np.empty(0, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(cell_sums, k)
+    return (windows.sum(axis=1) % ONES_COMPLEMENT_CLASSES).astype(np.int64)
+
+
+def locality_statistics(filesystem, ks=(1, 2, 4, 5), window=512):
+    """Compute Table 5's statistics over a filesystem.
+
+    Returns ``{k: LocalityStats}``.  The local statistic enumerates
+    *every* pair of cell-aligned blocks within ``window`` bytes inside
+    each file (an exact count, not a sample).
+    """
+    max_lag = max(1, window // _CELL)
+    stats = {k: LocalityStats(k=k) for k in ks}
+    global_counts = {k: np.zeros(ONES_COMPLEMENT_CLASSES, dtype=np.int64) for k in ks}
+
+    for file in filesystem:
+        cells = _file_cells(file.data)
+        if not cells.shape[0]:
+            continue
+        sums = InternetChecksum.cell_sums(cells).astype(np.int64)
+        # Per-lag cell equality, shared across block lengths.
+        cell_eq = {
+            d: (cells[:-d] == cells[d:]).all(axis=1) for d in range(1, max_lag + 1)
+            if cells.shape[0] > d
+        }
+        for k in ks:
+            classes = _block_classes(sums, k)
+            if not classes.size:
+                continue
+            global_counts[k] += np.bincount(classes, minlength=ONES_COMPLEMENT_CLASSES)
+            entry = stats[k]
+            for d, eq in cell_eq.items():
+                n = classes.size - d
+                if n <= 0:
+                    continue
+                congruent = classes[:n] == classes[d : d + n]
+                entry.local_pairs += n
+                entry.local_congruent += int(congruent.sum())
+                # Identical blocks: all k cell-lag equalities hold.
+                if eq.size >= n + k - 1:
+                    ident = np.lib.stride_tricks.sliding_window_view(
+                        eq[: n + k - 1], k
+                    ).all(axis=1)
+                else:
+                    width = eq[: n + k - 1]
+                    pad = np.zeros(n + k - 1 - width.size, dtype=bool)
+                    ident = np.lib.stride_tricks.sliding_window_view(
+                        np.concatenate([width, pad]), k
+                    ).all(axis=1)
+                entry.local_identical_congruent += int((congruent & ident[:n]).sum())
+
+    for k in ks:
+        total = global_counts[k].sum()
+        if total:
+            pmf = global_counts[k] / total
+            stats[k].global_match = float((pmf * pmf).sum())
+    return stats

@@ -1,0 +1,96 @@
+"""Numerical forms of the paper's appendix results.
+
+These functions make the appendix checkable by tests and usable by the
+experiment code:
+
+* Lemma 1 / Corollary 3 / Theorem 4 ("a central limit theorem for
+  modular sums"): convolution can only shrink PMax and grow PMin, and
+  the sum of many independent observations mod M tends to uniform --
+  :func:`modular_clt_pmax` traces PMax as terms are added.
+* Lemma 9: drawing two values from any distribution, equality is at
+  least as likely as any fixed non-zero difference --
+  :func:`prob_equal` vs :func:`prob_offset`.  This is why Fletcher's
+  positional term and the trailer placement help on non-uniform data
+  (they turn "must be equal" into "must differ by a splice-specific
+  constant").
+* The Section 5.4 cell-colouring correction: a k-cell substitution
+  avoids the second packet's header cell with probability
+  ``(m-1-k)/(m-1)``; only those substitutions can fail at the local
+  data rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.convolution import cyclic_convolve
+
+__all__ = [
+    "coloring_correction",
+    "effective_checksum_bits",
+    "modular_clt_pmax",
+    "prob_equal",
+    "prob_offset",
+]
+
+
+def prob_equal(pmf):
+    """P[X == Y] for independent X, Y ~ pmf (Lemma 9's left side)."""
+    pmf = np.asarray(pmf, dtype=np.float64)
+    return float((pmf * pmf).sum())
+
+
+def prob_offset(pmf, c):
+    """P[X - Y == c (mod M)] for independent X, Y ~ pmf.
+
+    Lemma 9 guarantees this never exceeds :func:`prob_equal` -- with
+    equality only for uniform distributions (or ``c == 0``).
+    """
+    pmf = np.asarray(pmf, dtype=np.float64)
+    return float((pmf * np.roll(pmf, -int(c))).sum())
+
+
+def modular_clt_pmax(pmf, terms):
+    """PMax of the mod-M sum of 1..``terms`` independent observations.
+
+    Returns a list of PMax values; Corollary 3 says it is
+    non-increasing and Theorem 4 that it tends to 1/M.
+    """
+    pmf = np.asarray(pmf, dtype=np.float64)
+    current = pmf.copy()
+    trajectory = [float(current.max())]
+    for _ in range(terms - 1):
+        current = cyclic_convolve(current, pmf)
+        trajectory.append(float(current.max()))
+    return trajectory
+
+
+def coloring_correction(m, k):
+    """Probability a k-cell substitution in an m-cell packet is all-data.
+
+    Section 5.4: the substitution keeps the second packet's trailer and
+    draws its remaining ``k - 1`` cells from the other ``m - 1``; of
+    the ``C(m-1, k-1)`` choices, ``C(m-2, k-1)`` avoid the second
+    header cell, a fraction of ``(m - k) / (m - 1)``.  Substitutions
+    that include the header are "coloured" and fail at the ~2^-16
+    rate, so the local-data failure prediction must be scaled by this
+    factor.
+    """
+    if not 1 <= k <= m:
+        raise ValueError("substitution length must satisfy 1 <= k <= m")
+    if m == 1:
+        return 0.0
+    return (m - k) / (m - 1)
+
+
+def effective_checksum_bits(miss_probability):
+    """Bits of a uniform check code with the given miss probability.
+
+    The paper's headline restated: a measured miss rate of ~2^-10
+    means the 16-bit TCP checksum performs like a 10-bit CRC.
+    """
+    if miss_probability <= 0:
+        return float("inf")
+    return -math.log2(miss_probability)

@@ -1,0 +1,104 @@
+"""Statistical verification of the appendix uniformity theorems.
+
+Theorem 6: over uniformly distributed data, the Internet checksum is
+uniformly distributed.  Theorem 7: so is Fletcher's checksum (with the
+A/B component subtlety the appendix works through).  These are exact
+statements about ideal distributions; this module checks the
+*implementations* against them with chi-square goodness-of-fit tests
+over large seeded samples -- a bug in the arithmetic (a missed carry,
+a wrong modulus) shows up as a catastrophically small p-value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.distribution import cell_checksum_values
+
+__all__ = ["UniformityResult", "checksum_uniformity_test", "fletcher_component_test"]
+
+
+@dataclass(frozen=True)
+class UniformityResult:
+    """Outcome of one chi-square uniformity test."""
+
+    algorithm: str
+    samples: int
+    bins: int
+    statistic: float
+    p_value: float
+
+    @property
+    def consistent_with_uniform(self):
+        """True when the sample does not refute uniformity (p > 1e-3)."""
+        return self.p_value > 1e-3
+
+
+def _uniform_cells(samples, cell_size, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(samples, cell_size)).astype(np.uint8)
+
+
+def checksum_uniformity_test(
+    algorithm="internet", samples=200_000, cell_size=48, bins=256, seed=2024
+):
+    """Chi-square test of checksum uniformity over uniform data.
+
+    Values are reduced to residue classes where the algorithm has
+    congruent representations (mod 65535 for the Internet sum, the
+    component moduli for Fletcher) and folded into ``bins`` coarse
+    bins for the test.
+    """
+    cells = _uniform_cells(samples, cell_size, seed)
+    data = cells.tobytes()
+    values = cell_checksum_values(data, algorithm, cell_size).astype(np.float64)
+    if algorithm in ("internet", "tcp"):
+        classes, space = values % 65535, 65535
+    elif algorithm == "fletcher255":
+        a = values.astype(np.int64) & 0xFF
+        b = values.astype(np.int64) >> 8
+        classes = (a % 255) * 255 + (b % 255)
+        space = 255 * 255
+    elif algorithm == "fletcher256":
+        classes, space = values, 65536
+    else:
+        raise ValueError("unsupported algorithm %r" % algorithm)
+    binned = np.floor(classes * bins / space).astype(np.int64).clip(0, bins - 1)
+    counts = np.bincount(binned, minlength=bins)
+    statistic, p_value = stats.chisquare(counts)
+    return UniformityResult(
+        algorithm=algorithm,
+        samples=samples,
+        bins=bins,
+        statistic=float(statistic),
+        p_value=float(p_value),
+    )
+
+
+def fletcher_component_test(modulus=255, samples=150_000, seed=7):
+    """Independence of Fletcher's A and B components over uniform data.
+
+    The appendix's Theorem 7 requires A and B to be (near-)independent
+    and individually uniform; this runs a chi-square contingency test
+    over a coarse (16 x 16) binning of the two components.
+    """
+    from repro.checksums.fletcher import fletcher8_cells
+
+    cells = _uniform_cells(samples, 48, seed)
+    a, b = fletcher8_cells(cells, modulus)
+    grid = 16
+    a_bin = (a * grid // modulus).clip(0, grid - 1)
+    b_bin = (b * grid // modulus).clip(0, grid - 1)
+    table = np.zeros((grid, grid), dtype=np.int64)
+    np.add.at(table, (a_bin, b_bin), 1)
+    statistic, p_value, _, _ = stats.chi2_contingency(table)
+    return UniformityResult(
+        algorithm="fletcher%d-independence" % modulus,
+        samples=samples,
+        bins=grid * grid,
+        statistic=float(statistic),
+        p_value=float(p_value),
+    )

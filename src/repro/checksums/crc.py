@@ -1,0 +1,327 @@
+"""A generic table-driven CRC engine plus GF(2) combine operators.
+
+CRCs are polynomial division over GF(2); everything a CRC register does
+to its *state* is linear over GF(2), and the data bytes enter the state
+additively.  Concretely, processing a chunk ``X`` from register ``r``
+yields
+
+    ``f_X(r) = Z^{|X|}(r)  XOR  c_X``
+
+where ``Z`` is the linear "feed one zero byte" operator and
+``c_X = f_X(0)`` is the chunk's image from the zero register.  The
+splice engine exploits this: it computes ``c`` once per 48-byte ATM cell
+and then evaluates any splice as a fold of cheap ``Z^48`` applications
+and XORs -- no byte is ever re-read.  :class:`ZeroFeedOperator`
+materialises ``Z^n`` as byte-sliced XOR lookup tables so the fold
+vectorizes over millions of splices.
+
+The specific CRCs the paper relies on are provided as specs:
+
+* :data:`CRC32_AAL5` -- the AAL5 CPCS CRC-32 (the non-reflected,
+  complemented CRC-32 used when bits go on the wire MSB-first).
+* :data:`CRC16_CCITT`, :data:`CRC16_ARC` -- observable-rate stand-ins
+  used to verify the "CRC behaves like the uniform prediction" claim at
+  simulation scale.
+* :data:`CRC10_ATM` -- the ATM OAM CRC-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CRC10_ATM",
+    "CRC32C",
+    "CRC16_ARC",
+    "CRC16_CCITT",
+    "CRC32_AAL5",
+    "CRCEngine",
+    "CRCSpec",
+    "ZeroFeedOperator",
+    "crc_combine",
+    "reflect_bits",
+]
+
+
+def reflect_bits(value, width):
+    """Reverse the low ``width`` bits of ``value``."""
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+@dataclass(frozen=True)
+class CRCSpec:
+    """A CRC parameter set in the Rocksoft/catalogue convention."""
+
+    name: str
+    width: int
+    poly: int
+    init: int
+    refin: bool
+    refout: bool
+    xorout: int
+
+    def __post_init__(self):
+        if not 8 <= self.width <= 32:
+            raise ValueError("supported CRC widths are 8..32 bits")
+        mask = (1 << self.width) - 1
+        if self.poly & ~mask or self.init & ~mask or self.xorout & ~mask:
+            raise ValueError("poly/init/xorout exceed the CRC width")
+
+
+#: AAL5 CPCS CRC-32: CRC-32 polynomial, all-ones preset, complemented,
+#: no reflection (ATM transmits most-significant bit first).
+CRC32_AAL5 = CRCSpec("crc32-aal5", 32, 0x04C11DB7, 0xFFFFFFFF, False, False, 0xFFFFFFFF)
+
+#: Classic reflected CRC-16 (ARC / IBM).
+CRC16_ARC = CRCSpec("crc16-arc", 16, 0x8005, 0x0000, True, True, 0x0000)
+
+#: CRC-16/CCITT-FALSE, the common X.25-family parameterisation.
+CRC16_CCITT = CRCSpec("crc16-ccitt", 16, 0x1021, 0xFFFF, False, False, 0x0000)
+
+#: ATM OAM cell CRC-10.
+CRC10_ATM = CRCSpec("crc10-atm", 10, 0x233, 0x000, False, False, 0x000)
+
+#: CRC-32C (Castagnoli): the post-paper polynomial chosen for its
+#: superior Hamming distance, used by SCTP and iSCSI.
+CRC32C = CRCSpec("crc32c", 32, 0x1EDC6F41, 0xFFFFFFFF, True, True, 0xFFFFFFFF)
+
+
+class CRCEngine:
+    """Table-driven CRC computation over a :class:`CRCSpec`.
+
+    The engine exposes both a conventional ``compute``/``verify`` API
+    and the register-level API (``register_init`` / ``process`` /
+    ``finalize``) that the splice engine composes with
+    :class:`ZeroFeedOperator`.
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.mask = (1 << spec.width) - 1
+        self.name = spec.name
+        self.bits = spec.width
+        self._table = self._build_table()
+        self._table_np = np.asarray(self._table, dtype=np.uint32)
+        self._zero_ops = {}
+        self._residues = {}
+
+    # -- table construction -------------------------------------------------
+
+    def _build_table(self):
+        spec = self.spec
+        table = []
+        if spec.refin:
+            poly = reflect_bits(spec.poly, spec.width)
+            for index in range(256):
+                reg = index
+                for _ in range(8):
+                    reg = (reg >> 1) ^ (poly if reg & 1 else 0)
+                table.append(reg)
+        else:
+            top = 1 << (spec.width - 1)
+            for index in range(256):
+                reg = index << (spec.width - 8)
+                for _ in range(8):
+                    reg = ((reg << 1) ^ spec.poly if reg & top else reg << 1) & self.mask
+                table.append(reg)
+        return table
+
+    # -- register-level API --------------------------------------------------
+
+    @property
+    def register_init(self):
+        """The register image of the spec's ``init`` value."""
+        if self.spec.refin:
+            return reflect_bits(self.spec.init, self.spec.width)
+        return self.spec.init
+
+    def step(self, reg, byte):
+        """Feed one data byte into the register."""
+        if self.spec.refin:
+            return (reg >> 8) ^ self._table[(reg ^ byte) & 0xFF]
+        shift = self.spec.width - 8
+        return ((reg << 8) & self.mask) ^ self._table[((reg >> shift) ^ byte) & 0xFF]
+
+    def process(self, reg, data):
+        """Feed ``data`` into register ``reg`` and return the new register."""
+        for byte in bytes(data):
+            reg = self.step(reg, byte)
+        return reg
+
+    def finalize(self, reg):
+        """Map a register value to the spec's external CRC value."""
+        if self.spec.refout != self.spec.refin:
+            reg = reflect_bits(reg, self.spec.width)
+        return reg ^ self.spec.xorout
+
+    def unfinalize(self, value):
+        """Inverse of :meth:`finalize`."""
+        value ^= self.spec.xorout
+        if self.spec.refout != self.spec.refin:
+            value = reflect_bits(value, self.spec.width)
+        return value
+
+    # -- conventional API ----------------------------------------------------
+
+    def compute(self, data):
+        """The CRC value of ``data``."""
+        return self.finalize(self.process(self.register_init, data))
+
+    def verify(self, data, stored):
+        """True if ``stored`` is the CRC of ``data``."""
+        return self.compute(data) == stored
+
+    def crc_bytes(self, data, byteorder="big"):
+        """The CRC of ``data`` serialised to bytes for transmission."""
+        width_bytes = (self.spec.width + 7) // 8
+        return self.compute(data).to_bytes(width_bytes, byteorder)
+
+    def residue_register(self, byteorder="big"):
+        """Register value after a correct message *and* its CRC bytes.
+
+        This is a constant of the spec, so a verifier that has streamed
+        an entire frame can validate it by comparing the register to
+        this value -- the check the splice engine uses.
+        """
+        if byteorder not in self._residues:
+            probe = b"\xa5\x5a\x00\xff checksum residue probe"
+            reg = self.process(self.register_init, probe)
+            reg = self.process(reg, self.crc_bytes(probe, byteorder))
+            self._residues[byteorder] = reg
+        return self._residues[byteorder]
+
+    # -- vectorized forms ----------------------------------------------------
+
+    def process_cells(self, cells, init=0):
+        """Register images of many equal-length chunks, vectorized.
+
+        ``cells`` is a ``(..., L)`` uint8 array; each chunk is processed
+        starting from register ``init`` (default 0, producing the ``c_X``
+        images that :class:`ZeroFeedOperator` composes).  Returns a
+        ``(...,)`` uint32 array of register values.
+        """
+        cells = np.asarray(cells, dtype=np.uint8)
+        reg = np.full(cells.shape[:-1], init, dtype=np.uint32)
+        table = self._table_np
+        if self.spec.refin:
+            for j in range(cells.shape[-1]):
+                reg = (reg >> np.uint32(8)) ^ table[
+                    (reg ^ cells[..., j]) & np.uint32(0xFF)
+                ]
+        else:
+            shift = np.uint32(self.spec.width - 8)
+            mask = np.uint32(self.mask)
+            for j in range(cells.shape[-1]):
+                idx = ((reg >> shift) ^ cells[..., j]) & np.uint32(0xFF)
+                reg = ((reg << np.uint32(8)) & mask) ^ table[idx]
+        return reg
+
+    def zero_feed(self, nbytes):
+        """The cached :class:`ZeroFeedOperator` for ``nbytes`` zero bytes."""
+        if nbytes not in self._zero_ops:
+            self._zero_ops[nbytes] = ZeroFeedOperator(self, nbytes)
+        return self._zero_ops[nbytes]
+
+
+class ZeroFeedOperator:
+    """The GF(2)-linear operator ``Z^n``: feed ``n`` zero bytes.
+
+    Built by exponentiating the one-byte bit-matrix and baked into
+    byte-sliced XOR lookup tables so it applies in a handful of gathers
+    per call even across large NumPy register arrays.
+    """
+
+    def __init__(self, engine, nbytes):
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.engine = engine
+        self.nbytes = nbytes
+        width = engine.spec.width
+        matrix = _matrix_power(_one_byte_matrix(engine), nbytes, width)
+        self._matrix = matrix
+        self._tables = _bake_tables(matrix, width)
+
+    def apply(self, reg):
+        """Apply the operator to a scalar register value."""
+        result = 0
+        for k, table in enumerate(self._tables):
+            result ^= int(table[(reg >> (8 * k)) & 0xFF])
+        return result
+
+    def apply_vec(self, regs):
+        """Apply the operator to a uint32 array of register values."""
+        regs = np.asarray(regs, dtype=np.uint32)
+        result = self._tables[0][regs & np.uint32(0xFF)]
+        for k in range(1, len(self._tables)):
+            result = result ^ self._tables[k][
+                (regs >> np.uint32(8 * k)) & np.uint32(0xFF)
+            ]
+        return result
+
+
+def _one_byte_matrix(engine):
+    """Images of each register basis bit under one zero-byte feed."""
+    return [engine.step(1 << j, 0) for j in range(engine.spec.width)]
+
+
+def _matrix_apply(matrix, value):
+    """Image of ``value`` under a bit-matrix (list of basis images)."""
+    result = 0
+    j = 0
+    while value:
+        if value & 1:
+            result ^= matrix[j]
+        value >>= 1
+        j += 1
+    return result
+
+
+def _matrix_compose(first, second, width):
+    """The matrix applying ``first`` then ``second``."""
+    return [_matrix_apply(second, first[j]) for j in range(width)]
+
+
+def _matrix_power(matrix, exponent, width):
+    """``matrix`` composed with itself ``exponent`` times."""
+    result = [1 << j for j in range(width)]  # identity
+    base = matrix
+    while exponent:
+        if exponent & 1:
+            result = _matrix_compose(result, base, width)
+        base = _matrix_compose(base, base, width)
+        exponent >>= 1
+    return result
+
+
+def _bake_tables(matrix, width):
+    """Byte-sliced XOR lookup tables realising a bit-matrix."""
+    tables = []
+    for k in range((width + 7) // 8):
+        table = np.zeros(256, dtype=np.uint32)
+        for j in range(min(8, width - 8 * k)):
+            bit = 1 << j
+            image = np.uint32(matrix[8 * k + j])
+            # Extend the table to indices with bit j set via superposition.
+            table[bit : 2 * bit] = table[:bit] ^ image
+        tables.append(table)
+    return tables
+
+
+def crc_combine(engine, crc_first, crc_second, second_len):
+    """CRC of the concatenation of two messages from their CRCs.
+
+    ``crc_first`` is the CRC of message A, ``crc_second`` the CRC of
+    message B, ``second_len`` the byte length of B.  Returns the CRC of
+    ``A || B`` (the zlib ``crc32_combine`` generalised to any spec).
+    """
+    op = engine.zero_feed(second_len)
+    reg_a = engine.unfinalize(crc_first)
+    reg_b = engine.unfinalize(crc_second)
+    reg = op.apply(reg_a) ^ reg_b ^ op.apply(engine.register_init)
+    return engine.finalize(reg)

@@ -1,0 +1,119 @@
+"""Additional check codes: Fletcher-16 (32-bit), Adler-32, XOR-16.
+
+The paper's Section 2 notes that "Fletcher also defined a 32-bit
+version, where 16-bit sums are kept"; Adler-32 (RFC 1950) is the same
+construction with a prime modulus, designed after the paper and a
+natural member of the comparison; the 16-bit XOR (longitudinal parity
+word) is the historical baseline the Internet checksum replaced --
+strictly weaker, since it cannot even count.
+
+These participate in the distribution analyses and the registry; the
+splice engine proper evaluates the codes the paper's packets carry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checksums.fletcher import FletcherSums
+
+__all__ = ["Adler32", "Fletcher16", "Xor16", "adler32", "fletcher16", "xor16"]
+
+_ADLER_MOD = 65521  # largest prime below 2^16
+
+
+def fletcher16(data, modulus=65535):
+    """Fletcher's 32-bit checksum: two 16-bit running sums.
+
+    Data is taken as big-endian 16-bit words (odd length padded with a
+    zero byte); ``B`` weights each word by its position from the end.
+    Returns a :class:`FletcherSums` whose ``a``/``b`` are 16-bit.
+    """
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    if buf.size % 2:
+        buf = np.concatenate([buf, np.zeros(1, dtype=np.uint8)])
+    words = buf.reshape(-1, 2).astype(np.int64)
+    values = (words[:, 0] << 8) | words[:, 1]
+    n = values.size
+    a = int(values.sum() % modulus)
+    if n:
+        weights = np.arange(n, 0, -1, dtype=np.int64)
+        b = int((values * weights).sum() % modulus)
+    else:
+        b = 0
+    return FletcherSums(a, b)
+
+
+class Fletcher16:
+    """Object API for the 32-bit Fletcher checksum."""
+
+    bits = 32
+
+    def __init__(self, modulus=65535):
+        if modulus not in (65535, 65536):
+            raise ValueError("Fletcher-16 modulus must be 65535 or 65536")
+        self.modulus = modulus
+        self.name = "fletcher16-%d" % modulus
+
+    def compute(self, data):
+        sums = fletcher16(data, self.modulus)
+        return (sums.b << 16) | sums.a
+
+    def verify(self, data, stored):
+        return self.compute(data) == stored
+
+
+def adler32(data):
+    """Adler-32 (RFC 1950): byte sums mod 65521, A initialised to 1."""
+    buf = np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int64)
+    n = buf.size
+    a = int((1 + buf.sum()) % _ADLER_MOD)
+    # B accumulates A after every byte, starting from B = 0 with A = 1:
+    # B = n * 1 + sum((n - i) * d[i])  (mod 65521)
+    if n:
+        weights = np.arange(n, 0, -1, dtype=np.int64)
+        b = int((n + (buf * weights).sum()) % _ADLER_MOD)
+    else:
+        b = 0
+    return (b << 16) | a
+
+
+class Adler32:
+    """Object API for Adler-32."""
+
+    bits = 32
+    name = "adler32"
+
+    def compute(self, data):
+        return adler32(data)
+
+    def verify(self, data, stored):
+        return adler32(data) == stored
+
+
+def xor16(data):
+    """The 16-bit longitudinal parity word (XOR of all 16-bit words).
+
+    The historical pre-checksum baseline: position-blind *and*
+    count-blind (a word XORed in twice vanishes), which is why every
+    sum in the paper supersedes it.
+    """
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    if buf.size % 2:
+        buf = np.concatenate([buf, np.zeros(1, dtype=np.uint8)])
+    words = buf.reshape(-1, 2).astype(np.uint16)
+    values = (words[:, 0].astype(np.uint32) << 8) | words[:, 1]
+    return int(np.bitwise_xor.reduce(values)) if values.size else 0
+
+
+class Xor16:
+    """Object API for the XOR parity word."""
+
+    bits = 16
+    name = "xor16"
+
+    def compute(self, data):
+        return xor16(data)
+
+    def verify(self, data, stored):
+        return xor16(data) == stored

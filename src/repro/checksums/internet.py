@@ -1,0 +1,158 @@
+"""The Internet checksum (RFC 1071) and its partial-sum algebra.
+
+The TCP/IP checksum is the 16-bit ones-complement sum of the data taken
+as big-endian 16-bit words; the stored header field is the ones
+complement of that sum, so a receiver summing an intact segment
+(including the stored field) obtains ``0xFFFF``.
+
+Two properties of the sum drive the paper's methodology and this
+implementation:
+
+* **Decomposability** -- the sum of a packet equals the ones-complement
+  sum of the sums of its pieces, as long as each piece starts on an even
+  byte offset.  The splice engine exploits this: it computes one 48-byte
+  partial sum per ATM cell and evaluates every candidate splice as a sum
+  of per-cell partials.
+* **Order independence** -- the sum of a set of 16-bit words does not
+  depend on their order, which is precisely the weakness the paper's
+  splice error model probes.
+
+All bulk operations are vectorized with NumPy; the scalar entry points
+accept any bytes-like object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MOD_MASK",
+    "InternetChecksum",
+    "fold_carries",
+    "internet_checksum",
+    "internet_checksum_field",
+    "ones_complement_add",
+    "ones_complement_sum",
+    "update_checksum_field",
+    "word_sums",
+]
+
+#: All-ones 16-bit mask; ``0xFFFF`` and ``0x0000`` both represent zero in
+#: ones-complement arithmetic (the "two zeros" the paper discusses).
+MOD_MASK = 0xFFFF
+
+
+def fold_carries(value):
+    """Fold a (possibly very wide) unsigned sum down to 16 bits.
+
+    Repeatedly adds the high bits back into the low 16 bits, which is
+    how deferred end-around-carry ones-complement addition is realised
+    on twos-complement hardware.  Accepts Python ints or NumPy arrays.
+    """
+    if isinstance(value, np.ndarray):
+        value = value.astype(np.uint64, copy=True)
+        while (value >> np.uint64(16)).any():
+            value = (value & np.uint64(MOD_MASK)) + (value >> np.uint64(16))
+        return value.astype(np.uint32)
+    value = int(value)
+    while value >> 16:
+        value = (value & MOD_MASK) + (value >> 16)
+    return value
+
+
+def ones_complement_add(a, b):
+    """Ones-complement 16-bit addition with end-around carry."""
+    return fold_carries(int(a) + int(b))
+
+
+def word_sums(data):
+    """Return the plain (unfolded) integer sum of big-endian 16-bit words.
+
+    Odd-length data is conceptually padded with a trailing zero byte, as
+    RFC 1071 specifies.
+    """
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    if buf.size % 2:
+        buf = np.concatenate([buf, np.zeros(1, dtype=np.uint8)])
+    words = buf.reshape(-1, 2).astype(np.uint64)
+    return int((words[:, 0] << np.uint64(8) | words[:, 1]).sum())
+
+
+def ones_complement_sum(data):
+    """The 16-bit ones-complement sum of ``data`` (not inverted)."""
+    return fold_carries(word_sums(data))
+
+
+def internet_checksum(data):
+    """Alias of :func:`ones_complement_sum` under its common name."""
+    return ones_complement_sum(data)
+
+
+def internet_checksum_field(data):
+    """The value stored in a header checksum field.
+
+    RFC 1071: the ones complement of the ones-complement sum, so that a
+    verifier summing the data *with* the stored field obtains ``0xFFFF``.
+    """
+    return ones_complement_sum(data) ^ MOD_MASK
+
+
+def update_checksum_field(old_field, old_word, new_word):
+    """Incrementally update a stored checksum field (RFC 1624 style).
+
+    Given the previously stored field value and one 16-bit word changing
+    from ``old_word`` to ``new_word``, return the new field value without
+    re-summing the data.
+
+    The RFC 1624 corner case is handled: the arithmetic can produce the
+    field value 0x0000 where a from-scratch computation yields 0xFFFF
+    (the two ones-complement zeros).  0xFFFF is congruent and also
+    satisfies strict ``sum == 0xFFFF`` verifiers, so it is returned in
+    that case.
+    """
+    old_sum = old_field ^ MOD_MASK
+    new_sum = fold_carries(old_sum + (old_word ^ MOD_MASK) + new_word)
+    return (new_sum ^ MOD_MASK) or MOD_MASK
+
+
+class InternetChecksum:
+    """Object API over the Internet checksum, including vectorized forms.
+
+    Instances are stateless; the class exists so the algorithm registry
+    can hand out a uniform interface (``compute``/``field``/``verify``
+    plus the vectorized ``cell_sums``).
+    """
+
+    name = "internet"
+    bits = 16
+
+    def compute(self, data):
+        """16-bit ones-complement sum of ``data``."""
+        return ones_complement_sum(data)
+
+    def field(self, data):
+        """Value to store in the checksum field for ``data``."""
+        return internet_checksum_field(data)
+
+    def verify(self, data):
+        """True if ``data`` (including its stored field) sums to 0xFFFF."""
+        return ones_complement_sum(data) == MOD_MASK
+
+    @staticmethod
+    def cell_sums(cells):
+        """Unfolded word sums of many equal-length even-size chunks.
+
+        ``cells`` is a ``(..., L)`` uint8 array with even ``L``.  Returns
+        a ``(...,)`` uint64 array of plain word sums (callers fold after
+        accumulating across cells, which keeps the hot path add-only).
+        """
+        cells = np.asarray(cells, dtype=np.uint8)
+        if cells.shape[-1] % 2:
+            raise ValueError("cell length must be even for word alignment")
+        words = cells.reshape(cells.shape[:-1] + (-1, 2)).astype(np.uint64)
+        return (words[..., 0] << np.uint64(8) | words[..., 1]).sum(axis=-1)
+
+    @staticmethod
+    def fold(values):
+        """Fold accumulated word sums down to 16 bits (array or int)."""
+        return fold_carries(values)

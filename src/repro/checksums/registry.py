@@ -1,0 +1,59 @@
+"""Name-based registry of the check-code algorithms the paper studies.
+
+Checksum algorithms (``internet``, ``fletcher255``, ``fletcher256``)
+expose ``compute(data)`` / ``verify(data)``; CRC engines additionally
+carry the register-level API.  The registry powers the CLI and the
+experiment configuration layer, which refer to algorithms by name.
+"""
+
+from __future__ import annotations
+
+from repro.checksums.crc import (
+    CRC10_ATM,
+    CRC16_ARC,
+    CRC16_CCITT,
+    CRC32_AAL5,
+    CRC32C,
+    CRCEngine,
+)
+from repro.checksums.extra import Adler32, Fletcher16, Xor16
+from repro.checksums.fletcher import Fletcher8
+from repro.checksums.internet import InternetChecksum
+
+__all__ = ["available_algorithms", "get_algorithm"]
+
+_FACTORIES = {
+    "internet": InternetChecksum,
+    "tcp": InternetChecksum,
+    "fletcher255": lambda: Fletcher8(255),
+    "fletcher256": lambda: Fletcher8(256),
+    "fletcher16-65535": lambda: Fletcher16(65535),
+    "fletcher16-65536": lambda: Fletcher16(65536),
+    "adler32": Adler32,
+    "xor16": Xor16,
+    "crc32-aal5": lambda: CRCEngine(CRC32_AAL5),
+    "crc16-arc": lambda: CRCEngine(CRC16_ARC),
+    "crc16-ccitt": lambda: CRCEngine(CRC16_CCITT),
+    "crc10-atm": lambda: CRCEngine(CRC10_ATM),
+    "crc32c": lambda: CRCEngine(CRC32C),
+}
+
+_INSTANCES = {}
+
+
+def available_algorithms():
+    """Sorted names of every registered algorithm."""
+    return sorted(_FACTORIES)
+
+
+def get_algorithm(name):
+    """Return the (cached) algorithm instance registered under ``name``."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            "unknown algorithm %r; available: %s"
+            % (name, ", ".join(available_algorithms()))
+        )
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _FACTORIES[key]()
+    return _INSTANCES[key]

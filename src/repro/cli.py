@@ -1,0 +1,219 @@
+"""Command-line interface: ``repro-checksums``.
+
+Subcommands:
+
+* ``algorithms`` -- list the registered checksum/CRC algorithms.
+* ``profiles`` -- list the synthetic filesystem profiles.
+* ``sum FILE [FILE...]`` -- checksum files with a chosen algorithm.
+* ``run EXPERIMENT`` -- regenerate a paper table or figure (``--svg``
+  writes the chart for figure experiments).
+* ``report`` -- regenerate every experiment into one Markdown file.
+* ``splice`` -- run a custom splice simulation over a profile.
+* ``transfer`` -- simulate a reliable transfer over a lossy link.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.checksums.crc import CRCEngine
+from repro.checksums.registry import available_algorithms, get_algorithm
+from repro.core.experiment import run_splice_experiment
+from repro.corpus.profiles import PROFILES, build_filesystem, profile_names
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-checksums",
+        description="Reproduction of 'Performance of Checksums and CRCs over "
+        "Real Data' (SIGCOMM 1995)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algorithms", help="list available checksum/CRC algorithms")
+
+    sub.add_parser("profiles", help="list synthetic filesystem profiles")
+
+    p_sum = sub.add_parser("sum", help="checksum one or more files")
+    p_sum.add_argument("files", nargs="+")
+    p_sum.add_argument("--algorithm", "-a", default="internet",
+                       choices=available_algorithms())
+
+    p_run = sub.add_parser("run", help="regenerate a paper table or figure")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--bytes", type=int, default=None,
+                       help="synthetic filesystem size in bytes")
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--svg", metavar="PATH", default=None,
+                       help="for figure experiments: also write an SVG chart")
+
+    p_report = sub.add_parser(
+        "report", help="regenerate every experiment into one Markdown file"
+    )
+    p_report.add_argument("--output", "-o", default="report.md")
+    p_report.add_argument("--bytes", type=int, default=400_000)
+    p_report.add_argument("--seed", type=int, default=3)
+    p_report.add_argument("--only", nargs="*", default=None,
+                          help="restrict to these experiment ids")
+
+    p_splice = sub.add_parser("splice", help="run a custom splice simulation")
+    p_splice.add_argument("--profile", default="stanford-u1",
+                          choices=profile_names())
+    p_splice.add_argument("--bytes", type=int, default=500_000)
+    p_splice.add_argument("--seed", type=int, default=3)
+    p_splice.add_argument("--mss", type=int, default=256)
+    p_splice.add_argument("--algorithm", default="tcp",
+                          choices=["tcp", "fletcher255", "fletcher256"])
+    p_splice.add_argument("--placement", default="header",
+                          choices=[p.value for p in ChecksumPlacement])
+    p_splice.add_argument("--workers", type=int, default=None,
+                          help="fan files out over N processes")
+
+    p_transfer = sub.add_parser(
+        "transfer", help="simulate a reliable transfer over a lossy link"
+    )
+    p_transfer.add_argument("--profile", default="pathological-gmon",
+                            choices=profile_names())
+    p_transfer.add_argument("--bytes", type=int, default=100_000)
+    p_transfer.add_argument("--loss", type=float, default=0.25)
+    p_transfer.add_argument("--no-crc", action="store_true",
+                            help="rely on the TCP checksum alone")
+    p_transfer.add_argument("--seed", type=int, default=2)
+    return parser
+
+
+def _cmd_algorithms():
+    for name in available_algorithms():
+        algorithm = get_algorithm(name)
+        kind = "CRC" if isinstance(algorithm, CRCEngine) else "checksum"
+        print("%-14s %2d-bit %s" % (name, algorithm.bits, kind))
+    return 0
+
+
+def _cmd_profiles():
+    for name in profile_names():
+        profile = PROFILES[name]
+        print("%-22s %s" % (name, profile.description))
+    return 0
+
+
+def _cmd_sum(args):
+    algorithm = get_algorithm(args.algorithm)
+    for path in args.files:
+        with open(path, "rb") as handle:
+            data = handle.read()
+        width = (algorithm.bits + 3) // 4
+        print("%0*x  %s" % (width, algorithm.compute(data), path))
+    return 0
+
+
+def _cmd_run(args):
+    kwargs = {}
+    if args.bytes is not None and args.experiment != "epd":
+        kwargs["fs_bytes"] = args.bytes
+    if args.seed is not None and args.experiment != "epd":
+        kwargs["seed"] = args.seed
+    report = run_experiment(args.experiment, **kwargs)
+    print(report)
+    if args.svg:
+        from repro.experiments.svg import write_figure_svg
+
+        write_figure_svg(report, args.svg)
+        print("\nSVG written to %s" % args.svg)
+    return 0
+
+
+def _cmd_report(args):
+    from repro.experiments.markdown import generate_markdown_report
+
+    document = generate_markdown_report(
+        experiment_ids=args.only, fs_bytes=args.bytes, seed=args.seed
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print("wrote %s (%d bytes)" % (args.output, len(document)))
+    return 0
+
+
+def _cmd_splice(args):
+    config = PacketizerConfig(
+        mss=args.mss,
+        algorithm=args.algorithm,
+        placement=ChecksumPlacement(args.placement),
+    )
+    fs = build_filesystem(args.profile, args.bytes, args.seed)
+    result = run_splice_experiment(fs, config, workers=args.workers)
+    c = result.counters
+    print("filesystem         %s (%d bytes, %d files)" % (
+        fs.name, fs.total_bytes, len(fs)))
+    print("transport          %s (%s placement)" % (
+        args.algorithm, args.placement))
+    print("total splices      %d" % c.total)
+    print("caught by header   %d (%.2f%%)" % (c.caught_by_header,
+                                              c.caught_by_header_pct))
+    print("identical data     %d" % c.identical)
+    print("remaining          %d" % c.remaining)
+    print("missed (transport) %d (%.4f%% of remaining)" % (
+        c.missed_transport, c.miss_rate_transport))
+    print("missed (CRC-32)    %d" % c.missed_crc32)
+    print("effective bits     %.1f" % c.effective_bits)
+    return 0
+
+
+def _cmd_transfer(args):
+    from repro.protocols.cellstream import IndependentLoss
+    from repro.sim import simulate_file_transfer
+
+    fs = build_filesystem(args.profile, args.bytes, args.seed)
+    report = None
+    for file in fs:
+        part = simulate_file_transfer(
+            file.data, IndependentLoss(args.loss),
+            use_crc=not args.no_crc, seed=args.seed,
+        )
+        report = part if report is None else _merge_reports(report, part)
+    print("packets              %d" % report.packets)
+    print("transmissions        %d (%.2f per packet)" % (
+        report.transmissions, report.retransmission_ratio))
+    print("frames rejected      %d" % report.frames_rejected)
+    print("delivered clean      %d" % report.delivered_clean)
+    print("silently corrupted   %d" % report.delivered_corrupted)
+    print("gave up              %d" % report.gave_up)
+    return 0
+
+
+def _merge_reports(a, b):
+    from repro.sim import TransferReport
+
+    merged = TransferReport()
+    for name in merged.__dataclass_fields__:
+        setattr(merged, name, getattr(a, name) + getattr(b, name))
+    return merged
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.command == "algorithms":
+        return _cmd_algorithms()
+    if args.command == "profiles":
+        return _cmd_profiles()
+    if args.command == "sum":
+        return _cmd_sum(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "splice":
+        return _cmd_splice(args)
+    if args.command == "transfer":
+        return _cmd_transfer(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

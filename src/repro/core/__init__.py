@@ -1,0 +1,42 @@
+"""The paper's experimental instrument: the AAL5 packet-splice engine.
+
+A *packet splice* happens when ATM cell losses merge pieces of two
+adjacent AAL5 frames into something that still looks like one frame
+(Section 3.1).  This package enumerates every possible splice of each
+adjacent packet pair of a simulated file transfer and tests it against
+the header checks, the AAL5 CRC-32, and the configured transport
+checksum -- exactly the paper's methodology.
+
+- :mod:`repro.core.enumeration` -- exact splice combinatorics.
+- :mod:`repro.core.checks` -- the IP/TCP/AAL5 header validity checks.
+- :mod:`repro.core.results` -- the counters behind the paper's tables.
+- :mod:`repro.core.engine` -- the vectorized splice evaluator.
+- :mod:`repro.core.experiment` -- drives an engine over a filesystem.
+"""
+
+from repro.core.enumeration import (
+    SpliceEnumeration,
+    enumerate_splices,
+    splice_count,
+    structural_splice_count,
+)
+from repro.core.engine import EngineOptions, SpliceEngine
+from repro.core.experiment import (
+    SpliceExperimentResult,
+    run_per_file_experiment,
+    run_splice_experiment,
+)
+from repro.core.results import SpliceCounters
+
+__all__ = [
+    "EngineOptions",
+    "SpliceCounters",
+    "SpliceEngine",
+    "SpliceEnumeration",
+    "SpliceExperimentResult",
+    "enumerate_splices",
+    "run_per_file_experiment",
+    "run_splice_experiment",
+    "splice_count",
+    "structural_splice_count",
+]

@@ -1,0 +1,64 @@
+"""Vectorized header checks applied to splice leading cells.
+
+A splice only reaches the checksum/CRC stage if its first 40 bytes form
+a plausible TCP/IP header consistent with the AAL5 length (Section
+3.1's three conditions).  These checks run per *candidate cell*: every
+candidate that could occupy slot 0 of a splice is classified once, and
+each splice then inherits the verdict of its leading cell.
+
+The checks (matching the paper's "have a length consistent with the
+packet length and certain bits must be set"):
+
+1. IPv4 version/IHL byte is 0x45;
+2. IP total length equals the AAL5 frame's payload length;
+3. protocol is TCP;
+4. the IP header checksum verifies (skipped under the Section 6.2
+   "unfilled header" ablation, where the field was never written);
+5. TCP data offset is 5 (no options);
+6. TCP flags look like a data segment: ACK set, SYN/RST/FIN clear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["candidate_header_validity", "candidate_pseudo_sums"]
+
+
+def candidate_header_validity(cand, expected_iplen, require_ip_checksum=True):
+    """Classify candidate cells as valid splice leaders.
+
+    ``cand`` is a ``(B, C, 48)`` uint8 array of candidate cells;
+    ``expected_iplen`` the AAL5-consistent IP total length.  Returns a
+    ``(B, C)`` boolean array.
+    """
+    cand = np.asarray(cand, dtype=np.uint8)
+    valid = cand[..., 0] == 0x45
+    totlen = (cand[..., 2].astype(np.uint32) << 8) | cand[..., 3]
+    valid &= totlen == expected_iplen
+    valid &= cand[..., 9] == 6
+    if require_ip_checksum:
+        words = cand[..., :20].reshape(cand.shape[:-1] + (10, 2)).astype(np.uint64)
+        total = ((words[..., 0] << np.uint64(8)) | words[..., 1]).sum(axis=-1)
+        while (total >> np.uint64(16)).any():
+            total = (total & np.uint64(0xFFFF)) + (total >> np.uint64(16))
+        valid &= total == 0xFFFF
+    valid &= (cand[..., 32] >> 4) == 5
+    flags = cand[..., 33]
+    valid &= (flags & 0x10) != 0  # ACK present
+    valid &= (flags & 0x07) == 0  # no SYN/RST/FIN
+    return valid
+
+
+def candidate_pseudo_sums(cand, tcp_length):
+    """Pseudo-header word sums derived from each candidate's IP fields.
+
+    The verifier builds the pseudo-header from the splice's *own* first
+    cell (source, destination, protocol) and the AAL5-consistent TCP
+    length.  Returns a ``(B, C)`` uint64 array of unfolded word sums;
+    values for candidates that fail the header checks are never used.
+    """
+    cand = np.asarray(cand, dtype=np.uint64)
+    src_dst = cand[..., 12:20].reshape(cand.shape[:-1] + (4, 2))
+    total = ((src_dst[..., 0] << np.uint64(8)) | src_dst[..., 1]).sum(axis=-1)
+    return total + cand[..., 9] + np.uint64(tcp_length)

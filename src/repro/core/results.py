@@ -1,0 +1,126 @@
+"""Counters behind the paper's splice tables.
+
+The rows of Tables 1-3 (and the derived quantities of Tables 6 and 10)
+all come from one set of counters accumulated over every splice of
+every adjacent packet pair:
+
+* ``total`` splices inspected;
+* ``caught_by_header`` -- rejected by the IP/TCP/AAL5 header checks;
+* ``identical`` -- payload identical to one of the original packets
+  (benign: no corruption would be delivered);
+* ``remaining`` -- corrupted splices that only the CRC or the transport
+  checksum can catch;
+* per-detector miss counts out of ``remaining``;
+* per-substitution-length breakdowns (Table 6's "Actual" row);
+* the second-header case split (Section 5.3);
+* ``identical_rejected`` -- identical-data splices the transport
+  checksum rejects anyway (the trailer checksum's benign false
+  positives, Table 10).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["SpliceCounters"]
+
+
+@dataclass
+class SpliceCounters:
+    """Accumulated splice statistics; add instances to merge runs."""
+
+    total: int = 0
+    caught_by_header: int = 0
+    identical: int = 0
+    remaining: int = 0
+    missed_transport: int = 0
+    missed_crc32: int = 0
+    missed_aux: Counter = field(default_factory=Counter)
+    identical_rejected: int = 0
+    remaining_by_len: Counter = field(default_factory=Counter)
+    missed_by_len: Counter = field(default_factory=Counter)
+    remaining_with_hdr2: int = 0
+    missed_with_hdr2: int = 0
+    pairs: int = 0
+    packets: int = 0
+    files: int = 0
+
+    def __add__(self, other):
+        merged = SpliceCounters()
+        for name in (
+            "total",
+            "caught_by_header",
+            "identical",
+            "remaining",
+            "missed_transport",
+            "missed_crc32",
+            "identical_rejected",
+            "remaining_with_hdr2",
+            "missed_with_hdr2",
+            "pairs",
+            "packets",
+            "files",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.missed_aux = self.missed_aux + other.missed_aux
+        merged.remaining_by_len = self.remaining_by_len + other.remaining_by_len
+        merged.missed_by_len = self.missed_by_len + other.missed_by_len
+        return merged
+
+    # -- derived rates (all "percent of remaining", as in the tables) ------
+
+    def _pct_of_remaining(self, count):
+        return 100.0 * count / self.remaining if self.remaining else 0.0
+
+    @property
+    def caught_by_header_pct(self):
+        """Header-caught splices as a percent of all splices."""
+        return 100.0 * self.caught_by_header / self.total if self.total else 0.0
+
+    @property
+    def identical_pct(self):
+        return 100.0 * self.identical / self.total if self.total else 0.0
+
+    @property
+    def miss_rate_transport(self):
+        """Transport-checksum misses as a percent of remaining splices."""
+        return self._pct_of_remaining(self.missed_transport)
+
+    @property
+    def miss_rate_crc32(self):
+        return self._pct_of_remaining(self.missed_crc32)
+
+    def miss_rate_aux(self, name):
+        return self._pct_of_remaining(self.missed_aux.get(name, 0))
+
+    def miss_rate_by_len(self, k):
+        """Table 6's "Actual": misses / remaining for k-cell substitutions."""
+        remaining = self.remaining_by_len.get(k, 0)
+        if not remaining:
+            return 0.0
+        return 100.0 * self.missed_by_len.get(k, 0) / remaining
+
+    @property
+    def effective_bits(self):
+        """Bits of a uniform checksum with the observed transport miss rate.
+
+        The paper's headline: the 16-bit TCP sum performed "about as
+        well as a 10-bit CRC".  Computed as ``log2(remaining/missed)``.
+        """
+        import math
+
+        if not self.missed_transport or not self.remaining:
+            return float("inf")
+        return math.log2(self.remaining / self.missed_transport)
+
+    def sanity_check(self):
+        """Internal consistency of the counter relationships."""
+        assert self.total == self.caught_by_header + self.identical + self.remaining
+        assert self.missed_transport <= self.remaining
+        assert self.missed_crc32 <= self.remaining
+        assert sum(self.remaining_by_len.values()) == self.remaining
+        assert self.missed_with_hdr2 <= self.remaining_with_hdr2
+        for k, missed in self.missed_by_len.items():
+            assert missed <= self.remaining_by_len.get(k, 0)
+        return True

@@ -1,0 +1,42 @@
+"""Synthetic "real data" corpus standing in for the paper's filesystems.
+
+The paper ran over real UNIX filesystems at NSC, SICS and Stanford.
+Those bytes are not available, so this package generates deterministic
+synthetic filesystems that reproduce the *statistical* properties the
+checksums react to:
+
+* skewed byte-value distributions (English text, C source),
+* long runs of 0x00 and 0xFF (zero-optimised files, word-processor
+  documents, sparse profiling data),
+* strong local correlation and repetition (Markov text, repeated code
+  idioms, bitmap scan lines),
+* the specific pathological periodicities of Section 5.5 (black-and-
+  white PBM bitmaps, hex-encoded PostScript bitmaps with power-of-two
+  line widths, BinHex-style 64-byte lines, gmon.out-style profiles).
+
+See DESIGN.md for the substitution argument.  Everything is seeded and
+bit-for-bit reproducible.
+"""
+
+from repro.corpus.filesystem import Filesystem, SyntheticFile
+from repro.corpus.generators import GENERATORS, generate
+from repro.corpus.profiles import (
+    PROFILES,
+    FilesystemProfile,
+    build_filesystem,
+    profile_names,
+)
+from repro.corpus.transforms import add_constant_to_words, compress_filesystem
+
+__all__ = [
+    "Filesystem",
+    "FilesystemProfile",
+    "GENERATORS",
+    "PROFILES",
+    "SyntheticFile",
+    "add_constant_to_words",
+    "build_filesystem",
+    "compress_filesystem",
+    "generate",
+    "profile_names",
+]

@@ -1,0 +1,52 @@
+"""File and filesystem containers for the synthetic corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Filesystem", "SyntheticFile"]
+
+
+@dataclass(frozen=True)
+class SyntheticFile:
+    """One synthetic file: a name, its bytes, and its generator kind."""
+
+    name: str
+    data: bytes
+    kind: str
+
+    @property
+    def size(self):
+        return len(self.data)
+
+
+@dataclass
+class Filesystem:
+    """A named collection of synthetic files (one paper "system code")."""
+
+    name: str
+    files: list = field(default_factory=list)
+
+    def add(self, file):
+        self.files.append(file)
+
+    def __iter__(self):
+        return iter(self.files)
+
+    def __len__(self):
+        return len(self.files)
+
+    @property
+    def total_bytes(self):
+        return sum(f.size for f in self.files)
+
+    def kinds(self):
+        """Byte counts per generator kind, for reporting."""
+        counts = {}
+        for file in self.files:
+            counts[file.kind] = counts.get(file.kind, 0) + file.size
+        return counts
+
+    def concatenated(self):
+        """All file bytes joined; used by distribution analyses."""
+        return b"".join(f.data for f in self.files)

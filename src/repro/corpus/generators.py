@@ -1,0 +1,452 @@
+"""Generators for the file families the paper's filesystems contain.
+
+Each generator is a function ``(rng, size) -> bytes`` taking a NumPy
+``Generator`` and a byte count.  The families deliberately reproduce the
+data properties the paper identifies as driving checksum behaviour --
+see the module docstring of :mod:`repro.corpus`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GENERATORS", "generate"]
+
+
+# ---------------------------------------------------------------------------
+# English-like text (Markov chain over an embedded seed passage)
+# ---------------------------------------------------------------------------
+
+_SEED_TEXT = """\
+The behaviour of checksum and cyclic redundancy check algorithms has
+historically been studied under the assumption that the data fed to the
+algorithms was uniformly distributed. In the real world, communications
+data is rarely random. Much of the data is character data, which has a
+distinct skew towards certain values, and binary data has a similarly
+non random distribution of values, such as a propensity to contain long
+runs of zeros. When a file system is measured over many millions of
+packets, the distribution of checksum values over small cells of data
+shows sharp hotspots, and the most common value occurs far more often
+than a uniform model would suggest. The sum of a set of sixteen bit
+values is the same regardless of the order in which the values appear,
+and this is precisely the weakness that a packet splice probes. If the
+replacement cells carry the same sum as the cells that were dropped,
+the checksum cannot see the difference, and the corrupted packet is
+delivered to the application as if nothing had happened on the wire.
+"""
+
+_MARKOV_ORDER = 2
+_MARKOV_MODEL = None
+
+
+def _markov_model():
+    """Order-2 character Markov model over the embedded seed passage."""
+    global _MARKOV_MODEL
+    if _MARKOV_MODEL is None:
+        text = _SEED_TEXT
+        model = {}
+        for i in range(len(text) - _MARKOV_ORDER):
+            state = text[i : i + _MARKOV_ORDER]
+            model.setdefault(state, []).append(text[i + _MARKOV_ORDER])
+        _MARKOV_MODEL = {state: "".join(chars) for state, chars in model.items()}
+    return _MARKOV_MODEL
+
+
+_BOILERPLATE = (
+    "This document is part of the measurement corpus. Redistribution and\n"
+    "use in source and binary forms, with or without modification, are\n"
+    "permitted provided that the above notice and this paragraph are\n"
+    "duplicated in all such forms and that any documentation and other\n"
+    "materials related to such distribution and use acknowledge the work.\n\n"
+)
+
+
+def english_text(rng, size):
+    """English-like prose with realistic letter skew and correlation.
+
+    Files open with a shared boilerplate paragraph (as README/licence
+    headers do on real filesystems) and occasionally repeat an earlier
+    sentence verbatim, reproducing the block-level self-similarity the
+    paper's locality analysis depends on.
+    """
+    model = _markov_model()
+    states = list(model)
+    out = [_BOILERPLATE]
+    produced = len(_BOILERPLATE)
+    sentences = []
+    current = []
+    state = states[rng.integers(len(states))]
+    current.append(state)
+    produced += _MARKOV_ORDER
+    while produced < size:
+        if sentences and rng.random() < 0.002:
+            repeat = sentences[int(rng.integers(len(sentences)))]
+            out.append("".join(current))
+            current = []
+            out.append(repeat)
+            produced += len(repeat)
+            continue
+        choices = model.get(state)
+        if not choices:
+            state = states[rng.integers(len(states))]
+            current.append(" ")
+            produced += 1
+            continue
+        char = choices[rng.integers(len(choices))]
+        current.append(char)
+        produced += 1
+        state = state[1:] + char
+        if char == "." and len(current) > 40:
+            sentence = "".join(current)
+            if len(sentences) < 32:
+                sentences.append(sentence)
+            out.append(sentence)
+            current = []
+    out.append("".join(current))
+    return "".join(out).encode("ascii")[:size]
+
+
+# ---------------------------------------------------------------------------
+# C source code (templated, heavy on repeated idioms and indentation)
+# ---------------------------------------------------------------------------
+
+_C_HEADERS = [
+    "#include <stdio.h>\n",
+    "#include <stdlib.h>\n",
+    "#include <string.h>\n",
+    "#include <sys/types.h>\n",
+    '#include "config.h"\n',
+]
+
+_C_FUNCTIONS = [
+    "static int %(name)s_init(struct %(name)s *sp)\n{\n"
+    "\tint i;\n\n\tif (sp == NULL)\n\t\treturn (-1);\n"
+    "\tfor (i = 0; i < %(n)d; i++)\n\t\tsp->slots[i] = 0;\n"
+    "\tsp->count = 0;\n\treturn (0);\n}\n\n",
+    "int %(name)s_insert(struct %(name)s *sp, int value)\n{\n"
+    "\tif (sp->count >= %(n)d) {\n\t\terrno = ENOSPC;\n\t\treturn (-1);\n\t}\n"
+    "\tsp->slots[sp->count++] = value;\n\treturn (0);\n}\n\n",
+    "static void %(name)s_dump(const struct %(name)s *sp, FILE *fp)\n{\n"
+    "\tint i;\n\n\tfor (i = 0; i < sp->count; i++)\n"
+    '\t\tfprintf(fp, "%%d: %%d\\n", i, sp->slots[i]);\n}\n\n',
+    "struct %(name)s {\n\tint count;\n\tint slots[%(n)d];\n};\n\n",
+]
+
+_C_NAMES = ["table", "queue", "cache", "ring", "pool", "hash", "list", "heap"]
+
+
+_C_LICENSE = (
+    "/*\n * Copyright (c) 1990, 1993\n"
+    " *\tThe Regents of the University. All rights reserved.\n"
+    " *\n * Redistribution and use in source and binary forms, with or\n"
+    " * without modification, are permitted provided that the following\n"
+    " * conditions are met: see the accompanying file LICENSE.\n */\n\n"
+)
+
+
+def c_source(rng, size):
+    """C source: repeated idioms, tabs, and a small identifier pool.
+
+    Every file opens with the same licence banner and functions repeat
+    verbatim within a file (as generated accessors and copied idioms do
+    in real trees), giving the strong local self-similarity the paper
+    measures on the SICS source volumes.
+    """
+    parts = [_C_LICENSE]
+    parts += [_C_HEADERS[i] for i in range(int(rng.integers(2, len(_C_HEADERS))))]
+    parts.append("\n")
+    produced = sum(len(p) for p in parts)
+    emitted = []
+    while produced < size:
+        if emitted and rng.random() < 0.25:
+            chunk = emitted[int(rng.integers(len(emitted)))]
+        else:
+            name = _C_NAMES[rng.integers(len(_C_NAMES))]
+            template = _C_FUNCTIONS[rng.integers(len(_C_FUNCTIONS))]
+            chunk = template % {"name": name, "n": int(rng.integers(8, 128))}
+            if len(emitted) < 16:
+                emitted.append(chunk)
+        parts.append(chunk)
+        produced += len(chunk)
+    return "".join(parts).encode("ascii")[:size]
+
+
+# ---------------------------------------------------------------------------
+# Executables (ELF-like: skewed opcode bytes, zero runs, string tables)
+# ---------------------------------------------------------------------------
+
+_OPCODES = np.array(
+    [0x00, 0x48, 0x89, 0x8B, 0xE8, 0xFF, 0x0F, 0x83, 0x85, 0xC3, 0x55, 0x5D,
+     0x90, 0x74, 0x75, 0xEB, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80],
+    dtype=np.uint8,
+)
+_OPCODE_WEIGHTS = np.array(
+    [20, 12, 10, 8, 5, 5, 4, 3, 3, 3, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 1],
+    dtype=np.float64,
+)
+_OPCODE_WEIGHTS /= _OPCODE_WEIGHTS.sum()
+
+_SYMBOL_PREFIXES = [b"_init", b"_fini", b"main", b"malloc", b"memcpy",
+                    b"printf", b"strlen", b"sys_", b"lib_", b"do_"]
+
+
+def executable(rng, size):
+    """Executable-like binary: code, zero-padded sections, strings."""
+    parts = [b"\x7fELF\x02\x01\x01\x00" + bytes(8)]
+    produced = len(parts[0])
+    while produced < size:
+        section = rng.random()
+        if section < 0.55:  # machine-code-like bytes
+            n = int(rng.integers(256, 4096))
+            code = rng.choice(_OPCODES, size=n, p=_OPCODE_WEIGHTS)
+            chunk = code.tobytes()
+        elif section < 0.70:  # bss / page-alignment zero run
+            chunk = bytes(int(rng.integers(128, 1024)))
+        else:  # string table with repeated prefixes
+            names = []
+            for _ in range(int(rng.integers(8, 64))):
+                prefix = _SYMBOL_PREFIXES[rng.integers(len(_SYMBOL_PREFIXES))]
+                names.append(prefix + b"%d" % int(rng.integers(1000)) + b"\x00")
+            chunk = b"".join(names)
+        parts.append(chunk)
+        produced += len(chunk)
+    return b"".join(parts)[:size]
+
+
+# ---------------------------------------------------------------------------
+# PBM/PGM black-and-white plots (Section 5.5's Fletcher-255 killer)
+# ---------------------------------------------------------------------------
+
+def pbm_plot(rng, size):
+    """8-bit greymap plots whose bytes are all 0 or 255.
+
+    Mimics the Stanford directory of RTT measurement graphs: a white
+    (255) background with black (0) axes and a black measurement trace.
+    Every data byte is 0 or 255, the pattern that defeats the mod-255
+    Fletcher sum outright.
+    """
+    width = 256
+    height = max(4, -(-(size - 16) // width))
+    header = b"P5\n%d %d\n255\n" % (width, height)
+    raster = np.full((height, width), 255, dtype=np.uint8)
+    raster[:, 16] = 0  # y axis
+    if height > 16:
+        raster[height - 16, :] = 0  # x axis
+    # A bounded random-walk trace.
+    level = int(rng.integers(height // 4, 3 * height // 4)) if height > 4 else 0
+    for x in range(width):
+        level = int(np.clip(level + rng.integers(-2, 3), 0, height - 1))
+        raster[level, x] = 0
+    data = header + raster.tobytes()
+    if len(data) < size:  # tiny sizes where the header dominates
+        data += b"\xff" * (size - len(data))
+    return data[:size]
+
+
+# ---------------------------------------------------------------------------
+# Hex-encoded PostScript bitmaps (Section 5.5's F-256 and TCP killer)
+# ---------------------------------------------------------------------------
+
+def hex_postscript(rng, size):
+    """ASCII-hex bitmap data with power-of-two line widths.
+
+    Each encoded line is ``2 * width`` hex digits plus a newline, so
+    near-identical lines repeat exactly ``2 * width + 1`` bytes apart --
+    the periodicity the paper isolates in font and solid-colour bitmaps.
+    """
+    width = int(2 ** rng.integers(5, 8))  # 32, 64, or 128 bytes per row
+    header = b"%!PS-Adobe-2.0\n/picstr 256 string def\nimage\n"
+    base_row = bytearray(b"FF" * width)
+    # A couple of fixed blemishes, as in repeated glyph rows.
+    for _ in range(int(rng.integers(1, 4))):
+        pos = int(rng.integers(width)) * 2
+        base_row[pos : pos + 2] = b"F7"
+    rows = [header]
+    produced = len(header)
+    while produced < size:
+        if rng.random() < 0.1:  # occasionally a different row
+            row = bytearray(base_row)
+            pos = int(rng.integers(width)) * 2
+            row[pos : pos + 2] = b"00"
+        else:
+            row = base_row
+        chunk = bytes(row) + b"\n"
+        rows.append(chunk)
+        produced += len(chunk)
+    return b"".join(rows)[:size]
+
+
+# ---------------------------------------------------------------------------
+# BinHex-style encodings (64-byte lines)
+# ---------------------------------------------------------------------------
+
+_BINHEX_ALPHABET = (
+    b"!\"#$%&'()*+,-012345689@ABCDEFGHIJKLMNPQRSTUVXYZ[`abcdefhijklmpqr"
+)
+
+
+def binhex_like(rng, size):
+    """BinHex-style text: very similar 64-character lines."""
+    header = b"(This file must be converted with BinHex 4.0)\n:"
+    line = bytes(
+        np.asarray(memoryview(_BINHEX_ALPHABET), dtype=np.uint8)[
+            rng.integers(0, len(_BINHEX_ALPHABET), size=64)
+        ]
+    )
+    parts = [header]
+    produced = len(header)
+    while produced < size:
+        row = bytearray(line)
+        for _ in range(int(rng.integers(0, 3))):  # small per-line variation
+            row[int(rng.integers(64))] = _BINHEX_ALPHABET[
+                int(rng.integers(len(_BINHEX_ALPHABET)))
+            ]
+        chunk = bytes(row) + b"\n"
+        parts.append(chunk)
+        produced += len(chunk)
+    return b"".join(parts)[:size]
+
+
+# ---------------------------------------------------------------------------
+# gmon.out-style sparse profiles (Section 5.5's TCP killer)
+# ---------------------------------------------------------------------------
+
+def gmon_profile(rng, size):
+    """Profiling data: mostly zero counters, sparse identical values.
+
+    Packetizing this yields very few distinct checksums, so a large
+    fraction of splices pass the Internet checksum.
+    """
+    entries = np.zeros(max(1, size // 2), dtype=">u2")
+    hot = rng.random(entries.size) < 0.02
+    values = np.asarray([1, 1, 1, 2, 2, 3, 5, 17], dtype=">u2")
+    entries[hot] = values[rng.integers(0, len(values), size=int(hot.sum()))]
+    header = b"gmon\x00\x01\x00\x00"
+    return (header + entries.tobytes())[:size]
+
+
+# ---------------------------------------------------------------------------
+# Word-processor documents with 0x00 / 0xFF run separators
+# ---------------------------------------------------------------------------
+
+def wordproc(rng, size):
+    """Document sections separated by ~200-byte runs of 0x00 then 0xFF."""
+    parts = []
+    produced = 0
+    while produced < size:
+        text = english_text(rng, int(rng.integers(400, 1200)))
+        zeros = bytes(int(rng.integers(150, 250)))
+        ones = b"\xff" * int(rng.integers(150, 250))
+        chunk = text + zeros + ones
+        parts.append(chunk)
+        produced += len(chunk)
+    return b"".join(parts)[:size]
+
+
+# ---------------------------------------------------------------------------
+# Zero-heavy data and controls
+# ---------------------------------------------------------------------------
+
+def zero_heavy(rng, size):
+    """Sparse binary data: zero blocks with occasional records.
+
+    Models the UNIX-filesystem optimisation the paper notes: wholly
+    zero blocks are never written to disk, so sparse files read back
+    as long zero runs.
+    """
+    parts = []
+    produced = 0
+    while produced < size:
+        if rng.random() < 0.45:
+            chunk = bytes(int(rng.integers(192, 1024)))
+        else:
+            chunk = rng.integers(0, 256, size=int(rng.integers(32, 256))).astype(
+                np.uint8
+            ).tobytes()
+        parts.append(chunk)
+        produced += len(chunk)
+    return b"".join(parts)[:size]
+
+
+def record_table(rng, size):
+    """Fixed-size binary records with field-swapped near-duplicates.
+
+    Databases, index files and araay dumps repeat a record layout with
+    most bytes identical across rows; reordered rows and swapped
+    fields produce cells whose bytes differ but whose 16-bit word
+    *sums* agree -- the order-independence of the Internet checksum
+    made flesh, and a major source of congruent-but-unequal cells.
+    """
+    record_len = 96  # two cells, keeping records cell-aligned
+    words = rng.integers(0, 256, size=record_len).astype(np.uint8)
+    base = words.reshape(-1, 2)
+    parts = [b"IDX1" + bytes(44)]  # header padding to a cell boundary
+    produced = len(parts[0])
+    while produced < size:
+        record = base.copy()
+        roll = rng.random()
+        if roll < 0.4:
+            # Swap two 16-bit fields: different bytes, same checksum.
+            i, j = rng.integers(0, record.shape[0], size=2)
+            record[[i, j]] = record[[j, i]]
+        elif roll < 0.6:
+            # Update a counter field: a genuinely different record.
+            pos = int(rng.integers(record.shape[0]))
+            record[pos] = rng.integers(0, 256, size=2)
+        chunk = record.tobytes()
+        parts.append(chunk)
+        produced += len(chunk)
+    return b"".join(parts)[:size]
+
+
+def log_text(rng, size):
+    """Syslog-style lines: long shared prefixes, small varying fields."""
+    hosts = [b"gw0", b"gw1", b"fafner", b"smeg", b"pompano"]
+    parts = []
+    produced = 0
+    tick = 0
+    while produced < size:
+        tick += int(rng.integers(1, 30))
+        host = hosts[int(rng.integers(len(hosts)))]
+        line = b"Jul  7 04:%02d:%02d %s kernel: le0: RTT %d ms, window %d\n" % (
+            (tick // 60) % 60,
+            tick % 60,
+            host,
+            int(rng.integers(1, 400)),
+            int(rng.integers(512, 32768)),
+        )
+        parts.append(line)
+        produced += len(line)
+    return b"".join(parts)[:size]
+
+
+def uniform_random(rng, size):
+    """Uniformly random bytes (the classical analyses' assumption)."""
+    return rng.integers(0, 256, size=size).astype(np.uint8).tobytes()
+
+
+GENERATORS = {
+    "english": english_text,
+    "c-source": c_source,
+    "executable": executable,
+    "pbm-plot": pbm_plot,
+    "hex-postscript": hex_postscript,
+    "binhex": binhex_like,
+    "gmon": gmon_profile,
+    "wordproc": wordproc,
+    "zero-heavy": zero_heavy,
+    "records": record_table,
+    "log": log_text,
+    "uniform": uniform_random,
+}
+
+
+def generate(kind, size, rng):
+    """Generate ``size`` bytes of the named file family."""
+    if kind not in GENERATORS:
+        raise KeyError(
+            "unknown generator %r; available: %s" % (kind, ", ".join(sorted(GENERATORS)))
+        )
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(rng)
+    return GENERATORS[kind](rng, int(size))

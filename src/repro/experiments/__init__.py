@@ -1,0 +1,25 @@
+"""One callable per paper table/figure, emitting the published rows.
+
+Every experiment returns an :class:`ExperimentReport` whose ``text`` is
+a rendered table matching the paper's layout and whose ``data`` holds
+the machine-readable rows/series.  The registry maps experiment ids
+(``table1``, ``figure2``, ...) to their functions; the CLI, the
+examples and the benchmark harness all go through it.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentReport,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.render import TextTable, fmt_pct
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "TextTable",
+    "experiment_ids",
+    "fmt_pct",
+    "run_experiment",
+]

@@ -1,0 +1,82 @@
+"""Registry mapping experiment ids to their functions."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    ablation_add_constant,
+    ablation_inverted_checksum,
+    ablation_unfilled_ip_header,
+    early_packet_discard,
+    pathological_families,
+)
+from repro.experiments.distribution_tables import (
+    table4_matchprob,
+    table5_locality,
+    table6_local_vs_actual,
+)
+from repro.experiments.extensions import (
+    corpus_stats,
+    error_models,
+    failure_locality,
+    fragment_splices,
+    loss_models,
+    monte_carlo_crosscheck,
+    mss_sweep,
+    uniformity_checks,
+)
+from repro.experiments.figures import figure2_distribution, figure3_fletcher_pdf
+from repro.experiments.report import ExperimentReport
+from repro.experiments.splice_tables import (
+    table1_nsc,
+    table2_sics,
+    table3_stanford,
+    table7_compressed,
+    table8_fletcher,
+    table9_trailer,
+    table10_header_vs_trailer,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentReport", "experiment_ids", "run_experiment"]
+
+EXPERIMENTS = {
+    "table1": table1_nsc,
+    "table2": table2_sics,
+    "table3": table3_stanford,
+    "table4": table4_matchprob,
+    "table5": table5_locality,
+    "table6": table6_local_vs_actual,
+    "table7": table7_compressed,
+    "table8": table8_fletcher,
+    "table9": table9_trailer,
+    "table10": table10_header_vs_trailer,
+    "figure2": figure2_distribution,
+    "figure3": figure3_fletcher_pdf,
+    "pathological": pathological_families,
+    "ablation-inverted": ablation_inverted_checksum,
+    "ablation-unfilled-header": ablation_unfilled_ip_header,
+    "ablation-add-constant": ablation_add_constant,
+    "epd": early_packet_discard,
+    "error-models": error_models,
+    "mss-sweep": mss_sweep,
+    "loss-models": loss_models,
+    "montecarlo": monte_carlo_crosscheck,
+    "fragment-splices": fragment_splices,
+    "failure-locality": failure_locality,
+    "uniformity": uniformity_checks,
+    "corpus-stats": corpus_stats,
+}
+
+
+def experiment_ids():
+    """All registered experiment ids, tables first."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id, **kwargs):
+    """Run a registered experiment and return its report."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            "unknown experiment %r; available: %s"
+            % (experiment_id, ", ".join(EXPERIMENTS))
+        )
+    return EXPERIMENTS[experiment_id](**kwargs)

@@ -1,0 +1,90 @@
+"""Plain-text rendering for experiment tables and figure series."""
+
+from __future__ import annotations
+
+__all__ = ["TextTable", "ascii_series", "fmt_count", "fmt_pct"]
+
+
+def fmt_pct(value, digits=4):
+    """Format a percentage with sensible precision for tiny rates."""
+    if value == 0:
+        return "0"
+    if value < 10 ** -digits:
+        return "%.2e%%" % value
+    return "%.*f%%" % (digits, value)
+
+
+def fmt_count(value):
+    """Thousands-separated integer."""
+    return format(int(value), ",")
+
+
+class TextTable:
+    """A minimal right-aligned text table builder."""
+
+    def __init__(self, headers):
+        self.headers = [str(h) for h in headers]
+        self.rows = []
+
+    def add_row(self, *cells):
+        self.rows.append([str(c) for c in cells])
+
+    def render(self, indent=""):
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells, pad=" "):
+            out = []
+            for i, cell in enumerate(cells):
+                if i == 0:
+                    out.append(cell.ljust(widths[i], pad))
+                else:
+                    out.append(cell.rjust(widths[i], pad))
+            return indent + "  ".join(out)
+
+        parts = [line(self.headers), line(["-" * w for w in widths], pad="-")]
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+
+def ascii_series(series, width=60, height=12, logy=True, title=""):
+    """A tiny ASCII plot of one or more (label, y-values) series.
+
+    Used by the figure experiments so their shape is visible in a
+    terminal without any plotting dependency.
+    """
+    import math
+
+    points = []
+    for _, ys in series:
+        points.extend(y for y in ys if y > 0)
+    if not points:
+        return title + "\n(no data)"
+    ymin, ymax = min(points), max(points)
+    if logy:
+        ymin, ymax = math.log10(ymin), math.log10(ymax)
+    span = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox#@"
+    for index, (_, ys) in enumerate(series):
+        marker = markers[index % len(markers)]
+        n = len(ys)
+        for col in range(width):
+            src = min(n - 1, int(col / max(width - 1, 1) * (n - 1))) if n > 1 else 0
+            y = ys[src]
+            if y <= 0:
+                continue
+            value = math.log10(y) if logy else y
+            row = int((value - ymin) / span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    legend = "   ".join(
+        "%s %s" % (markers[i % len(markers)], label) for i, (label, _) in enumerate(series)
+    )
+    lines = [title, legend] if title else [legend]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""The result container shared by all experiment functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated paper table or figure.
+
+    ``text`` renders like the published table; ``data`` carries the
+    machine-readable rows/series (used by tests and EXPERIMENTS.md).
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self):
+        return "%s -- %s\n\n%s" % (self.experiment_id, self.title, self.text)

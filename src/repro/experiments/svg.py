@@ -1,0 +1,165 @@
+"""A small dependency-free SVG line-chart writer for the figures.
+
+The figure experiments carry their series in ``report.data``; this
+module renders them as publication-style log-y line charts so the
+reproduction can emit actual Figure 2 / Figure 3 artefacts without any
+plotting dependency.  ``repro-checksums run figure2 --svg out.svg``
+wires it up from the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+__all__ = ["render_line_chart", "figure_svg", "write_figure_svg"]
+
+_PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#9c6b4e", "#97bbf5"]
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 16, 40, 48
+
+
+def _log_ticks(lo, hi):
+    ticks = []
+    exponent = math.floor(math.log10(lo))
+    while 10 ** exponent <= hi * 1.0001:
+        if 10 ** exponent >= lo * 0.9999:
+            ticks.append(10.0 ** exponent)
+        exponent += 1
+    return ticks or [lo, hi]
+
+
+def render_line_chart(series, title="", x_label="", y_label="", logy=True):
+    """Render ``[(label, [y...]), ...]`` as an SVG line chart string.
+
+    X is the index (1-based); Y is linear or log10.  Zero/negative
+    values are skipped in log mode.
+    """
+    values = [y for _, ys in series for y in ys if (y > 0 or not logy)]
+    if not values:
+        raise ValueError("no plottable values")
+    y_lo, y_hi = min(values), max(values)
+    if logy:
+        y_lo_t, y_hi_t = math.log10(y_lo), math.log10(y_hi)
+    else:
+        y_lo_t, y_hi_t = y_lo, y_hi
+    if y_hi_t == y_lo_t:
+        y_hi_t = y_lo_t + 1.0
+    n = max(len(ys) for _, ys in series)
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def x_pos(i):
+        return _MARGIN_L + (i / max(n - 1, 1)) * plot_w
+
+    def y_pos(y):
+        t = math.log10(y) if logy else y
+        return _MARGIN_T + (1 - (t - y_lo_t) / (y_hi_t - y_lo_t)) * plot_h
+
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+        'font-family="sans-serif" font-size="12">' % (_WIDTH, _HEIGHT),
+        '<rect width="%d" height="%d" fill="white"/>' % (_WIDTH, _HEIGHT),
+        '<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>'
+        % (_MARGIN_L, escape(title)),
+    ]
+
+    # Axes box.
+    parts.append(
+        '<rect x="%d" y="%d" width="%d" height="%d" fill="none" '
+        'stroke="#888"/>' % (_MARGIN_L, _MARGIN_T, plot_w, plot_h)
+    )
+    # Y ticks.
+    ticks = _log_ticks(y_lo, y_hi) if logy else [
+        y_lo + k * (y_hi - y_lo) / 4 for k in range(5)
+    ]
+    for tick in ticks:
+        y = y_pos(tick)
+        parts.append(
+            '<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>'
+            % (_MARGIN_L, y, _WIDTH - _MARGIN_R, y)
+        )
+        label = "%.0e" % tick if (tick < 0.01 or tick >= 1e4) else "%g" % tick
+        parts.append(
+            '<text x="%d" y="%.1f" text-anchor="end" fill="#444">%s</text>'
+            % (_MARGIN_L - 6, y + 4, escape(label))
+        )
+    # X label / Y label.
+    if x_label:
+        parts.append(
+            '<text x="%d" y="%d" text-anchor="middle" fill="#444">%s</text>'
+            % (_MARGIN_L + plot_w // 2, _HEIGHT - 12, escape(x_label))
+        )
+    if y_label:
+        parts.append(
+            '<text x="16" y="%d" text-anchor="middle" fill="#444" '
+            'transform="rotate(-90 16 %d)">%s</text>'
+            % (_MARGIN_T + plot_h // 2, _MARGIN_T + plot_h // 2, escape(y_label))
+        )
+
+    # Series.
+    for index, (label, ys) in enumerate(series):
+        colour = _PALETTE[index % len(_PALETTE)]
+        points = [
+            "%.1f,%.1f" % (x_pos(i), y_pos(y))
+            for i, y in enumerate(ys)
+            if y > 0 or not logy
+        ]
+        if points:
+            parts.append(
+                '<polyline fill="none" stroke="%s" stroke-width="1.5" '
+                'points="%s"/>' % (colour, " ".join(points))
+            )
+        # Legend entry.
+        ly = _MARGIN_T + 14 * index + 4
+        lx = _WIDTH - _MARGIN_R - 150
+        parts.append(
+            '<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" '
+            'stroke-width="2"/>' % (lx, ly, lx + 18, ly, colour)
+        )
+        parts.append(
+            '<text x="%d" y="%d" fill="#222">%s</text>'
+            % (lx + 24, ly + 4, escape(str(label)))
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure_svg(report):
+    """Build the SVG for a ``figure2``/``figure3`` experiment report."""
+    data = report.data
+    if report.experiment_id == "figure2":
+        series = [
+            ("k=%d" % k, data["pdf_k%d" % k]) for k in data["ks"]
+        ] + [("predict k=2", data["predict_k2"]),
+             ("uniform", [data["uniform"]] * len(data["pdf_k1"]))]
+        return render_line_chart(
+            series,
+            title="TCP checksum PDF over k-cell blocks (%s)" % data["system"],
+            x_label="checksum values, most common first",
+            y_label="probability (log)",
+        )
+    if report.experiment_id == "figure3":
+        series = [
+            ("IP/TCP", data["pdf_ip_tcp"]),
+            ("F255", data["pdf_f255"]),
+            ("F256", data["pdf_f256"]),
+        ]
+        return render_line_chart(
+            series,
+            title="Single-cell checksum PDFs (%s)" % data["system"],
+            x_label="checksum values, most common first",
+            y_label="probability (log)",
+        )
+    raise ValueError("no SVG renderer for experiment %r" % report.experiment_id)
+
+
+def write_figure_svg(report, path):
+    """Write a figure report's SVG to ``path``."""
+    svg = figure_svg(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    return path

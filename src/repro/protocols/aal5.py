@@ -1,0 +1,114 @@
+"""AAL5 CPCS framing: padding, trailer, CRC-32, cells.
+
+An AAL5 CPCS-PDU is the payload, zero padding, and an 8-byte trailer
+(CPCS-UU, CPI, 16-bit Length, 32-bit CRC) sized so the whole frame is a
+multiple of the 48-byte ATM cell payload.  The CRC-32 covers everything
+up to but not including the CRC field and is transmitted big-endian.
+The last cell of a frame is marked via the ATM header PTI user bit;
+that marking is what makes the paper's packet splices possible when the
+marked cell of the first packet is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.checksums.crc import CRC32_AAL5, CRCEngine
+
+__all__ = [
+    "AAL5_TRAILER_LEN",
+    "CELL_PAYLOAD",
+    "AAL5Error",
+    "AAL5Frame",
+    "aal5_crc_engine",
+    "build_aal5_frame",
+    "cells_needed",
+    "reassemble_frame",
+]
+
+#: ATM cell payload size in bytes.
+CELL_PAYLOAD = 48
+
+#: AAL5 CPCS trailer length (UU + CPI + Length + CRC-32).
+AAL5_TRAILER_LEN = 8
+
+_ENGINE = CRCEngine(CRC32_AAL5)
+
+
+def aal5_crc_engine():
+    """The shared CRC-32 engine used for AAL5 framing."""
+    return _ENGINE
+
+
+class AAL5Error(ValueError):
+    """Raised when an AAL5 frame fails reassembly validation."""
+
+
+def cells_needed(payload_len):
+    """Number of 48-byte cells for a payload of ``payload_len`` bytes."""
+    return -(-(payload_len + AAL5_TRAILER_LEN) // CELL_PAYLOAD)
+
+
+@dataclass(frozen=True)
+class AAL5Frame:
+    """A framed AAL5 CPCS-PDU and its cell decomposition."""
+
+    payload: bytes
+    frame: bytes
+    crc: int
+
+    @property
+    def length(self):
+        """The payload length carried in the trailer."""
+        return len(self.payload)
+
+    @property
+    def cell_count(self):
+        return len(self.frame) // CELL_PAYLOAD
+
+    def cells(self):
+        """The frame as an ``(m, 48)`` uint8 array of cell payloads."""
+        return np.frombuffer(self.frame, dtype=np.uint8).reshape(-1, CELL_PAYLOAD)
+
+
+def build_aal5_frame(payload, uu=0, cpi=0):
+    """Frame ``payload`` as an AAL5 CPCS-PDU."""
+    payload = bytes(payload)
+    if len(payload) > 0xFFFF:
+        raise ValueError("AAL5 payload exceeds 65535 bytes")
+    total = len(payload) + AAL5_TRAILER_LEN
+    pad = (-total) % CELL_PAYLOAD
+    body = payload + bytes(pad) + bytes([uu, cpi]) + len(payload).to_bytes(2, "big")
+    crc = _ENGINE.compute(body)
+    frame = body + crc.to_bytes(4, "big")
+    return AAL5Frame(payload=payload, frame=frame, crc=crc)
+
+
+def reassemble_frame(cells, check_crc=True):
+    """Reassemble cell payloads into the CPCS payload.
+
+    ``cells`` is a sequence of 48-byte cell payloads (or an ``(m, 48)``
+    array), the last of which carries the trailer.  Raises
+    :class:`AAL5Error` on a length or CRC mismatch -- the checks that
+    catch most, but per the paper not all, packet splices.
+    """
+    if isinstance(cells, np.ndarray):
+        data = cells.astype(np.uint8).tobytes()
+    else:
+        data = b"".join(bytes(c) for c in cells)
+    if len(data) < CELL_PAYLOAD or len(data) % CELL_PAYLOAD:
+        raise AAL5Error("frame is not a whole number of cells")
+    length = int.from_bytes(data[-6:-4], "big")
+    max_payload = len(data) - AAL5_TRAILER_LEN
+    if not max_payload - (CELL_PAYLOAD - 1) <= length <= max_payload:
+        raise AAL5Error(
+            "trailer length %d inconsistent with %d cells"
+            % (length, len(data) // CELL_PAYLOAD)
+        )
+    if check_crc:
+        stored = int.from_bytes(data[-4:], "big")
+        if _ENGINE.compute(data[:-4]) != stored:
+            raise AAL5Error("CRC-32 mismatch")
+    return data[:length]

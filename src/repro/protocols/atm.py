@@ -1,0 +1,118 @@
+"""The 53-byte ATM cell: 5-byte header (with HEC) plus 48-byte payload.
+
+The splice experiments only need cell payloads and the AAL5 last-cell
+marking, but the full cell model is provided so the library stands on
+its own as an ATM substrate: UNI header layout (GFC/VPI/VCI/PTI/CLP)
+and the HEC, which is the CRC-8 (polynomial x^8+x^2+x+1, XORed with
+0x55 per I.432) over the first four header bytes.
+
+The PTI least-significant bit in a user-data cell is the AAL5
+"end of CPCS-PDU" marker -- the bit whose loss creates packet splices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checksums.crc import CRCEngine, CRCSpec
+from repro.protocols.aal5 import CELL_PAYLOAD
+
+__all__ = ["AtmCell", "AtmCellHeader", "HEC_SPEC", "cells_for_frame"]
+
+#: The ATM HEC: CRC-8 over the first 4 header octets, XORed with 0x55.
+HEC_SPEC = CRCSpec("atm-hec", 8, 0x07, 0x00, False, False, 0x55)
+
+_HEC_ENGINE = CRCEngine(HEC_SPEC)
+
+
+@dataclass(frozen=True)
+class AtmCellHeader:
+    """A UNI-format ATM cell header."""
+
+    vpi: int = 0
+    vci: int = 32
+    pti: int = 0
+    clp: int = 0
+    gfc: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.vpi <= 0xFF:
+            raise ValueError("UNI VPI must fit in 8 bits")
+        if not 0 <= self.vci <= 0xFFFF:
+            raise ValueError("VCI must fit in 16 bits")
+        if not 0 <= self.pti <= 0x7:
+            raise ValueError("PTI is a 3-bit field")
+        if self.clp not in (0, 1):
+            raise ValueError("CLP is a single bit")
+        if not 0 <= self.gfc <= 0xF:
+            raise ValueError("GFC is a 4-bit field")
+
+    @property
+    def last_cell(self):
+        """The AAL5 end-of-frame marking (PTI user bit)."""
+        return bool(self.pti & 0x1)
+
+    def pack(self):
+        """Serialise to the 5 header octets, computing the HEC."""
+        first_four = bytes(
+            [
+                (self.gfc << 4) | (self.vpi >> 4),
+                ((self.vpi & 0xF) << 4) | (self.vci >> 12),
+                (self.vci >> 4) & 0xFF,
+                ((self.vci & 0xF) << 4) | (self.pti << 1) | self.clp,
+            ]
+        )
+        return first_four + bytes([_HEC_ENGINE.compute(first_four)])
+
+    @classmethod
+    def unpack(cls, data, check_hec=True):
+        """Parse 5 header octets, optionally verifying the HEC."""
+        data = bytes(data)
+        if len(data) < 5:
+            raise ValueError("ATM header is 5 octets")
+        if check_hec and _HEC_ENGINE.compute(data[:4]) != data[4]:
+            raise ValueError("HEC mismatch")
+        return cls(
+            gfc=data[0] >> 4,
+            vpi=((data[0] & 0xF) << 4) | (data[1] >> 4),
+            vci=((data[1] & 0xF) << 12) | (data[2] << 4) | (data[3] >> 4),
+            pti=(data[3] >> 1) & 0x7,
+            clp=data[3] & 0x1,
+        )
+
+
+@dataclass(frozen=True)
+class AtmCell:
+    """An ATM cell: header plus 48-byte payload."""
+
+    header: AtmCellHeader
+    payload: bytes
+
+    def __post_init__(self):
+        if len(self.payload) != CELL_PAYLOAD:
+            raise ValueError("ATM cell payload must be exactly 48 bytes")
+
+    @property
+    def last(self):
+        return self.header.last_cell
+
+    def pack(self):
+        """The full 53-byte cell."""
+        return self.header.pack() + self.payload
+
+
+def cells_for_frame(frame, vpi=0, vci=32):
+    """Segment an :class:`~repro.protocols.aal5.AAL5Frame` into cells.
+
+    Every cell is an ordinary user-data cell except the last, whose PTI
+    user bit marks the end of the CPCS-PDU.
+    """
+    cells = []
+    payloads = frame.cells()
+    last_index = len(payloads) - 1
+    for index, payload in enumerate(payloads):
+        header = AtmCellHeader(
+            vpi=vpi, vci=vci, pti=1 if index == last_index else 0
+        )
+        cells.append(AtmCell(header=header, payload=payload.tobytes()))
+    return cells

@@ -1,0 +1,83 @@
+"""Incremental checksum maintenance in forwarding paths (RFC 1141/1624).
+
+Routers never recompute the IP header checksum from scratch: a TTL
+decrement or a NAT rewrite updates the stored field from the delta
+alone.  RFC 1141's ``HC' = HC + 1`` shortcut for TTL decrements and
+RFC 1624's fully-general update (with its famous -0 corner case) are
+implemented here, plus a minimal forwarding hop that applies them --
+and the test suite proves the incremental results byte-equal a from-
+scratch recomputation on every path.
+"""
+
+from __future__ import annotations
+
+from repro.checksums.internet import (
+    fold_carries,
+    update_checksum_field,
+    word_sums,
+)
+from repro.protocols.ip import IP_HEADER_LEN, parse_ipv4_header
+from repro.protocols.tcp import TCP_CHECKSUM_OFFSET
+
+__all__ = [
+    "decrement_ttl",
+    "rewrite_addresses",
+    "verify_ip_header",
+]
+
+
+def verify_ip_header(packet):
+    """True when the IP header checksum verifies."""
+    return int(fold_carries(word_sums(packet[:IP_HEADER_LEN]))) == 0xFFFF
+
+
+def decrement_ttl(packet):
+    """Forward one hop: decrement TTL, update the checksum incrementally.
+
+    Returns the rewritten packet.  Raises ``ValueError`` when the TTL
+    is already zero (the packet would be dropped, not forwarded).
+    """
+    header = parse_ipv4_header(packet)
+    if header.ttl == 0:
+        raise ValueError("TTL expired; packet must be dropped")
+    patched = bytearray(packet)
+    old_word = (header.ttl << 8) | header.protocol
+    patched[8] = header.ttl - 1
+    new_word = ((header.ttl - 1) << 8) | header.protocol
+    field = update_checksum_field(header.checksum, old_word, new_word)
+    patched[10:12] = field.to_bytes(2, "big")
+    return bytes(patched)
+
+
+def rewrite_addresses(packet, new_src=None, new_dst=None):
+    """NAT-style rewrite, updating IP *and* TCP checksums incrementally.
+
+    The TCP checksum covers the pseudo-header, so address rewrites
+    must patch it too -- the bug class RFC 1624 exists to prevent.
+    Only option-less TCP packets are supported.
+    """
+    from repro.protocols.ip import ip_to_int
+
+    header = parse_ipv4_header(packet)
+    if header.protocol != 6:
+        raise ValueError("only TCP packets are supported")
+    patched = bytearray(packet)
+    ip_field = header.checksum
+    tcp_offset = IP_HEADER_LEN + TCP_CHECKSUM_OFFSET
+    tcp_field = int.from_bytes(packet[tcp_offset : tcp_offset + 2], "big")
+
+    rewrites = []
+    if new_src is not None:
+        rewrites.append((12, header.src, ip_to_int(new_src)))
+    if new_dst is not None:
+        rewrites.append((16, header.dst, ip_to_int(new_dst)))
+    for offset, old, new in rewrites:
+        patched[offset : offset + 4] = new.to_bytes(4, "big")
+        for shift in (16, 0):
+            old_word = (old >> shift) & 0xFFFF
+            new_word = (new >> shift) & 0xFFFF
+            ip_field = update_checksum_field(ip_field, old_word, new_word)
+            tcp_field = update_checksum_field(tcp_field, old_word, new_word)
+    patched[10:12] = ip_field.to_bytes(2, "big")
+    patched[tcp_offset : tcp_offset + 2] = tcp_field.to_bytes(2, "big")
+    return bytes(patched)

@@ -1,0 +1,133 @@
+"""IPv4 fragmentation and reassembly.
+
+The paper's abstract calls out "fragmentation-and-reassembly error
+models": when a reassembler combines fragments that did not all come
+from the same datagram (IP ID wrap, buggy middlebox), the transport
+checksum is the only thing left to notice.  This module provides the
+substrate -- standards-shaped fragmentation (8-byte offset units, MF
+flag, per-fragment header checksums) and strict reassembly -- used by
+:mod:`repro.core.fragsplice` to measure that error model.
+"""
+
+from __future__ import annotations
+
+from repro.checksums.internet import internet_checksum_field
+from repro.protocols.ip import IP_HEADER_LEN, parse_ipv4_header
+
+__all__ = [
+    "FRAGMENT_UNIT",
+    "FragmentationError",
+    "fragment_packet",
+    "reassemble_fragments",
+]
+
+#: Fragment offsets are expressed in units of 8 bytes.
+FRAGMENT_UNIT = 8
+
+_FLAG_MF = 0x2000
+_FLAG_DF = 0x4000
+_OFFSET_MASK = 0x1FFF
+
+
+class FragmentationError(ValueError):
+    """Raised on invalid fragmentation or failed reassembly."""
+
+
+def _with_fragment_fields(header, payload_len, offset_units, more_fragments):
+    patched = bytearray(header)
+    total = IP_HEADER_LEN + payload_len
+    patched[2:4] = total.to_bytes(2, "big")
+    flags_fragment = (offset_units & _OFFSET_MASK) | (
+        _FLAG_MF if more_fragments else 0
+    )
+    patched[6:8] = flags_fragment.to_bytes(2, "big")
+    patched[10:12] = b"\x00\x00"
+    patched[10:12] = internet_checksum_field(patched).to_bytes(2, "big")
+    return bytes(patched)
+
+
+def fragment_packet(ip_packet, mtu):
+    """Fragment an IP packet for a link MTU.
+
+    Every fragment but the last carries a payload that is a multiple
+    of 8 bytes (the offset unit); each fragment gets its own header
+    with the offset, the MF flag, and a recomputed header checksum.
+    Returns the packet unchanged (as a single-element list) when it
+    already fits.
+    """
+    header = parse_ipv4_header(ip_packet)
+    if header.ihl != 5:
+        raise FragmentationError("only option-less headers are supported")
+    if len(ip_packet) != header.total_length:
+        raise FragmentationError("packet length disagrees with its header")
+    if mtu < IP_HEADER_LEN + FRAGMENT_UNIT:
+        raise FragmentationError("mtu too small to carry any payload")
+    if header.flags_fragment & _FLAG_DF and header.total_length > mtu:
+        raise FragmentationError("DF set on a packet larger than the MTU")
+    if header.total_length <= mtu:
+        return [bytes(ip_packet)]
+
+    payload = ip_packet[IP_HEADER_LEN:]
+    per_fragment = (mtu - IP_HEADER_LEN) // FRAGMENT_UNIT * FRAGMENT_UNIT
+    base_header = ip_packet[:IP_HEADER_LEN]
+    fragments = []
+    offset = 0
+    while offset < len(payload):
+        chunk = payload[offset : offset + per_fragment]
+        more = offset + len(chunk) < len(payload)
+        fragments.append(
+            _with_fragment_fields(
+                base_header, len(chunk), offset // FRAGMENT_UNIT, more
+            )
+            + chunk
+        )
+        offset += len(chunk)
+    return fragments
+
+
+def reassemble_fragments(fragments, check_header=True):
+    """Strictly reassemble fragments into the original IP packet.
+
+    Fragments may arrive in any order; holes, overlaps, a missing
+    final fragment, or inconsistent headers raise
+    :class:`FragmentationError`.  (A *strict* reassembler -- the
+    fragment-splice error model of :mod:`repro.core.fragsplice` models
+    the non-strict kind that mixes datagrams.)
+    """
+    if not fragments:
+        raise FragmentationError("no fragments")
+    parsed = []
+    for fragment in fragments:
+        header = parse_ipv4_header(fragment)
+        if check_header:
+            from repro.checksums.internet import ones_complement_sum
+
+            if ones_complement_sum(fragment[:IP_HEADER_LEN]) != 0xFFFF:
+                raise FragmentationError("fragment header checksum invalid")
+        offset = (header.flags_fragment & _OFFSET_MASK) * FRAGMENT_UNIT
+        more = bool(header.flags_fragment & _FLAG_MF)
+        parsed.append((offset, more, header, bytes(fragment)))
+    parsed.sort(key=lambda item: item[0])
+
+    first = parsed[0][2]
+    expected_offset = 0
+    payload = bytearray()
+    for index, (offset, more, header, raw) in enumerate(parsed):
+        if (header.ident, header.src, header.dst, header.protocol) != (
+            first.ident, first.src, first.dst, first.protocol,
+        ):
+            raise FragmentationError("fragments from different datagrams")
+        if offset != expected_offset:
+            raise FragmentationError(
+                "hole or overlap at offset %d (expected %d)" % (offset, expected_offset)
+            )
+        last = index == len(parsed) - 1
+        if more == last:
+            raise FragmentationError("MF flag inconsistent with position")
+        payload.extend(raw[IP_HEADER_LEN:])
+        expected_offset += len(raw) - IP_HEADER_LEN
+
+    rebuilt = _with_fragment_fields(
+        parsed[0][3][:IP_HEADER_LEN], len(payload), 0, False
+    )
+    return rebuilt + bytes(payload)

@@ -1,0 +1,156 @@
+"""IPv4 header construction, parsing and validation.
+
+Only the 20-byte option-less header the paper's simulated transfers use
+is supported; that is also the only form the splice header checks need
+to recognise.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.checksums.internet import (
+    internet_checksum_field,
+    ones_complement_sum,
+)
+
+__all__ = [
+    "IP_HEADER_LEN",
+    "IPv4Header",
+    "build_ipv4_header",
+    "ip_to_int",
+    "parse_ipv4_header",
+    "validate_ipv4_header",
+]
+
+#: Length of an option-less IPv4 header.
+IP_HEADER_LEN = 20
+
+_STRUCT = struct.Struct("!BBHHHBBHII")
+
+
+def ip_to_int(address):
+    """Convert dotted-quad text (or an int) to a 32-bit address."""
+    if isinstance(address, int):
+        if not 0 <= address <= 0xFFFFFFFF:
+            raise ValueError("address out of range")
+        return address
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError("expected dotted-quad IPv4 address")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError("octet out of range in %r" % address)
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """Parsed fields of an option-less IPv4 header."""
+
+    version: int
+    ihl: int
+    tos: int
+    total_length: int
+    ident: int
+    flags_fragment: int
+    ttl: int
+    protocol: int
+    checksum: int
+    src: int
+    dst: int
+
+    @property
+    def header_length(self):
+        return self.ihl * 4
+
+
+def build_ipv4_header(
+    total_length,
+    ident,
+    src,
+    dst,
+    protocol=6,
+    ttl=64,
+    tos=0,
+    flags_fragment=0x4000,
+    fill_checksum=True,
+):
+    """Build a 20-byte IPv4 header.
+
+    ``fill_checksum=False`` leaves the header-checksum field zero; this
+    reproduces the SIGCOMM '95 simulator bug (Section 6.2) whose effect
+    the ablation benchmarks quantify.
+    """
+    header = bytearray(
+        _STRUCT.pack(
+            0x45,
+            tos,
+            total_length,
+            ident & 0xFFFF,
+            flags_fragment,
+            ttl,
+            protocol,
+            0,
+            ip_to_int(src),
+            ip_to_int(dst),
+        )
+    )
+    if fill_checksum:
+        field = internet_checksum_field(header)
+        header[10:12] = field.to_bytes(2, "big")
+    return bytes(header)
+
+
+def parse_ipv4_header(buf):
+    """Parse the first 20 bytes of ``buf`` as an IPv4 header."""
+    if len(buf) < IP_HEADER_LEN:
+        raise ValueError("buffer shorter than an IPv4 header")
+    (
+        ver_ihl,
+        tos,
+        total_length,
+        ident,
+        flags_fragment,
+        ttl,
+        protocol,
+        checksum,
+        src,
+        dst,
+    ) = _STRUCT.unpack_from(bytes(buf[:IP_HEADER_LEN]))
+    return IPv4Header(
+        version=ver_ihl >> 4,
+        ihl=ver_ihl & 0xF,
+        tos=tos,
+        total_length=total_length,
+        ident=ident,
+        flags_fragment=flags_fragment,
+        ttl=ttl,
+        protocol=protocol,
+        checksum=checksum,
+        src=src,
+        dst=dst,
+    )
+
+
+def validate_ipv4_header(buf, require_checksum=True):
+    """Structural validity of ``buf``'s leading IPv4 header.
+
+    Checks version 4, IHL 5, a plausible total length, and (unless
+    ``require_checksum`` is off for the Section 6.2 ablation) that the
+    header sums to 0xFFFF.
+    """
+    if len(buf) < IP_HEADER_LEN:
+        return False
+    if buf[0] != 0x45:
+        return False
+    header = parse_ipv4_header(buf)
+    if header.total_length < IP_HEADER_LEN:
+        return False
+    if require_checksum and ones_complement_sum(buf[:IP_HEADER_LEN]) != 0xFFFF:
+        return False
+    return True

@@ -1,0 +1,204 @@
+"""Turn file bytes into the paper's simulated TCP/IP packet stream.
+
+The paper's simulator fills TCP and IP headers "as if the file transfer
+were being done over the loopback interface": for each packet the TCP
+sequence number advances by the data length and the IP ID by one, and
+the segment size is 256 bytes except for runts at file ends.
+
+The packetizer supports every configuration the paper evaluates:
+
+* checksum algorithm -- standard TCP (``"tcp"``), Fletcher mod-255 or
+  mod-256 (``"fletcher255"`` / ``"fletcher256"``), or ``"none"``;
+* checksum placement -- the conventional header field, or the paper's
+  trailer placement where the header field stays zero and the check
+  value is appended to the TCP data (Section 5.3);
+* the Section 6.3 ablation (store the sum instead of its complement);
+* the Section 6.2 ablation (``fill_ip_header=False``): a reconstruction
+  of the SIGCOMM '95 simulator bug.  The legacy simulator left the
+  mutable IP header bytes (TOS, ID, flags, TTL, header checksum) zero
+  and checksummed the buffer from the start of the IP header with no
+  pseudo-header, so an error-free packet summed to zero *including its
+  header cell*.  For packets with all-zero payloads the header cell is
+  then a non-zero cell whose checksum is zero -- interchangeable with
+  the zero data cells around it, which is precisely the failure class
+  Section 6.2 describes (filling in the header cured it by three orders
+  of magnitude).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.checksums.fletcher import Fletcher8
+from repro.checksums.internet import word_sums
+from repro.protocols.ip import IP_HEADER_LEN, build_ipv4_header
+from repro.protocols.tcp import (
+    FLAG_ACK,
+    TCP_CHECKSUM_OFFSET,
+    TCP_HEADER_LEN,
+    build_tcp_header,
+    pseudo_header_word_sum,
+    solve_sum_to_target,
+)
+
+__all__ = ["ChecksumPlacement", "Packetizer", "PacketizerConfig", "TCPPacket"]
+
+
+class ChecksumPlacement(enum.Enum):
+    """Where the transport check value lives in the packet."""
+
+    HEADER = "header"
+    TRAILER = "trailer"
+
+
+@dataclass(frozen=True)
+class PacketizerConfig:
+    """Configuration of the simulated transfer's packet construction."""
+
+    mss: int = 256
+    algorithm: str = "tcp"
+    placement: ChecksumPlacement = ChecksumPlacement.HEADER
+    invert: bool = True
+    fill_ip_header: bool = True
+    src: str = "127.0.0.1"
+    dst: str = "127.0.0.1"
+    sport: int = 20
+    dport: int = 54321
+    initial_seq: int = 1
+    initial_ipid: int = 1
+    window: int = 4096
+
+    def __post_init__(self):
+        if self.mss < 1:
+            raise ValueError("mss must be positive")
+        if self.algorithm not in ("tcp", "fletcher255", "fletcher256", "none"):
+            raise ValueError("unknown checksum algorithm %r" % self.algorithm)
+        if not self.fill_ip_header and (
+            self.algorithm != "tcp"
+            or self.placement is not ChecksumPlacement.HEADER
+            or not self.invert
+        ):
+            raise ValueError(
+                "the legacy unfilled-IP-header mode (Section 6.2) models the "
+                "original TCP header-checksum simulator only"
+            )
+
+    def with_overrides(self, **kwargs):
+        """A copy of this config with fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class TCPPacket:
+    """One simulated IP packet of the transfer."""
+
+    ip_packet: bytes
+    payload: bytes
+    seq: int
+    ipid: int
+    config: PacketizerConfig = field(repr=False)
+
+    @property
+    def total_length(self):
+        return len(self.ip_packet)
+
+    @property
+    def tcp_segment(self):
+        """The TCP header plus data (including any trailer check bytes)."""
+        return self.ip_packet[IP_HEADER_LEN:]
+
+
+class Packetizer:
+    """Builds the packet stream for one simulated file transfer."""
+
+    def __init__(self, config=None):
+        self.config = config or PacketizerConfig()
+        if self.config.algorithm.startswith("fletcher"):
+            self._fletcher = Fletcher8(int(self.config.algorithm[-3:]))
+        else:
+            self._fletcher = None
+
+    def packetize(self, data, initial_seq=None, initial_ipid=None):
+        """Segment ``data`` into packets, one per MSS-sized chunk."""
+        config = self.config
+        data = bytes(data)
+        seq = config.initial_seq if initial_seq is None else initial_seq
+        ipid = config.initial_ipid if initial_ipid is None else initial_ipid
+        packets = []
+        for start in range(0, len(data), config.mss):
+            chunk = data[start : start + config.mss]
+            packets.append(self.build_packet(chunk, seq, ipid))
+            seq = (seq + len(chunk)) & 0xFFFFFFFF
+            ipid = (ipid + 1) & 0xFFFF
+        return packets
+
+    def build_packet(self, chunk, seq, ipid):
+        """Build one IP packet carrying ``chunk``."""
+        config = self.config
+        trailer = config.placement is ChecksumPlacement.TRAILER
+        wire_payload = chunk + bytes(2) if trailer else chunk
+        tcp_len = TCP_HEADER_LEN + len(wire_payload)
+
+        header = build_tcp_header(
+            config.sport,
+            config.dport,
+            seq,
+            ack=1,
+            flags=FLAG_ACK,
+            window=config.window,
+        )
+        segment = bytearray(header + wire_payload)
+        ip_header = build_ipv4_header(
+            total_length=IP_HEADER_LEN + tcp_len,
+            ident=ipid if config.fill_ip_header else 0,
+            src=config.src,
+            dst=config.dst,
+            tos=0,
+            ttl=64 if config.fill_ip_header else 0,
+            flags_fragment=0x4000 if config.fill_ip_header else 0,
+            fill_checksum=config.fill_ip_header,
+        )
+        if config.fill_ip_header:
+            self._fill_check_value(segment, tcp_len)
+        else:
+            # Legacy (Section 6.2) coverage: the whole IP packet, no
+            # pseudo-header -- an intact packet sums to 0xFFFF from
+            # byte 0, making its header cell zero-congruent whenever
+            # the payload is zero-congruent.
+            total = word_sums(ip_header) + word_sums(segment)
+            offset = IP_HEADER_LEN + TCP_CHECKSUM_OFFSET
+            value = solve_sum_to_target(total, offset)
+            segment[TCP_CHECKSUM_OFFSET : TCP_CHECKSUM_OFFSET + 2] = value.to_bytes(
+                2, "big"
+            )
+        return TCPPacket(
+            ip_packet=ip_header + bytes(segment),
+            payload=chunk,
+            seq=seq,
+            ipid=ipid,
+            config=config,
+        )
+
+    def _fill_check_value(self, segment, tcp_len):
+        """Compute and embed the transport check value in ``segment``."""
+        config = self.config
+        if config.algorithm == "none":
+            return
+        trailer = config.placement is ChecksumPlacement.TRAILER
+        offset = tcp_len - 2 if trailer else TCP_CHECKSUM_OFFSET
+
+        if config.algorithm == "tcp":
+            total = pseudo_header_word_sum(config.src, config.dst, tcp_len)
+            total += word_sums(segment)
+            value = solve_sum_to_target(total, offset)
+            if not config.invert and not trailer:
+                # Section 6.3 ablation: store the sum itself rather than
+                # its complement.  The verifier must then compare the
+                # recomputed sum against the stored field.
+                value ^= 0xFFFF
+            segment[offset : offset + 2] = value.to_bytes(2, "big")
+        else:
+            x, y = self._fletcher.check_bytes(segment, offset)
+            segment[offset] = x
+            segment[offset + 1] = y

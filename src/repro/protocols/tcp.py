@@ -1,0 +1,166 @@
+"""TCP header construction, parsing, and checksum computation.
+
+The TCP checksum covers a pseudo-header (source and destination
+addresses, the protocol number, and the TCP length) followed by the TCP
+header and payload.  The stored field is the ones complement of the sum
+computed with the field itself zero, so a verifier summing everything
+including the stored field obtains 0xFFFF.
+
+This module also provides the placement-independent helpers the trailer
+variant needs: a stored 16-bit value contributes to the ones-complement
+sum byte-swapped when it sits at an odd byte offset (the RFC 1071
+byte-order property), and :func:`solve_sum_to_target` accounts for that.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.checksums.internet import fold_carries, word_sums
+from repro.protocols.ip import ip_to_int
+
+__all__ = [
+    "TCP_CHECKSUM_OFFSET",
+    "TCP_HEADER_LEN",
+    "TCPHeader",
+    "build_tcp_header",
+    "parse_tcp_header",
+    "pseudo_header_word_sum",
+    "solve_sum_to_target",
+    "tcp_checksum_field",
+    "verify_tcp_checksum",
+]
+
+#: Length of an option-less TCP header.
+TCP_HEADER_LEN = 20
+
+#: Byte offset of the checksum field within the TCP header.
+TCP_CHECKSUM_OFFSET = 16
+
+_STRUCT = struct.Struct("!HHIIBBHHH")
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+
+@dataclass(frozen=True)
+class TCPHeader:
+    """Parsed fields of an option-less TCP header."""
+
+    sport: int
+    dport: int
+    seq: int
+    ack: int
+    data_offset: int
+    flags: int
+    window: int
+    checksum: int
+    urgent: int
+
+
+def build_tcp_header(
+    sport,
+    dport,
+    seq,
+    ack,
+    flags=FLAG_ACK,
+    window=4096,
+    checksum=0,
+    urgent=0,
+):
+    """Build a 20-byte option-less TCP header."""
+    return _STRUCT.pack(
+        sport,
+        dport,
+        seq & 0xFFFFFFFF,
+        ack & 0xFFFFFFFF,
+        (TCP_HEADER_LEN // 4) << 4,
+        flags,
+        window,
+        checksum,
+        urgent,
+    )
+
+
+def parse_tcp_header(buf):
+    """Parse the first 20 bytes of ``buf`` as a TCP header."""
+    if len(buf) < TCP_HEADER_LEN:
+        raise ValueError("buffer shorter than a TCP header")
+    (
+        sport,
+        dport,
+        seq,
+        ack,
+        offset_reserved,
+        flags,
+        window,
+        checksum,
+        urgent,
+    ) = _STRUCT.unpack_from(bytes(buf[:TCP_HEADER_LEN]))
+    return TCPHeader(
+        sport=sport,
+        dport=dport,
+        seq=seq,
+        ack=ack,
+        data_offset=offset_reserved >> 4,
+        flags=flags,
+        window=window,
+        checksum=checksum,
+        urgent=urgent,
+    )
+
+
+def pseudo_header_word_sum(src, dst, tcp_length, protocol=6):
+    """Unfolded 16-bit word sum of the TCP pseudo-header."""
+    src = ip_to_int(src)
+    dst = ip_to_int(dst)
+    return (
+        (src >> 16)
+        + (src & 0xFFFF)
+        + (dst >> 16)
+        + (dst & 0xFFFF)
+        + protocol
+        + tcp_length
+    )
+
+
+def tcp_checksum_field(src, dst, segment, protocol=6):
+    """The value for the TCP checksum field covering ``segment``.
+
+    ``segment`` is the TCP header plus payload with the checksum field
+    zeroed.
+    """
+    total = pseudo_header_word_sum(src, dst, len(segment), protocol)
+    total += word_sums(segment)
+    return fold_carries(total) ^ 0xFFFF
+
+
+def verify_tcp_checksum(src, dst, segment, protocol=6):
+    """True if a received ``segment`` (with stored field) verifies."""
+    total = pseudo_header_word_sum(src, dst, len(segment), protocol)
+    total += word_sums(segment)
+    return fold_carries(total) == 0xFFFF
+
+
+def solve_sum_to_target(partial_sum, field_offset, target=0xFFFF):
+    """Field value making a ones-complement region fold to ``target``.
+
+    ``partial_sum`` is the (unfolded) word sum of the covered region
+    with the two field bytes zero; ``field_offset`` is the byte offset
+    of the field within the summed region.  When the offset is odd the
+    stored big-endian value contributes byte-swapped, which this solver
+    accounts for -- the trailer checksum can land on an odd offset when
+    the payload length is odd.
+    """
+    folded = fold_carries(partial_sum)
+    needed = fold_carries(target + (folded ^ 0xFFFF))
+    # ``folded + needed`` now folds to ``target`` when ``needed`` is the
+    # field's *contribution*.  Undo the positional byte swap if any.
+    if field_offset % 2:
+        needed = ((needed & 0xFF) << 8) | (needed >> 8)
+    return needed

@@ -1,0 +1,141 @@
+"""TCP options, including the Alternate Checksum option (RFC 1146).
+
+The paper's Fletcher results build on Zweig & Partridge's "TCP
+Alternate Checksum Options" (its reference [13]): two TCP options let
+endpoints negotiate a checksum other than the standard ones-complement
+sum.  This module implements the option encoding -- generic option
+build/parse with padding, plus the Alternate Checksum Request option
+(kind 14) and the algorithm numbers RFC 1146 assigns -- and a packet
+builder that emits segments carrying the negotiated request.
+
+Only option kinds relevant here are given names; unknown options
+round-trip as raw (kind, data) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.tcp import TCP_HEADER_LEN, build_tcp_header
+
+__all__ = [
+    "ALTERNATE_CHECKSUM_ALGORITHMS",
+    "OPT_ALTERNATE_CHECKSUM_REQUEST",
+    "OPT_END",
+    "OPT_MSS",
+    "OPT_NOP",
+    "TCPOption",
+    "alternate_checksum_request",
+    "build_tcp_header_with_options",
+    "parse_tcp_options",
+]
+
+OPT_END = 0
+OPT_NOP = 1
+OPT_MSS = 2
+OPT_ALTERNATE_CHECKSUM_REQUEST = 14
+OPT_ALTERNATE_CHECKSUM_DATA = 15
+
+#: RFC 1146's algorithm numbers for the Alternate Checksum Request.
+ALTERNATE_CHECKSUM_ALGORITHMS = {
+    0: "tcp",            # the standard ones-complement sum
+    1: "fletcher255",    # 8-bit Fletcher (ones-complement flavour)
+    2: "fletcher256",    # 16-bit... per RFC 1146, "8-bit Fletcher" is 1
+    3: "avoid",          # redundant checksum avoidance
+}
+
+_ALGORITHM_NUMBERS = {
+    "tcp": 0,
+    "fletcher255": 1,
+    "fletcher256": 2,
+}
+
+
+@dataclass(frozen=True)
+class TCPOption:
+    """One TCP option: a kind and its data bytes (empty for NOP/END)."""
+
+    kind: int
+    data: bytes = b""
+
+    def encoded_length(self):
+        if self.kind in (OPT_END, OPT_NOP):
+            return 1
+        return 2 + len(self.data)
+
+    def encode(self):
+        if self.kind in (OPT_END, OPT_NOP):
+            return bytes([self.kind])
+        length = 2 + len(self.data)
+        if length > 255:
+            raise ValueError("TCP option too long")
+        return bytes([self.kind, length]) + self.data
+
+
+def alternate_checksum_request(algorithm):
+    """The RFC 1146 Alternate Checksum Request option for an algorithm."""
+    if algorithm not in _ALGORITHM_NUMBERS:
+        raise ValueError(
+            "no RFC 1146 number for %r; known: %s"
+            % (algorithm, ", ".join(sorted(_ALGORITHM_NUMBERS)))
+        )
+    return TCPOption(
+        OPT_ALTERNATE_CHECKSUM_REQUEST,
+        bytes([_ALGORITHM_NUMBERS[algorithm]]),
+    )
+
+
+def build_tcp_header_with_options(sport, dport, seq, ack, options, **kwargs):
+    """A TCP header carrying ``options``, NOP-padded to 32-bit alignment.
+
+    The data offset reflects the padded option length; the checksum
+    field is left zero for the caller to fill.
+    """
+    encoded = b"".join(option.encode() for option in options)
+    padding = (-len(encoded)) % 4
+    if padding:
+        encoded += bytes([OPT_NOP]) * (padding - 1) + bytes([OPT_END])
+    total_len = TCP_HEADER_LEN + len(encoded)
+    if total_len > 60:
+        raise ValueError("options exceed the 40-byte TCP option space")
+    header = bytearray(build_tcp_header(sport, dport, seq, ack, **kwargs))
+    header[12] = (total_len // 4) << 4
+    return bytes(header) + encoded
+
+
+def parse_tcp_options(segment):
+    """Parse the options of a TCP segment (header + data).
+
+    Returns a list of :class:`TCPOption`.  NOP options are dropped; an
+    END option terminates parsing.  Raises ``ValueError`` on malformed
+    lengths.
+    """
+    data_offset = (segment[12] >> 4) * 4
+    if data_offset < TCP_HEADER_LEN or data_offset > len(segment):
+        raise ValueError("data offset out of range")
+    buf = bytes(segment[TCP_HEADER_LEN:data_offset])
+    options = []
+    position = 0
+    while position < len(buf):
+        kind = buf[position]
+        if kind == OPT_END:
+            break
+        if kind == OPT_NOP:
+            position += 1
+            continue
+        if position + 1 >= len(buf):
+            raise ValueError("truncated option header")
+        length = buf[position + 1]
+        if length < 2 or position + length > len(buf):
+            raise ValueError("bad option length %d" % length)
+        options.append(TCPOption(kind, buf[position + 2 : position + length]))
+        position += length
+    return options
+
+
+def negotiated_algorithm(segment, default="tcp"):
+    """The checksum algorithm a segment's options request, if any."""
+    for option in parse_tcp_options(segment):
+        if option.kind == OPT_ALTERNATE_CHECKSUM_REQUEST and option.data:
+            return ALTERNATE_CHECKSUM_ALGORITHMS.get(option.data[0], default)
+    return default

@@ -1,0 +1,90 @@
+"""UDP header construction and checksum semantics.
+
+The Internet checksum studied by the paper covers UDP too, with one
+extra wrinkle worth modelling: UDP's checksum is optional, and a
+transmitted field of 0x0000 means "no checksum".  A computed sum of
+zero is therefore transmitted as 0xFFFF (the other ones-complement
+zero) -- the one place the two zeros the paper keeps running into are
+given distinct protocol meanings.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.checksums.internet import fold_carries, word_sums
+from repro.protocols.tcp import pseudo_header_word_sum
+
+__all__ = [
+    "UDP_HEADER_LEN",
+    "UDPHeader",
+    "build_udp_datagram",
+    "parse_udp_header",
+    "verify_udp_datagram",
+]
+
+UDP_HEADER_LEN = 8
+
+_STRUCT = struct.Struct("!HHHH")
+
+UDP_PROTOCOL = 17
+
+
+@dataclass(frozen=True)
+class UDPHeader:
+    """Parsed fields of a UDP header."""
+
+    sport: int
+    dport: int
+    length: int
+    checksum: int
+
+    @property
+    def checksum_present(self):
+        return self.checksum != 0
+
+
+def build_udp_datagram(src, dst, sport, dport, payload, with_checksum=True):
+    """Build a UDP datagram (header + payload) with its checksum.
+
+    A computed checksum of zero is sent as 0xFFFF; ``with_checksum=False``
+    sends the no-checksum sentinel 0x0000.
+    """
+    payload = bytes(payload)
+    length = UDP_HEADER_LEN + len(payload)
+    if length > 0xFFFF:
+        raise ValueError("UDP datagram exceeds 65535 bytes")
+    header = _STRUCT.pack(sport, dport, length, 0)
+    if not with_checksum:
+        return header + payload
+    total = pseudo_header_word_sum(src, dst, length, protocol=UDP_PROTOCOL)
+    total += word_sums(header + payload)
+    field = int(fold_carries(total)) ^ 0xFFFF
+    if field == 0:
+        field = 0xFFFF  # zero means "no checksum"; send the other zero
+    return _STRUCT.pack(sport, dport, length, field) + payload
+
+
+def parse_udp_header(datagram):
+    """Parse the first 8 bytes of ``datagram`` as a UDP header."""
+    if len(datagram) < UDP_HEADER_LEN:
+        raise ValueError("buffer shorter than a UDP header")
+    sport, dport, length, checksum = _STRUCT.unpack_from(bytes(datagram[:8]))
+    return UDPHeader(sport=sport, dport=dport, length=length, checksum=checksum)
+
+
+def verify_udp_datagram(src, dst, datagram):
+    """Verify a received UDP datagram's checksum.
+
+    Returns True for valid datagrams *and* for datagrams sent with the
+    checksum disabled (field 0x0000), per the specification.
+    """
+    header = parse_udp_header(datagram)
+    if header.length != len(datagram):
+        return False
+    if not header.checksum_present:
+        return True
+    total = pseudo_header_word_sum(src, dst, len(datagram), protocol=UDP_PROTOCOL)
+    total += word_sums(datagram)
+    return int(fold_carries(total)) == 0xFFFF

@@ -1,0 +1,12 @@
+"""End-to-end transfer simulation: the "so what" of checksum misses.
+
+The splice tables measure how often checks fail; this package runs the
+whole loop -- packetize, frame, lose cells, reassemble, validate,
+retransmit -- and reports what the *application* experiences: goodput,
+retransmissions, and above all the probability that corrupted data is
+silently delivered.
+"""
+
+from repro.sim.transfer import TransferReport, simulate_file_transfer
+
+__all__ = ["TransferReport", "simulate_file_transfer"]

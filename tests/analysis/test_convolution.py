@@ -1,0 +1,127 @@
+"""Tests for the cyclic convolution predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convolution import (
+    ONES_COMPLEMENT_CLASSES,
+    class_pmf,
+    cyclic_convolve,
+    cyclic_self_convolve,
+    match_probability,
+    ones_complement_classes,
+    predicted_block_distribution,
+    predicted_match_probability,
+)
+
+
+def brute_force_convolve(p, q):
+    m = len(p)
+    out = np.zeros(m)
+    for i, pi in enumerate(p):
+        for j, qj in enumerate(q):
+            out[(i + j) % m] += pi * qj
+    return out
+
+
+class TestClasses:
+    def test_both_zeros_merge(self):
+        assert ones_complement_classes([0x0000, 0xFFFF]).tolist() == [0, 0]
+
+    def test_other_values_preserved(self):
+        assert ones_complement_classes([1, 0xFFFE]).tolist() == [1, 0xFFFE]
+
+    def test_class_pmf_normalised(self):
+        pmf = class_pmf([0, 0xFFFF, 5, 5])
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[0] == pytest.approx(0.5)
+        assert pmf[5] == pytest.approx(0.5)
+
+
+class TestCyclicConvolve:
+    @given(st.integers(2, 12), st.data())
+    @settings(max_examples=30)
+    def test_matches_brute_force(self, m, draw):
+        weights_p = draw.draw(
+            st.lists(st.floats(0, 1), min_size=m, max_size=m).filter(
+                lambda w: sum(w) > 0
+            )
+        )
+        weights_q = draw.draw(
+            st.lists(st.floats(0, 1), min_size=m, max_size=m).filter(
+                lambda w: sum(w) > 0
+            )
+        )
+        p = np.array(weights_p) / sum(weights_p)
+        q = np.array(weights_q) / sum(weights_q)
+        assert np.allclose(cyclic_convolve(p, q), brute_force_convolve(p, q),
+                           atol=1e-9)
+
+    def test_identity_element(self):
+        p = np.zeros(8)
+        p[0] = 1.0
+        q = np.full(8, 1 / 8)
+        assert np.allclose(cyclic_convolve(p, q), q)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            cyclic_convolve(np.ones(4) / 4, np.ones(5) / 5)
+
+    def test_result_is_pmf(self):
+        rng = np.random.default_rng(0)
+        p = rng.random(100)
+        p /= p.sum()
+        out = cyclic_self_convolve(p, 5)
+        assert out.min() >= 0
+        assert out.sum() == pytest.approx(1.0)
+
+
+class TestSelfConvolve:
+    def test_k1_is_identity(self):
+        p = np.array([0.5, 0.25, 0.25])
+        assert np.allclose(cyclic_self_convolve(p, 1), p)
+
+    def test_k2_matches_pairwise(self):
+        p = np.array([0.7, 0.2, 0.1, 0.0])
+        assert np.allclose(cyclic_self_convolve(p, 2),
+                           brute_force_convolve(p, p), atol=1e-12)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            cyclic_self_convolve(np.ones(4) / 4, 0)
+
+    def test_converges_to_uniform(self):
+        # Theorem 4 in action on a small modulus.
+        p = np.array([0.9, 0.1, 0.0, 0.0, 0.0])
+        out = cyclic_self_convolve(p, 200)
+        assert np.allclose(out, 0.2, atol=1e-3)
+
+
+class TestPredictor:
+    def test_prediction_dimensions(self):
+        values = [0, 1, 2, 0xFFFF] * 10
+        pred = predicted_block_distribution(values, 3)
+        assert pred.size == ONES_COMPLEMENT_CLASSES
+
+    def test_predicted_match_decreases_with_k(self):
+        # Corollary 3: more cells, more uniform, lower match probability.
+        rng = np.random.default_rng(1)
+        values = rng.choice([0, 0, 0, 17, 500, 0x8000], size=2000)
+        probs = [predicted_match_probability(values, k) for k in (1, 2, 3, 4)]
+        assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+        assert probs[-1] >= 1 / ONES_COMPLEMENT_CLASSES - 1e-12
+
+    def test_k1_prediction_equals_empirical(self):
+        values = [5, 5, 9, 0xFFFF, 0]
+        pmf = class_pmf(values)
+        assert predicted_match_probability(values, 1) == pytest.approx(
+            match_probability(pmf)
+        )
+
+    def test_uniform_input_predicts_uniform(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 65536, size=200_000)
+        predicted = predicted_match_probability(values, 4)
+        assert predicted == pytest.approx(1 / ONES_COMPLEMENT_CLASSES, rel=0.01)

@@ -1,0 +1,136 @@
+"""Tests for checksum value distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    ChecksumDistribution,
+    block_checksum_values,
+    cell_checksum_values,
+    distribution_over,
+)
+from repro.checksums.fletcher import fletcher8
+from repro.checksums.internet import ones_complement_sum
+from tests.conftest import make_filesystem
+
+
+class TestCellValues:
+    def test_matches_scalar_checksum(self, rng):
+        data = rng.integers(0, 256, size=48 * 5).astype(np.uint8).tobytes()
+        values = cell_checksum_values(data)
+        for i in range(5):
+            assert values[i] == ones_complement_sum(data[48 * i : 48 * i + 48])
+
+    def test_partial_tail_cell_dropped(self):
+        values = cell_checksum_values(bytes(100))
+        assert values.size == 2
+
+    def test_fletcher_values_packed(self, rng):
+        data = rng.integers(0, 256, size=96).astype(np.uint8).tobytes()
+        for algorithm in ("fletcher255", "fletcher256"):
+            values = cell_checksum_values(data, algorithm)
+            expected = fletcher8(data[:48], int(algorithm[-3:])).packed()
+            assert values[0] == expected
+
+    def test_filesystem_input(self):
+        fs = make_filesystem([("english", 480), ("gmon", 480)])
+        values = cell_checksum_values(fs)
+        assert values.size == 20
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            cell_checksum_values(b"", "md5")
+
+
+class TestBlockValues:
+    def test_block_equals_concatenated_checksum(self, rng):
+        data = rng.integers(0, 256, size=48 * 8).astype(np.uint8).tobytes()
+        blocks = block_checksum_values(data, k=2)
+        assert blocks.size == 4
+        for i in range(4):
+            assert blocks[i] == ones_complement_sum(data[96 * i : 96 * i + 96])
+
+    def test_blocks_do_not_cross_files(self):
+        fs = make_filesystem([("english", 48 * 3), ("gmon", 48 * 3)])
+        # Each 3-cell file yields one 2-cell block; no cross-file block.
+        assert block_checksum_values(fs, k=2).size == 2
+
+    def test_short_file_yields_nothing(self):
+        assert block_checksum_values(bytes(40), k=2).size == 0
+
+
+class TestDistribution:
+    def test_counts_and_observations(self):
+        dist = ChecksumDistribution.from_values([5, 5, 7], space=16)
+        assert dist.observations == 3
+        assert dist.counts[5] == 2
+        assert dist.space == 16
+
+    def test_sorted_pmf_descends(self):
+        dist = ChecksumDistribution.from_values([1, 1, 1, 2, 2, 3], space=8)
+        pmf = dist.sorted_pmf()
+        assert pmf[0] == 0.5 and pmf[1] == pytest.approx(1 / 3)
+        assert (np.diff(pmf) <= 0).all()
+
+    def test_cdf_reaches_one(self):
+        dist = ChecksumDistribution.from_values([0, 1, 2, 3], space=8)
+        assert dist.sorted_cdf()[-1] == pytest.approx(1.0)
+
+    def test_match_probability_uniform_case(self):
+        dist = ChecksumDistribution.from_values(list(range(8)) * 10, space=8)
+        assert dist.match_probability() == pytest.approx(1 / 8)
+        assert dist.uniform_match_probability() == 1 / 8
+
+    def test_match_probability_degenerate_case(self):
+        dist = ChecksumDistribution.from_values([3] * 50, space=8)
+        assert dist.match_probability() == pytest.approx(1.0)
+        assert dist.pmax == 1.0
+
+    def test_top_value_share(self):
+        dist = ChecksumDistribution.from_values([1, 1, 1, 2], space=8)
+        assert dist.top_value_share(1) == pytest.approx(0.75)
+        assert dist.top_value_share(2) == pytest.approx(1.0)
+
+    def test_most_common(self):
+        dist = ChecksumDistribution.from_values([7, 7, 7, 1, 1, 4], space=8)
+        top = dist.most_common(2)
+        assert top[0] == (7, pytest.approx(0.5))
+        assert top[1] == (1, pytest.approx(1 / 3))
+
+    def test_empty_distribution(self):
+        dist = ChecksumDistribution.from_values([], space=16)
+        assert dist.pmax == 0.0
+        assert dist.top_value_share(5) == 0.0
+
+
+class TestDistributionOver:
+    def test_k1_uses_cells(self):
+        fs = make_filesystem([("gmon", 4800)])
+        dist = distribution_over(fs, "internet", 1)
+        assert dist.observations == 100
+
+    def test_multicell_fletcher_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_over(b"", "fletcher255", k=2)
+
+    def test_skew_on_real_data(self):
+        # The paper's qualitative claim: real data has hot-spots.
+        fs = make_filesystem([("gmon", 48_000)])
+        dist = distribution_over(fs, "internet", 1)
+        assert dist.match_probability() > 100 * dist.uniform_match_probability()
+
+
+class TestFletcherDistributions:
+    def test_filesystem_fletcher_values(self):
+        fs = make_filesystem([("gmon", 9600)])
+        for algorithm in ("fletcher255", "fletcher256"):
+            dist = distribution_over(fs, algorithm, 1)
+            assert dist.observations == 200
+            # Zero-heavy data concentrates Fletcher values too.
+            assert dist.pmax > 0.1
+
+    def test_fletcher255_values_within_component_range(self, rng):
+        data = rng.integers(0, 256, size=48 * 50).astype(np.uint8).tobytes()
+        values = cell_checksum_values(data, "fletcher255")
+        assert ((values & 0xFF) < 255).all()
+        assert ((values >> 8) < 255).all()

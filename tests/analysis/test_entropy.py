@@ -1,0 +1,77 @@
+"""Tests for the entropy measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.entropy import (
+    byte_entropy,
+    corpus_statistics,
+    distribution_entropy,
+    effective_value_bits,
+    kl_from_uniform,
+)
+from tests.conftest import make_filesystem
+
+
+class TestEntropies:
+    def test_uniform_bytes_near_8_bits(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=200_000).astype(np.uint8).tobytes()
+        assert byte_entropy(data) > 7.99
+
+    def test_constant_bytes_zero_entropy(self):
+        assert byte_entropy(bytes(1000)) == 0.0
+
+    def test_two_value_data_one_bit(self):
+        data = bytes([0, 255] * 5000)
+        assert byte_entropy(data) == pytest.approx(1.0)
+
+    def test_empty_data(self):
+        assert byte_entropy(b"") == 0.0
+
+    def test_distribution_entropy_uniform(self):
+        assert distribution_entropy(np.ones(16)) == pytest.approx(4.0)
+
+    def test_effective_bits_uniform(self):
+        assert effective_value_bits(np.ones(1024)) == pytest.approx(10.0)
+
+    def test_effective_bits_degenerate(self):
+        counts = np.zeros(100)
+        counts[3] = 50
+        assert effective_value_bits(counts) == pytest.approx(0.0)
+
+    def test_renyi_below_shannon(self):
+        # H2 <= H1 for any distribution, equality iff uniform.
+        counts = np.array([10, 5, 2, 1, 1, 1])
+        assert effective_value_bits(counts) <= distribution_entropy(counts) + 1e-12
+
+    def test_kl_zero_for_uniform(self):
+        assert kl_from_uniform(np.ones(32)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_positive_for_skew(self):
+        assert kl_from_uniform(np.array([10, 1, 1, 1])) > 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_entropy(np.zeros(4))
+
+
+class TestCorpusStatistics:
+    def test_per_kind_rows(self):
+        fs = make_filesystem([("english", 20_000), ("gmon", 10_000),
+                              ("english", 5_000)])
+        stats = {s.name: s for s in corpus_statistics(fs)}
+        assert set(stats) == {"english", "gmon"}
+        assert stats["english"].sample_bytes == 25_000
+        # The entropy chain: text is high-entropy/low-pmax, gmon the
+        # opposite.
+        assert stats["english"].byte_entropy_bits > 3.5
+        assert stats["gmon"].byte_entropy_bits < 1.0
+        assert stats["gmon"].zero_fraction > 0.9
+        assert stats["gmon"].checksum_pmax_pct > stats["english"].checksum_pmax_pct
+        assert (
+            stats["gmon"].checksum_effective_bits
+            < stats["english"].checksum_effective_bits
+        )

@@ -1,0 +1,102 @@
+"""Tests for the local-vs-global congruence statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import LocalityStats, locality_statistics
+from repro.corpus.filesystem import Filesystem, SyntheticFile
+from tests.conftest import make_filesystem
+
+
+def fs_from_bytes(data, name="crafted"):
+    fs = Filesystem(name)
+    fs.add(SyntheticFile("file", bytes(data), "crafted"))
+    return fs
+
+
+class TestCraftedCases:
+    def test_identical_repeats_counted_as_identical(self):
+        # One 48-byte pattern repeated: all local congruences are
+        # identical-data congruences.
+        cell = bytes(range(48))
+        fs = fs_from_bytes(cell * 20)
+        stats = locality_statistics(fs, ks=(1,))
+        entry = stats[1]
+        assert entry.local_pairs > 0
+        assert entry.local_congruent == entry.local_pairs
+        assert entry.local_identical_congruent == entry.local_congruent
+        assert entry.local_match == 1.0
+        assert entry.local_match_excluding_identical == 0.0
+
+    def test_congruent_but_unequal_detected(self):
+        # Alternate a cell with its word-swapped twin: equal sums,
+        # different bytes.
+        cell = bytearray(range(48))
+        swapped = bytearray(cell)
+        swapped[0:2], swapped[2:4] = cell[2:4], cell[0:2]
+        fs = fs_from_bytes(bytes(cell) + bytes(swapped) + bytes(cell))
+        stats = locality_statistics(fs, ks=(1,))
+        entry = stats[1]
+        assert entry.local_congruent == entry.local_pairs  # all congruent
+        assert entry.local_identical_congruent < entry.local_congruent
+        assert entry.local_match_excluding_identical > 0
+
+    def test_distinct_cells_no_congruence(self):
+        cells = []
+        for i in range(10):
+            cell = bytearray(48)
+            cell[0] = i + 1  # distinct sums
+            cells.append(bytes(cell))
+        fs = fs_from_bytes(b"".join(cells))
+        stats = locality_statistics(fs, ks=(1, 2))
+        assert stats[1].local_congruent == 0
+        assert stats[2].local_congruent == 0
+
+    def test_window_limits_lag(self):
+        # With a 48-byte window only lag-1 pairs are counted.
+        fs = fs_from_bytes(bytes(48 * 10))
+        stats = locality_statistics(fs, ks=(1,), window=48)
+        assert stats[1].local_pairs == 9
+
+
+class TestGlobalStatistics:
+    def test_global_match_of_constant_data(self):
+        fs = fs_from_bytes(bytes(48 * 50))
+        stats = locality_statistics(fs, ks=(1,))
+        assert stats[1].global_match == pytest.approx(1.0)
+
+    def test_global_below_local_on_real_data(self):
+        fs = make_filesystem(
+            [("c-source", 20_000), ("english", 20_000), ("gmon", 10_000)]
+        )
+        stats = locality_statistics(fs, ks=(1, 2))
+        for k in (1, 2):
+            assert stats[k].local_match >= stats[k].global_match
+
+    def test_percentages_tuple(self):
+        entry = LocalityStats(k=1, global_match=0.01, local_pairs=100,
+                              local_congruent=5, local_identical_congruent=3)
+        g, local, excl = entry.as_percentages()
+        assert g == pytest.approx(1.0)
+        assert local == pytest.approx(5.0)
+        assert excl == pytest.approx(2.0)
+
+
+class TestEdgeCases:
+    def test_empty_filesystem(self):
+        stats = locality_statistics(Filesystem("empty"), ks=(1, 2))
+        assert stats[1].local_pairs == 0
+        assert stats[1].global_match == 0.0
+
+    def test_file_shorter_than_block(self):
+        fs = fs_from_bytes(bytes(50))
+        stats = locality_statistics(fs, ks=(4,))
+        assert stats[4].local_pairs == 0
+
+    def test_blocks_never_cross_files(self):
+        # Two files each one cell long: no local pairs at all.
+        fs = Filesystem("two")
+        fs.add(SyntheticFile("a", bytes(48), "x"))
+        fs.add(SyntheticFile("b", bytes(48), "x"))
+        stats = locality_statistics(fs, ks=(1,))
+        assert stats[1].local_pairs == 0

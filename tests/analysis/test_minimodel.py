@@ -1,0 +1,71 @@
+"""Tests for the exhaustive miniature theory model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.minimodel import (
+    exact_prob_equal,
+    exact_prob_offset,
+    header_vs_trailer_failure,
+    verify_lemma9_exhaustive,
+)
+
+
+def pmf_strategy(size):
+    return (
+        st.lists(st.floats(0.0, 1.0), min_size=size, max_size=size)
+        .filter(lambda w: sum(w) > 1e-6)
+        .map(lambda w: np.array(w) / sum(w))
+    )
+
+
+class TestExhaustiveLemma9:
+    def test_small_lattice(self):
+        # Every PMF on Z_5 with quarter-step probabilities, every offset.
+        checked = verify_lemma9_exhaustive(modulus=5, resolution=4)
+        assert checked > 200
+
+    def test_finer_lattice(self):
+        assert verify_lemma9_exhaustive(modulus=4, resolution=6) > 200
+
+    def test_uniform_distribution_equality_case(self):
+        pmf = np.full(7, 1 / 7)
+        for offset in range(7):
+            assert exact_prob_offset(pmf, offset) == pytest.approx(
+                exact_prob_equal(pmf)
+            )
+
+
+class TestTheorem10Toy:
+    @given(pmf_strategy(8), pmf_strategy(8))
+    @settings(max_examples=100)
+    def test_trailer_never_worse(self, data_pmf, delta_pmf):
+        header_fail, trailer_fail = header_vs_trailer_failure(data_pmf, delta_pmf)
+        assert trailer_fail <= header_fail + 1e-12
+
+    def test_uniform_data_makes_them_equal(self):
+        data = np.full(6, 1 / 6)
+        delta = np.array([0.0, 0.5, 0.5, 0.0, 0.0, 0.0])
+        header_fail, trailer_fail = header_vs_trailer_failure(data, delta)
+        assert trailer_fail == pytest.approx(header_fail)
+
+    def test_skewed_data_gives_strict_advantage(self):
+        # Non-uniform data + a delta concentrated off zero: the paper's
+        # actual situation, with a strict trailer win.
+        data = np.array([0.7, 0.1, 0.1, 0.1, 0.0, 0.0])
+        delta = np.zeros(6)
+        delta[1] = 1.0  # sequence difference is a fixed non-zero amount
+        header_fail, trailer_fail = header_vs_trailer_failure(data, delta)
+        assert trailer_fail < header_fail
+
+    def test_delta_at_zero_degenerates_to_header(self):
+        data = np.array([0.5, 0.25, 0.25, 0.0])
+        delta = np.array([1.0, 0.0, 0.0, 0.0])
+        header_fail, trailer_fail = header_vs_trailer_failure(data, delta)
+        assert trailer_fail == pytest.approx(header_fail)
+
+    def test_mismatched_moduli_rejected(self):
+        with pytest.raises(ValueError):
+            header_vs_trailer_failure(np.ones(4) / 4, np.ones(5) / 5)

@@ -1,0 +1,123 @@
+"""Property tests for the appendix results (Lemmas 1 & 9, Theorem 4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.convolution import cyclic_convolve
+from repro.analysis.theory import (
+    coloring_correction,
+    effective_checksum_bits,
+    modular_clt_pmax,
+    prob_equal,
+    prob_offset,
+)
+
+
+def pmf_strategy(size):
+    return (
+        st.lists(st.floats(0.0, 1.0), min_size=size, max_size=size)
+        .filter(lambda w: sum(w) > 1e-6)
+        .map(lambda w: np.array(w) / sum(w))
+    )
+
+
+class TestLemma9:
+    """P[X == Y] >= P[X - Y == c] for any fixed offset c."""
+
+    @given(pmf_strategy(17), st.integers(1, 16))
+    @settings(max_examples=80)
+    def test_equality_beats_any_offset(self, pmf, offset):
+        assert prob_equal(pmf) >= prob_offset(pmf, offset) - 1e-12
+
+    def test_uniform_reaches_equality(self):
+        pmf = np.full(16, 1 / 16)
+        assert prob_equal(pmf) == pytest.approx(prob_offset(pmf, 5))
+
+    def test_degenerate_distribution(self):
+        pmf = np.zeros(8)
+        pmf[3] = 1.0
+        assert prob_equal(pmf) == 1.0
+        assert prob_offset(pmf, 1) == 0.0
+
+    def test_offset_zero_is_equality(self):
+        pmf = np.array([0.5, 0.3, 0.2])
+        assert prob_offset(pmf, 0) == pytest.approx(prob_equal(pmf))
+
+
+class TestLemma1AndCorollary3:
+    """Convolution never increases PMax nor decreases PMin."""
+
+    @given(pmf_strategy(11), pmf_strategy(11))
+    @settings(max_examples=60)
+    def test_pmax_shrinks(self, p, q):
+        out = cyclic_convolve(p, q)
+        assert out.max() <= min(p.max(), q.max()) + 1e-9
+
+    @given(
+        st.lists(st.floats(0.01, 1.0), min_size=11, max_size=11).map(
+            lambda w: np.array(w) / sum(w)
+        )
+    )
+    @settings(max_examples=40)
+    def test_pmin_grows_when_support_full(self, p):
+        # Lemma 2 requires full support; entries are bounded away from
+        # zero so FFT round-off cannot dominate the comparison.
+        out = cyclic_convolve(p, p)
+        assert out.min() >= p.min() - 1e-9
+
+
+class TestTheorem4:
+    """The modular central limit theorem."""
+
+    def test_pmax_trajectory_monotone(self):
+        pmf = np.array([0.8, 0.1, 0.05, 0.05, 0.0])
+        trajectory = modular_clt_pmax(pmf, 30)
+        assert all(b <= a + 1e-12 for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_limit_is_uniform(self):
+        pmf = np.array([0.6, 0.4, 0, 0, 0, 0, 0])
+        trajectory = modular_clt_pmax(pmf, 300)
+        assert trajectory[-1] == pytest.approx(1 / 7, abs=1e-3)
+
+    def test_gcd_caveat(self):
+        # Support {0, 2} mod 4 never mixes into odd residues, but PMax
+        # still falls to 1/2 (uniform over the subgroup).
+        pmf = np.array([0.9, 0.0, 0.1, 0.0])
+        trajectory = modular_clt_pmax(pmf, 200)
+        assert trajectory[-1] == pytest.approx(0.5, abs=1e-3)
+
+
+class TestColoringCorrection:
+    def test_paper_values_m7(self):
+        # (m - k) / (m - 1) for m = 7.
+        assert coloring_correction(7, 1) == 1.0
+        assert coloring_correction(7, 4) == pytest.approx(0.5)
+        assert coloring_correction(7, 7) == 0.0
+
+    def test_bounds(self):
+        for k in range(1, 8):
+            assert 0.0 <= coloring_correction(7, k) <= 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            coloring_correction(7, 0)
+        with pytest.raises(ValueError):
+            coloring_correction(7, 8)
+
+
+class TestEffectiveBits:
+    def test_uniform_16_bit(self):
+        assert effective_checksum_bits(2**-16) == pytest.approx(16.0)
+
+    def test_paper_headline(self):
+        # ~0.1% miss rate is about a 10-bit checksum.
+        assert effective_checksum_bits(0.001) == pytest.approx(
+            math.log2(1000), rel=1e-6
+        )
+
+    def test_zero_probability(self):
+        assert effective_checksum_bits(0) == float("inf")

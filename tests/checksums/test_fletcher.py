@@ -1,0 +1,144 @@
+"""Tests for Fletcher's checksum (mod 255 and mod 256)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checksums.fletcher import (
+    Fletcher8,
+    FletcherSums,
+    fletcher8,
+    fletcher8_cells,
+    fletcher_check_bytes,
+    fletcher_combine,
+)
+
+
+class TestBasicSums:
+    def test_manual_small_case(self):
+        # d = [1, 2, 3]: A = 6, B = 3*1 + 2*2 + 1*3 = 10.
+        sums = fletcher8(bytes([1, 2, 3]), 256)
+        assert (sums.a, sums.b) == (6, 10)
+
+    def test_mod255_reduction(self):
+        sums = fletcher8(bytes([250, 250]), 255)
+        assert sums.a == (250 + 250) % 255
+        assert sums.b == (2 * 250 + 250) % 255
+
+    def test_empty_data(self):
+        assert fletcher8(b"", 255) == FletcherSums(0, 0)
+
+    def test_packed_layout(self):
+        assert FletcherSums(a=0x12, b=0x34).packed() == 0x3412
+
+    def test_position_sensitivity(self):
+        # Unlike the Internet checksum, reordering changes the sum.
+        a = fletcher8(b"\x01\x02", 256)
+        b = fletcher8(b"\x02\x01", 256)
+        assert a.a == b.a and a.b != b.b
+
+    def test_mod255_two_zeros_weakness(self):
+        # 0x00 and 0xFF are congruent mod 255 -- the PBM pathology.
+        zeros = fletcher8(bytes(10), 255)
+        ones = fletcher8(b"\xff" * 10, 255)
+        assert (zeros.a, zeros.b) == (ones.a, ones.b) == (0, 0)
+
+    def test_mod256_distinguishes_0_and_255(self):
+        zeros = fletcher8(bytes(10), 256)
+        ones = fletcher8(b"\xff" * 10, 256)
+        assert (zeros.a, zeros.b) != (ones.a, ones.b)
+
+
+class TestCombine:
+    @given(st.binary(max_size=80), st.binary(max_size=80),
+           st.sampled_from([255, 256]))
+    @settings(max_examples=60)
+    def test_combine_law(self, a, b, modulus):
+        whole = fletcher8(a + b, modulus)
+        combined = fletcher_combine(
+            fletcher8(a, modulus), fletcher8(b, modulus), len(b), modulus
+        )
+        assert (whole.a, whole.b) == (combined.a, combined.b)
+
+    def test_positional_shift(self):
+        # A chunk's B contribution grows with its distance from the end.
+        chunk = fletcher8(b"abc", 256)
+        near = fletcher_combine(chunk, fletcher8(b"", 256), 0, 256)
+        far = fletcher_combine(chunk, fletcher8(bytes(5), 256), 5, 256)
+        assert far.b == (near.b + 5 * chunk.a) % 256
+
+
+class TestCheckBytes:
+    @given(st.binary(min_size=4, max_size=120), st.data(),
+           st.sampled_from([255, 256]))
+    @settings(max_examples=60)
+    def test_sum_to_zero_any_offset(self, data, draw, modulus):
+        offset = draw.draw(st.integers(0, len(data) - 2))
+        buf = bytearray(data)
+        buf[offset : offset + 2] = b"\x00\x00"
+        algorithm = Fletcher8(modulus)
+        x, y = algorithm.check_bytes(buf, offset)
+        buf[offset], buf[offset + 1] = x, y
+        assert algorithm.verify(buf)
+
+    def test_rejects_nonzero_field(self):
+        with pytest.raises(ValueError):
+            Fletcher8(255).check_bytes(b"\x01\x02\x03\x04", 1)
+
+    def test_check_bytes_in_range(self):
+        sums = fletcher8(b"hello world\x00\x00", 255)
+        x, y = fletcher_check_bytes(sums, 0, 255)
+        assert 0 <= x < 255 and 0 <= y < 255
+
+
+class TestAlgorithmObject:
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            Fletcher8(254)
+
+    def test_names(self):
+        assert Fletcher8(255).name == "fletcher255"
+        assert Fletcher8(256).name == "fletcher256"
+
+    def test_compute_packs_sums(self):
+        data = b"some packet data"
+        algorithm = Fletcher8(256)
+        sums = algorithm.sums(data)
+        assert algorithm.compute(data) == sums.packed()
+
+    def test_verify_detects_byte_change(self):
+        buf = bytearray(b"payload\x00\x00tail")
+        algorithm = Fletcher8(256)
+        x, y = algorithm.check_bytes(buf, 7)
+        buf[7], buf[8] = x, y
+        assert algorithm.verify(buf)
+        buf[0] ^= 1
+        assert not algorithm.verify(buf)
+
+    def test_verify_misses_0_255_swap_mod255(self):
+        # The documented Fletcher-255 weakness, end to end.
+        buf = bytearray(bytes(6) + b"\x00\x00")
+        algorithm = Fletcher8(255)
+        x, y = algorithm.check_bytes(buf, 6)
+        buf[6], buf[7] = x, y
+        assert algorithm.verify(buf)
+        corrupted = bytearray(buf)
+        corrupted[2] = 0xFF  # 0x00 -> 0xFF goes unseen mod 255
+        assert algorithm.verify(corrupted)
+        assert not Fletcher8(256).verify(corrupted)
+
+
+class TestVectorized:
+    def test_cells_match_scalar(self, rng):
+        cells = rng.integers(0, 256, size=(16, 48)).astype(np.uint8)
+        for modulus in (255, 256):
+            a, b = fletcher8_cells(cells, modulus)
+            for i in range(16):
+                expected = fletcher8(cells[i].tobytes(), modulus)
+                assert (a[i], b[i]) == (expected.a, expected.b)
+
+    def test_cells_batch_shape(self, rng):
+        cells = rng.integers(0, 256, size=(3, 7, 48)).astype(np.uint8)
+        a, b = fletcher8_cells(cells, 255)
+        assert a.shape == b.shape == (3, 7)

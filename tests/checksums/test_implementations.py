@@ -1,0 +1,50 @@
+"""Tests for the alternative Internet-checksum implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checksums.implementations import (
+    ALL_STRATEGIES,
+    sum_bytewise,
+    sum_deferred_32bit,
+    sum_numpy_32bit_pairs,
+    sum_numpy_words,
+    sum_wordwise,
+)
+from repro.checksums.internet import ones_complement_sum
+
+
+@pytest.mark.parametrize("name,strategy", sorted(ALL_STRATEGIES.items()))
+class TestAgainstReference:
+    def test_rfc1071_example(self, name, strategy):
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert strategy(data) == 0xDDF2
+
+    def test_empty(self, name, strategy):
+        assert strategy(b"") == 0
+
+    def test_odd_length(self, name, strategy):
+        assert strategy(b"\xab") == 0xAB00
+
+    def test_carry_heavy_input(self, name, strategy):
+        # All-ones data maximises carries, the classic bug surface.
+        assert strategy(b"\xff" * 101) == ones_complement_sum(b"\xff" * 101)
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=80)
+def test_all_strategies_agree(data):
+    results = {name: strategy(data) for name, strategy in ALL_STRATEGIES.items()}
+    assert len(set(results.values())) == 1, results
+    assert results["numpy-16bit"] == ones_complement_sum(data)
+
+
+def test_lengths_straddling_chunk_boundaries():
+    # 32-bit strategies have special cases at lengths % 4 in {0,1,2,3}.
+    for length in range(0, 17):
+        data = bytes(range(1, length + 1))
+        expected = ones_complement_sum(data)
+        assert sum_deferred_32bit(data) == expected, length
+        assert sum_numpy_32bit_pairs(data) == expected, length
+        assert sum_bytewise(data) == sum_wordwise(data) == expected, length

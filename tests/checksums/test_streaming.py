@@ -1,0 +1,116 @@
+"""Tests for the streaming (incremental) checksum interfaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checksums.crc import CRC32_AAL5, CRCEngine
+from repro.checksums.fletcher import fletcher8
+from repro.checksums.internet import internet_checksum
+from repro.checksums.streaming import (
+    StreamingCRC,
+    StreamingFletcher,
+    StreamingInternetChecksum,
+    open_stream,
+)
+
+
+def chunked(data, cuts):
+    """Split ``data`` at the sorted offsets in ``cuts``."""
+    edges = [0] + sorted(set(min(c, len(data)) for c in cuts)) + [len(data)]
+    return [data[a:b] for a, b in zip(edges, edges[1:])]
+
+
+class TestStreamingInternet:
+    @given(st.binary(max_size=200), st.lists(st.integers(0, 200), max_size=5))
+    @settings(max_examples=60)
+    def test_any_chunking_matches_oneshot(self, data, cuts):
+        stream = StreamingInternetChecksum()
+        for chunk in chunked(data, cuts):
+            stream.update(chunk)
+        assert stream.value() == internet_checksum(data)
+
+    def test_single_odd_bytes(self):
+        stream = StreamingInternetChecksum()
+        for byte in b"abcde":
+            stream.update(bytes([byte]))
+        assert stream.value() == internet_checksum(b"abcde")
+
+    def test_field_is_complement(self):
+        stream = StreamingInternetChecksum()
+        stream.update(b"data!!")
+        assert stream.field() == stream.value() ^ 0xFFFF
+
+    def test_copy_is_independent(self):
+        stream = StreamingInternetChecksum()
+        stream.update(b"abc")
+        clone = stream.copy()
+        clone.update(b"def")
+        assert stream.value() == internet_checksum(b"abc")
+        assert clone.value() == internet_checksum(b"abcdef")
+
+
+class TestStreamingFletcher:
+    @given(st.binary(max_size=150), st.lists(st.integers(0, 150), max_size=4),
+           st.sampled_from([255, 256]))
+    @settings(max_examples=60)
+    def test_any_chunking_matches_oneshot(self, data, cuts, modulus):
+        stream = StreamingFletcher(modulus)
+        for chunk in chunked(data, cuts):
+            stream.update(chunk)
+        expected = fletcher8(data, modulus)
+        assert stream.sums() == expected
+        assert stream.value() == expected.packed()
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            StreamingFletcher(100)
+
+    def test_copy(self):
+        stream = StreamingFletcher(255)
+        stream.update(b"xy")
+        clone = stream.copy()
+        clone.update(b"z")
+        assert stream.sums() == fletcher8(b"xy", 255)
+        assert clone.sums() == fletcher8(b"xyz", 255)
+
+
+class TestStreamingCRC:
+    def test_matches_oneshot(self):
+        engine = CRCEngine(CRC32_AAL5)
+        stream = StreamingCRC(engine)
+        stream.update(b"1234")
+        stream.update(b"")
+        stream.update(b"56789")
+        assert stream.value() == engine.compute(b"123456789") == 0xFC891918
+
+    def test_accepts_algorithm_name(self):
+        stream = StreamingCRC("crc16-ccitt")
+        stream.update(b"123456789")
+        assert stream.value() == 0x29B1
+
+    def test_digest_bytes(self):
+        stream = StreamingCRC("crc32-aal5")
+        stream.update(b"123456789")
+        assert stream.digest() == (0xFC891918).to_bytes(4, "big")
+
+    def test_copy(self):
+        stream = StreamingCRC("crc32-aal5")
+        stream.update(b"12345")
+        clone = stream.copy()
+        clone.update(b"6789")
+        assert clone.value() == 0xFC891918
+        stream.update(b"6789")
+        assert stream.value() == clone.value()
+
+
+class TestOpenStream:
+    def test_dispatch(self):
+        assert isinstance(open_stream("internet"), StreamingInternetChecksum)
+        assert isinstance(open_stream("fletcher255"), StreamingFletcher)
+        assert open_stream("fletcher256").modulus == 256
+        assert isinstance(open_stream("crc10-atm"), StreamingCRC)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            open_stream("sha256")

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.filesystem import Filesystem, SyntheticFile
+from repro.corpus.generators import generate
+from repro.protocols.packetizer import PacketizerConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def base_config():
+    return PacketizerConfig()
+
+
+def make_filesystem(kinds_and_sizes, seed=7, name="test-fs"):
+    """Build a small filesystem from (kind, size) pairs."""
+    fs = Filesystem(name)
+    rng = np.random.default_rng(seed)
+    for index, (kind, size) in enumerate(kinds_and_sizes):
+        fs.add(SyntheticFile("f%d.%s" % (index, kind), generate(kind, size, rng), kind))
+    return fs
+
+
+@pytest.fixture
+def small_mixed_fs():
+    return make_filesystem(
+        [("english", 8_000), ("gmon", 6_000), ("c-source", 8_000), ("zero-heavy", 6_000)]
+    )

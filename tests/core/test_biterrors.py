@@ -1,0 +1,133 @@
+"""Tests for the alternative error models (Section 2 / 7 guarantees)."""
+
+import numpy as np
+import pytest
+
+from repro.core.biterrors import (
+    BitFlips,
+    BurstError,
+    GarbageRun,
+    RunOverwrite,
+    WordSwap,
+    error_detection_experiment,
+)
+from repro.protocols.packetizer import PacketizerConfig
+from tests.conftest import make_filesystem
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestInjectors:
+    def test_bitflips_change_exactly_n_bits(self, rng):
+        buf = bytearray(64)
+        assert BitFlips(3).apply(buf, 0, 64, rng)
+        assert sum(bin(b).count("1") for b in buf) == 3
+
+    def test_bitflips_respect_region(self, rng):
+        buf = bytearray(64)
+        BitFlips(5).apply(buf, 16, 32, rng)
+        assert not any(buf[:16]) and not any(buf[32:])
+
+    def test_bitflips_too_small_region(self, rng):
+        assert not BitFlips(9).apply(bytearray(64), 0, 1, rng)
+
+    def test_burst_endpoints_flipped(self, rng):
+        for bits in (1, 2, 5, 16, 31):
+            buf = bytearray(64)
+            assert BurstError(bits).apply(buf, 0, 64, rng)
+            positions = [
+                8 * i + (7 - b) for i in range(64) for b in range(8)
+                if buf[i] >> b & 1
+            ]
+            assert positions
+            assert max(positions) - min(positions) == bits - 1
+
+    def test_wordswap_preserves_internet_sum(self, rng):
+        from repro.checksums.internet import internet_checksum
+
+        buf = bytearray(rng.integers(0, 256, size=64).astype(np.uint8).tobytes())
+        original = bytes(buf)
+        assert WordSwap().apply(buf, 0, 64, rng)
+        assert bytes(buf) != original
+        assert internet_checksum(buf) == internet_checksum(original)
+
+    def test_wordswap_gives_up_on_constant_data(self, rng):
+        buf = bytearray(b"\x11\x22" * 8)
+        assert not WordSwap().apply(buf, 0, 16, rng)
+
+    def test_run_overwrite(self, rng):
+        buf = bytearray(rng.integers(1, 255, size=64).astype(np.uint8).tobytes())
+        assert RunOverwrite(16, 0xFF).apply(buf, 0, 64, rng)
+        assert b"\xff" * 16 in bytes(buf)
+
+    def test_run_overwrite_noop_on_existing_run(self, rng):
+        assert not RunOverwrite(16, 0x00).apply(bytearray(16), 0, 16, rng)
+
+    def test_garbage_changes_data(self, rng):
+        buf = bytearray(64)
+        assert GarbageRun(32).apply(buf, 0, 64, rng)
+        assert any(buf)
+
+    @pytest.mark.parametrize("factory", [
+        lambda: BitFlips(0), lambda: BurstError(0),
+        lambda: RunOverwrite(0), lambda: RunOverwrite(4, 7),
+        lambda: GarbageRun(0),
+    ])
+    def test_validation(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestDetectionExperiment:
+    @pytest.fixture(scope="class")
+    def rates(self):
+        fs = make_filesystem([("english", 20_000), ("executable", 10_000)])
+        injectors = [BitFlips(1), BurstError(15), BurstError(16), WordSwap(),
+                     GarbageRun(48)]
+        return error_detection_experiment(
+            fs, PacketizerConfig(), injectors, trials_per_packet=3, seed=2
+        )
+
+    def test_single_bit_always_detected(self, rates):
+        row = rates["1-bit flip"]
+        assert row.trials > 100
+        assert row.transport_rate() == 100.0
+        assert row.crc32_rate() == 100.0
+
+    def test_bursts_up_to_16_always_detected_by_tcp(self, rates):
+        # Plummer's guarantee: all bursts of 15 bits, and 16-bit bursts
+        # except the 0x0000 <-> 0xFFFF swap (absent at this scale).
+        assert rates["15-bit burst"].transport_rate() == 100.0
+        assert rates["16-bit burst"].transport_rate() >= 99.9
+
+    def test_word_swap_invisible_to_tcp_but_not_crc(self, rates):
+        row = rates["16-bit word swap"]
+        assert row.trials > 100
+        assert row.transport_rate() == 0.0
+        assert row.crc32_rate() == 100.0
+
+    def test_garbage_detected_at_near_certainty(self, rates):
+        assert rates["48-byte garbage"].transport_rate() > 99.0
+
+    def test_crc32_catches_everything_at_this_scale(self, rates):
+        for row in rates.values():
+            assert row.crc32_rate() == 100.0
+
+    def test_fletcher_sees_most_word_swaps(self):
+        fs = make_filesystem([("english", 15_000)])
+        rows = error_detection_experiment(
+            fs, PacketizerConfig(algorithm="fletcher256"), [WordSwap()],
+            trials_per_packet=4, seed=3,
+        )
+        assert rows["16-bit word swap"].transport_rate() > 90.0
+
+    def test_max_packets_limit(self):
+        fs = make_filesystem([("english", 20_000)])
+        rows = error_detection_experiment(
+            fs, PacketizerConfig(), [BitFlips(1)], trials_per_packet=1,
+            seed=1, max_packets=5,
+        )
+        assert rows["1-bit flip"].trials <= 5

@@ -1,0 +1,85 @@
+"""Direct tests for the vectorized candidate header checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.checks import candidate_header_validity, candidate_pseudo_sums
+from repro.protocols.packetizer import Packetizer, PacketizerConfig
+from repro.protocols.tcp import pseudo_header_word_sum
+
+
+def header_cell(config=None, payload=bytes(256)):
+    config = config or PacketizerConfig()
+    packet = Packetizer(config).packetize(payload)[0]
+    cell = np.zeros(48, dtype=np.uint8)
+    cell[: min(48, len(packet.ip_packet))] = np.frombuffer(
+        packet.ip_packet[:48], dtype=np.uint8
+    )
+    return cell, len(packet.ip_packet)
+
+
+class TestValidity:
+    def test_genuine_header_passes(self):
+        cell, iplen = header_cell()
+        cand = cell[None, None, :]
+        assert candidate_header_validity(cand, iplen).all()
+
+    def test_wrong_expected_length_fails(self):
+        cell, iplen = header_cell()
+        cand = cell[None, None, :]
+        assert not candidate_header_validity(cand, iplen + 48).any()
+
+    def test_data_cell_fails(self):
+        rng = np.random.default_rng(0)
+        cand = rng.integers(0, 256, size=(1, 500, 48)).astype(np.uint8)
+        assert not candidate_header_validity(cand, 296).any()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda c: c.__setitem__(0, 0x46),        # IHL 6
+            lambda c: c.__setitem__(9, 17),          # UDP protocol
+            lambda c: c.__setitem__(11, c[11] ^ 1),  # IP checksum corrupt
+            lambda c: c.__setitem__(32, 0x60),       # data offset 6
+            lambda c: c.__setitem__(33, 0x12),       # SYN set
+            lambda c: c.__setitem__(33, 0x00),       # no ACK
+        ],
+    )
+    def test_each_check_rejects(self, mutate):
+        cell, iplen = header_cell()
+        mutated = cell.copy()
+        mutate(mutated)
+        cand = mutated[None, None, :]
+        assert not candidate_header_validity(cand, iplen).any()
+
+    def test_ip_checksum_check_waivable(self):
+        cell, iplen = header_cell(PacketizerConfig(fill_ip_header=False))
+        cand = cell[None, None, :]
+        assert not candidate_header_validity(cand, iplen).any()
+        assert candidate_header_validity(
+            cand, iplen, require_ip_checksum=False
+        ).all()
+
+    def test_batch_shapes(self):
+        cell, iplen = header_cell()
+        cand = np.stack([np.stack([cell] * 5)] * 3)  # (3, 5, 48)
+        valid = candidate_header_validity(cand, iplen)
+        assert valid.shape == (3, 5)
+        assert valid.all()
+
+
+class TestPseudoSums:
+    def test_matches_scalar_pseudo_header(self):
+        config = PacketizerConfig(src="10.1.2.3", dst="172.16.0.9")
+        cell, iplen = header_cell(config)
+        sums = candidate_pseudo_sums(cell[None, None, :], iplen - 20)
+        expected = pseudo_header_word_sum(config.src, config.dst, iplen - 20)
+        assert int(sums[0, 0]) == expected
+
+    def test_vectorized_over_candidates(self):
+        cell_a, iplen = header_cell(PacketizerConfig(src="1.1.1.1"))
+        cell_b, _ = header_cell(PacketizerConfig(src="2.2.2.2"))
+        cand = np.stack([cell_a, cell_b])[None]
+        sums = candidate_pseudo_sums(cand, iplen - 20)
+        assert sums.shape == (1, 2)
+        assert sums[0, 0] != sums[0, 1]

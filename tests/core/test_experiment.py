@@ -1,0 +1,81 @@
+"""Tests for the filesystem-level experiment driver."""
+
+from repro.core.experiment import run_splice_experiment
+from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+from tests.conftest import make_filesystem
+
+
+def test_runs_over_all_files(small_mixed_fs):
+    result = run_splice_experiment(small_mixed_fs)
+    assert result.counters.files == len(small_mixed_fs)
+    assert result.counters.total > 0
+    assert result.filesystem == small_mixed_fs.name
+
+
+def test_max_files_truncates(small_mixed_fs):
+    result = run_splice_experiment(small_mixed_fs, max_files=2)
+    assert result.counters.files == 2
+
+
+def test_single_packet_files_counted(base_config):
+    fs = make_filesystem([("english", 100)])
+    result = run_splice_experiment(fs, base_config)
+    assert result.counters.packets == 1
+    assert result.counters.total == 0
+
+
+def test_algorithm_label():
+    fs = make_filesystem([("english", 600)])
+    base = PacketizerConfig()
+    assert run_splice_experiment(fs, base).algorithm_label == "tcp"
+    assert (
+        run_splice_experiment(
+            fs, base.with_overrides(placement=ChecksumPlacement.TRAILER)
+        ).algorithm_label
+        == "tcp-trailer"
+    )
+    assert (
+        run_splice_experiment(
+            fs, base.with_overrides(algorithm="fletcher255")
+        ).algorithm_label
+        == "fletcher255"
+    )
+
+
+def test_deterministic(small_mixed_fs):
+    a = run_splice_experiment(small_mixed_fs).counters
+    b = run_splice_experiment(small_mixed_fs).counters
+    assert a.missed_transport == b.missed_transport
+    assert a.total == b.total
+
+
+def test_per_file_experiment(small_mixed_fs):
+    from repro.core.experiment import run_per_file_experiment
+    from repro.core import run_splice_experiment
+
+    per_file = run_per_file_experiment(small_mixed_fs)
+    assert len(per_file) == len(small_mixed_fs)
+    merged = per_file[0][1]
+    for _, counters in per_file[1:]:
+        merged = merged + counters
+    whole = run_splice_experiment(small_mixed_fs).counters
+    assert merged.total == whole.total
+    assert merged.missed_transport == whole.missed_transport
+    assert merged.files == whole.files
+
+
+def test_per_file_max_files(small_mixed_fs):
+    from repro.core.experiment import run_per_file_experiment
+
+    per_file = run_per_file_experiment(small_mixed_fs, max_files=2)
+    assert len(per_file) == 2
+
+
+def test_parallel_workers_identical(small_mixed_fs):
+    serial = run_splice_experiment(small_mixed_fs).counters
+    parallel = run_splice_experiment(small_mixed_fs, workers=2).counters
+    assert serial.total == parallel.total
+    assert serial.missed_transport == parallel.missed_transport
+    assert serial.identical == parallel.identical
+    assert serial.remaining_by_len == parallel.remaining_by_len
+    assert serial.files == parallel.files

@@ -1,0 +1,130 @@
+"""Tests for the synthetic file-family generators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.generators import GENERATORS, generate
+
+
+@pytest.mark.parametrize("kind", sorted(GENERATORS))
+class TestAllGenerators:
+    def test_exact_size(self, kind):
+        assert len(generate(kind, 4096, 1)) == 4096
+
+    def test_deterministic(self, kind):
+        assert generate(kind, 2048, 5) == generate(kind, 2048, 5)
+
+    def test_seed_sensitivity(self, kind):
+        a = generate(kind, 4096, 5)
+        b = generate(kind, 4096, 6)
+        assert a != b
+
+    def test_small_sizes(self, kind):
+        for size in (1, 48, 100):
+            assert len(generate(kind, size, 2)) == size
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(KeyError, match="english"):
+        generate("nosuch", 100, 1)
+
+
+def test_generator_accepts_rng_object(rng):
+    data = generate("english", 500, rng)
+    assert len(data) == 500
+
+
+class TestFamilyProperties:
+    def test_english_is_ascii_text(self):
+        data = generate("english", 5000, 3)
+        assert max(data) < 128
+        # Realistic letter skew: 'e' among the most common letters.
+        counts = np.bincount(np.frombuffer(data, np.uint8), minlength=128)
+        letters = {chr(c): int(counts[c]) for c in range(ord("a"), ord("z") + 1)}
+        assert letters["e"] >= sorted(letters.values())[-5]
+
+    def test_english_contains_repeats(self):
+        # Boilerplate header means two files share a long prefix.
+        a = generate("english", 2000, 1)
+        b = generate("english", 2000, 2)
+        assert a[:200] == b[:200]
+
+    def test_c_source_structure(self):
+        data = generate("c-source", 5000, 3).decode("ascii")
+        assert data.startswith("/*")
+        assert "#include" in data
+        assert "\t" in data
+
+    def test_c_source_repeats_functions(self):
+        data = generate("c-source", 20000, 3)
+        # Some 200-byte chunk must appear at least twice.
+        probe = data[1000:1200]
+        assert data.count(probe) >= 1
+
+    def test_executable_magic_and_zeros(self):
+        data = generate("executable", 20000, 3)
+        assert data[:4] == b"\x7fELF"
+        assert data.count(0) > 1000
+
+    def test_pbm_all_bytes_binary(self):
+        data = generate("pbm-plot", 20000, 3)
+        header_end = data.index(b"255\n") + 4
+        body = set(data[header_end:])
+        assert body <= {0, 255}
+        assert {0, 255} <= body
+
+    def test_hex_postscript_line_period(self):
+        data = generate("hex-postscript", 20000, 3)
+        lines = data.split(b"\n")
+        widths = {len(line) for line in lines[3:-1] if line}
+        # Hex rows are 2 * (power-of-two) characters wide.
+        assert len(widths) == 1
+        width = widths.pop() // 2
+        assert width & (width - 1) == 0
+
+    def test_binhex_line_length(self):
+        data = generate("binhex", 5000, 3)
+        # Skip the banner line and the colon-prefixed first row, and
+        # the possibly truncated final row.
+        lines = data.split(b"\n")[2:-1]
+        assert lines
+        assert all(len(line) == 64 for line in lines)
+
+    def test_gmon_mostly_zero(self):
+        data = generate("gmon", 10000, 3)
+        assert data.count(0) / len(data) > 0.95
+
+    def test_wordproc_has_both_runs(self):
+        data = generate("wordproc", 10000, 3)
+        assert bytes(100) in data
+        assert b"\xff" * 100 in data
+
+    def test_zero_heavy_has_long_zero_runs(self):
+        data = generate("zero-heavy", 10000, 3)
+        assert bytes(150) in data
+
+    def test_records_produce_congruent_unequal_cells(self):
+        from repro.checksums.internet import ones_complement_sum
+
+        data = generate("records", 50_000, 3)
+        cells = np.frombuffer(data[: len(data) - len(data) % 48], np.uint8)
+        cells = cells.reshape(-1, 48)
+        sums = {}
+        congruent_unequal = 0
+        for i, cell in enumerate(cells):
+            key = ones_complement_sum(cell.tobytes())
+            for j in sums.get(key, []):
+                if not np.array_equal(cells[j], cell):
+                    congruent_unequal += 1
+            sums.setdefault(key, []).append(i)
+        assert congruent_unequal > 0
+
+    def test_log_lines_share_prefix_structure(self):
+        data = generate("log", 5000, 3)
+        lines = data.split(b"\n")
+        assert sum(line.startswith(b"Jul  7") for line in lines) > 10
+
+    def test_uniform_is_high_entropy(self):
+        data = generate("uniform", 65536, 3)
+        counts = np.bincount(np.frombuffer(data, np.uint8), minlength=256)
+        assert counts.min() > 128  # every byte value well represented

@@ -1,0 +1,66 @@
+"""Tests for ingesting real files from disk."""
+
+import os
+
+from repro.corpus.generators import generate
+from repro.corpus.ingest import guess_kind, ingest_paths
+
+
+class TestGuessKind:
+    def test_by_extension(self):
+        assert guess_kind("a.c", b"int main;") == "source"
+        assert guess_kind("notes.md", b"# hi") == "text"
+        assert guess_kind("plot.pbm", b"P4 ...") == "image"
+
+    def test_by_magic(self):
+        assert guess_kind("mystery", b"\x7fELF\x02" + bytes(100)) == "executable"
+        assert guess_kind("mystery", b"P5\n8 8\n255\n" + bytes(64)) == "image"
+
+    def test_by_content(self):
+        assert guess_kind("noext", b"plain readable words " * 20) == "text"
+        assert guess_kind("noext", bytes(1000)) == "zero-heavy"
+        assert guess_kind("noext", bytes(range(128, 256)) * 8) == "binary"
+
+
+class TestIngestPaths:
+    def test_files_and_directories(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.txt").write_bytes(b"hello " * 100)
+        (tmp_path / "sub" / "b.c").write_bytes(b"int x;\n" * 50)
+        (tmp_path / "sub" / "c.bin").write_bytes(generate("executable", 2000, 1))
+        fs = ingest_paths([str(tmp_path)])
+        assert len(fs) == 3
+        kinds = fs.kinds()
+        assert "text" in kinds and "source" in kinds
+
+    def test_limit_respected(self, tmp_path):
+        for index in range(5):
+            (tmp_path / ("f%d" % index)).write_bytes(bytes(1000))
+        fs = ingest_paths([str(tmp_path)], limit=2500)
+        assert fs.total_bytes <= 2500
+
+    def test_deterministic_order(self, tmp_path):
+        for name in ("z", "a", "m"):
+            (tmp_path / name).write_bytes(name.encode() * 10)
+        a = [f.name for f in ingest_paths([str(tmp_path)])]
+        b = [f.name for f in ingest_paths([str(tmp_path)])]
+        assert a == b == sorted(a)
+
+    def test_unreadable_skipped(self, tmp_path):
+        (tmp_path / "ok").write_bytes(b"fine")
+        fs = ingest_paths([str(tmp_path / "ok"), str(tmp_path / "missing")])
+        assert len(fs) == 1
+
+    def test_empty_files_skipped(self, tmp_path):
+        (tmp_path / "empty").write_bytes(b"")
+        (tmp_path / "full").write_bytes(b"x")
+        fs = ingest_paths([str(tmp_path)])
+        assert [os.path.basename(f.name) for f in fs] == ["full"]
+
+    def test_runs_through_splice_experiment(self, tmp_path):
+        from repro.core import run_splice_experiment
+
+        (tmp_path / "data").write_bytes(generate("gmon", 4000, 1))
+        fs = ingest_paths([str(tmp_path)])
+        counters = run_splice_experiment(fs).counters
+        assert counters.total > 0

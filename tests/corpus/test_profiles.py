@@ -1,0 +1,86 @@
+"""Tests for filesystem profiles and the filesystem builder."""
+
+import pytest
+
+from repro.corpus.filesystem import Filesystem, SyntheticFile
+from repro.corpus.profiles import (
+    PROFILES,
+    FilesystemProfile,
+    build_filesystem,
+    profile_names,
+)
+
+
+class TestProfileDefinitions:
+    def test_paper_systems_present(self):
+        names = profile_names()
+        for required in ("sics-opt", "stanford-u1", "pathological-pbm", "uniform"):
+            assert required in names
+
+    def test_all_mixes_reference_known_generators(self):
+        # Construction already validates; just touch every profile.
+        for profile in PROFILES.values():
+            assert profile.mix
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            FilesystemProfile("bad", {"nosuch": 1})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            FilesystemProfile("bad", {})
+
+
+class TestBuilder:
+    def test_deterministic(self):
+        a = build_filesystem("sics-src1", 150_000, seed=9)
+        b = build_filesystem("sics-src1", 150_000, seed=9)
+        assert a.concatenated() == b.concatenated()
+        assert [f.name for f in a] == [f.name for f in b]
+
+    def test_seed_changes_content(self):
+        a = build_filesystem("sics-src1", 150_000, seed=9)
+        b = build_filesystem("sics-src1", 150_000, seed=10)
+        assert a.concatenated() != b.concatenated()
+
+    def test_reaches_requested_size(self):
+        fs = build_filesystem("nsc05", 200_000, seed=1)
+        assert fs.total_bytes >= 200_000
+
+    def test_rare_kinds_always_materialise(self):
+        # The PBM directory is a tiny fraction but must exist.
+        fs = build_filesystem("stanford-u1", 600_000, seed=1)
+        kinds = fs.kinds()
+        assert "pbm-plot" in kinds
+        assert "gmon" in kinds
+
+    def test_budgets_roughly_proportional(self):
+        fs = build_filesystem("sics-opt", 1_000_000, seed=1)
+        kinds = fs.kinds()
+        share = kinds["executable"] / fs.total_bytes
+        profile = PROFILES["sics-opt"]
+        expected = profile.mix["executable"] / sum(profile.mix.values())
+        assert abs(share - expected) < 0.15
+
+    def test_accepts_profile_object(self):
+        profile = FilesystemProfile("custom", {"english": 1}, size_range=(1000, 2000))
+        fs = build_filesystem(profile, 10_000, seed=0)
+        assert all(f.kind == "english" for f in fs)
+        assert all(1000 <= f.size <= 2500 for f in fs)
+
+
+class TestFilesystemContainer:
+    def test_kinds_accounting(self):
+        fs = Filesystem("t")
+        fs.add(SyntheticFile("a", b"xx", "english"))
+        fs.add(SyntheticFile("b", b"yyy", "english"))
+        fs.add(SyntheticFile("c", b"z", "gmon"))
+        assert fs.kinds() == {"english": 5, "gmon": 1}
+        assert fs.total_bytes == 6
+        assert len(fs) == 3
+
+    def test_concatenated(self):
+        fs = Filesystem("t")
+        fs.add(SyntheticFile("a", b"ab", "english"))
+        fs.add(SyntheticFile("b", b"cd", "english"))
+        assert fs.concatenated() == b"abcd"

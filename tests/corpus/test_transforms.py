@@ -1,0 +1,72 @@
+"""Tests for corpus transforms (compression, word shifting)."""
+
+import zlib
+
+import numpy as np
+
+from repro.analysis.distribution import distribution_over
+from repro.corpus.transforms import add_constant_to_words, compress_filesystem
+from tests.conftest import make_filesystem
+
+
+class TestCompression:
+    def test_roundtrip_content(self):
+        fs = make_filesystem([("english", 10_000)])
+        compressed = compress_filesystem(fs)
+        assert zlib.decompress(compressed.files[0].data) == fs.files[0].data
+
+    def test_compression_shrinks_text(self):
+        fs = make_filesystem([("english", 20_000), ("c-source", 20_000)])
+        compressed = compress_filesystem(fs)
+        assert compressed.total_bytes < 0.6 * fs.total_bytes
+
+    def test_compression_uniformises_checksums(self):
+        fs = make_filesystem([("gmon", 30_000), ("english", 30_000)])
+        before = distribution_over(fs, "internet", 1)
+        after = distribution_over(compress_filesystem(fs), "internet", 1)
+        assert after.pmax < before.pmax / 5
+        assert after.match_probability() < before.match_probability() / 10
+
+    def test_names_and_kinds_marked(self):
+        fs = make_filesystem([("english", 1_000)])
+        compressed = compress_filesystem(fs)
+        assert compressed.files[0].name.endswith(".z")
+        assert compressed.files[0].kind == "english+compressed"
+        assert compressed.name.endswith("-compressed")
+
+
+class TestAddConstant:
+    def test_size_preserved(self):
+        fs = make_filesystem([("english", 3_001)])  # odd size
+        shifted = add_constant_to_words(fs, 1)
+        assert shifted.total_bytes == fs.total_bytes
+
+    def test_words_shifted(self):
+        fs = make_filesystem([("gmon", 1_000)])
+        shifted = add_constant_to_words(fs, 5)
+        original = np.frombuffer(fs.files[0].data[:2], ">u2")[0]
+        moved = np.frombuffer(shifted.files[0].data[:2], ">u2")[0]
+        assert (int(original) + 5) & 0xFFFF == int(moved)
+
+    def test_odd_tail_byte_untouched(self):
+        fs = make_filesystem([("english", 101)])
+        shifted = add_constant_to_words(fs, 1)
+        assert shifted.files[0].data[-1] == fs.files[0].data[-1]
+
+    def test_distribution_is_permuted_not_reshaped(self):
+        # Section 6.1: adding a constant permutes the checksum value
+        # distribution (compared over ones-complement residue classes,
+        # where each cell's sum shifts by 24 * constant).
+        from repro.analysis.convolution import class_pmf
+        from repro.analysis.distribution import cell_checksum_values
+
+        fs = make_filesystem([("gmon", 48 * 500)])
+        shifted = add_constant_to_words(fs, 1)
+        before = class_pmf(cell_checksum_values(fs))
+        after = class_pmf(cell_checksum_values(shifted))
+        assert np.allclose(np.roll(before, 24), after)
+
+    def test_zero_constant_identity(self):
+        fs = make_filesystem([("english", 500)])
+        shifted = add_constant_to_words(fs, 0)
+        assert shifted.files[0].data == fs.files[0].data

@@ -1,0 +1,62 @@
+"""Smoke tests: every registered experiment runs and reports sane data.
+
+These run at deliberately tiny corpus sizes; the full-size claims are
+exercised by ``tests/test_paper_claims.py`` and the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.report import ExperimentReport
+
+TINY = {"fs_bytes": 150_000, "seed": 1}
+
+
+def kwargs_for(experiment_id):
+    return {} if experiment_id == "epd" else dict(TINY)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs(experiment_id):
+    report = run_experiment(experiment_id, **kwargs_for(experiment_id))
+    assert isinstance(report, ExperimentReport)
+    assert report.experiment_id == experiment_id
+    assert report.text.strip()
+    assert report.data
+    assert experiment_id in str(report)
+
+
+def test_registry_lists_all_tables_and_figures():
+    ids = experiment_ids()
+    for required in ["table%d" % i for i in range(1, 11)] + ["figure2", "figure3"]:
+        assert required in ids
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+class TestReportedShapes:
+    def test_table4_rows_have_three_columns(self):
+        report = run_experiment("table4", **TINY)
+        for row in report.data["rows"]:
+            assert {"k", "uniform_pct", "predicted_pct", "measured_pct"} <= set(row)
+
+    def test_table9_reports_improvement(self):
+        report = run_experiment("table9", fs_bytes=200_000, seed=1)
+        assert all(row["improvement"] > 1 for row in report.data["rows"])
+
+    def test_figure2_series_lengths(self):
+        report = run_experiment("figure2", **TINY)
+        assert len(report.data["pdf_k1"]) == 65
+        assert len(report.data["predict_k2"]) == 65
+        assert report.data["pmax_pct"] > 0
+
+    def test_figure3_match_ordering(self):
+        report = run_experiment("figure3", **TINY)
+        assert set(report.data["match_pct"]) == {"IP/TCP", "F255", "F256"}
+
+    def test_epd_reports_zero(self):
+        report = run_experiment("epd")
+        assert report.data["reachable_splices"] == 0

@@ -1,0 +1,90 @@
+"""Assertion-rich checks of the extension experiments' reported data.
+
+The benchmark harness asserts the headline shapes at larger sizes;
+these tests pin the data-contract of each extension report at small,
+fast sizes so regressions surface in the plain test run.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+SMALL = dict(fs_bytes=100_000, seed=1)
+
+
+class TestErrorModels:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("error-models", **SMALL)
+
+    def test_rows_complete(self, report):
+        for name, row in report.data.items():
+            assert {"tcp_pct", "f256_pct", "crc32_pct", "trials"} <= set(row), name
+            assert row["trials"] > 0
+
+    def test_word_swap_contrast(self, report):
+        row = report.data["16-bit word swap"]
+        assert row["tcp_pct"] == 0.0
+        assert row["crc32_pct"] == 100.0
+
+
+class TestLossModels:
+    def test_models_reported(self):
+        report = run_experiment("loss-models", **SMALL)
+        labels = [k for k in report.data if k != "system"]
+        assert len(labels) == 4
+        for label in labels:
+            row = report.data[label]
+            assert row["p_corrupted"] >= row["p_transport_miss"] >= 0
+
+
+class TestFragmentSplices:
+    def test_structure(self):
+        report = run_experiment("fragment-splices", **SMALL)
+        for algorithm in ("tcp", "fletcher255", "fletcher256"):
+            row = report.data[algorithm]
+            assert row["fragment_remaining"] > 0
+            assert row["fragment_pct"] >= 0
+            assert row["cell_pct"] >= 0
+
+
+class TestFailureLocality:
+    def test_structure(self):
+        report = run_experiment("failure-locality", fs_bytes=250_000, seed=1)
+        data = report.data
+        assert data["files"] > 10
+        assert 0 <= data["top_share_pct"] <= 100
+        assert len(data["worst"]) == 8
+        missed = [w["missed"] for w in data["worst"]]
+        assert missed == sorted(missed, reverse=True)
+
+
+class TestCorpusStats:
+    def test_families_reported(self):
+        report = run_experiment("corpus-stats", **SMALL)
+        assert "gmon" in report.data
+        assert "english" in report.data
+        gmon = report.data["gmon"]
+        english = report.data["english"]
+        assert gmon["effective_bits"] < english["effective_bits"]
+        assert gmon["zero_fraction"] > 0.9
+        assert english["byte_entropy"] > 3.5
+
+
+class TestMssSweep:
+    def test_rows_monotone_cells(self):
+        report = run_experiment(
+            "mss-sweep", fs_bytes=80_000, seed=1, sizes=(128, 256), sample=2_000
+        )
+        rows = report.data["rows"]
+        assert [row["mss"] for row in rows] == [128, 256]
+        assert rows[0]["cells"] < rows[1]["cells"]
+        assert all(row["splices"] > 0 for row in rows)
+
+
+class TestMonteCarloReport:
+    def test_span_distribution_reported(self):
+        report = run_experiment("montecarlo", fs_bytes=80_000, seed=1, trials=30)
+        data = report.data
+        assert sum(data["corrupted_by_span"].values()) == data["mc_corrupted"]
+        assert data["undetected"] == 0

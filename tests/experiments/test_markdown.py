@@ -1,0 +1,33 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.experiments.markdown import DEFAULT_SECTIONS, generate_markdown_report
+from repro.experiments.registry import EXPERIMENTS
+
+
+def test_sections_cover_all_experiments():
+    listed = {eid for _, ids in DEFAULT_SECTIONS for eid in ids}
+    assert listed == set(EXPERIMENTS)
+
+
+def test_restricted_report():
+    document = generate_markdown_report(["epd"], fs_bytes=50_000)
+    assert document.startswith("# Reproduction report")
+    assert "### `epd`" in document
+    assert "### `table1`" not in document
+    assert "```" in document
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="nosuch"):
+        generate_markdown_report(["nosuch"])
+
+
+def test_small_multi_section_report():
+    document = generate_markdown_report(
+        ["table7", "uniformity"], fs_bytes=80_000, seed=1
+    )
+    assert "## Remedies" in document
+    assert "## Extensions" in document
+    assert "regenerated in" in document

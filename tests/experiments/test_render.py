@@ -1,0 +1,51 @@
+"""Tests for the text rendering helpers."""
+
+from repro.experiments.render import TextTable, ascii_series, fmt_count, fmt_pct
+
+
+class TestFormatters:
+    def test_fmt_pct_zero(self):
+        assert fmt_pct(0) == "0"
+
+    def test_fmt_pct_regular(self):
+        assert fmt_pct(0.1234) == "0.1234%"
+
+    def test_fmt_pct_tiny_goes_scientific(self):
+        assert "e" in fmt_pct(1e-7)
+
+    def test_fmt_count(self):
+        assert fmt_count(1234567) == "1,234,567"
+
+
+class TestTextTable:
+    def test_alignment(self):
+        table = TextTable(["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("long-name", 12345)
+        out = table.render()
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert lines[2].endswith("1")
+
+    def test_indent(self):
+        table = TextTable(["h"])
+        table.add_row("x")
+        assert table.render(indent="  ").startswith("  h")
+
+
+class TestAsciiSeries:
+    def test_renders_without_error(self):
+        out = ascii_series([("a", [1.0, 0.1, 0.01]), ("b", [0.5, 0.5, 0.5])],
+                           width=20, height=5, title="demo")
+        assert "demo" in out
+        assert "a" in out and "b" in out
+        assert out.count("\n") >= 6
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_series([("a", [0.0])], title="t")
+
+    def test_linear_mode(self):
+        out = ascii_series([("a", [0.1, 0.9])], logy=False, width=10, height=4)
+        assert "|" in out

@@ -1,0 +1,67 @@
+"""Tests for the SVG figure writer."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import ExperimentReport
+from repro.experiments.svg import figure_svg, render_line_chart, write_figure_svg
+
+
+def parse(svg_text):
+    return xml.dom.minidom.parseString(svg_text)
+
+
+class TestRenderLineChart:
+    def test_valid_svg_with_series(self):
+        svg = render_line_chart(
+            [("a", [1.0, 0.5, 0.1]), ("b", [0.2, 0.2, 0.2])],
+            title="demo", x_label="x", y_label="y",
+        )
+        document = parse(svg)
+        assert document.documentElement.tagName == "svg"
+        assert len(document.getElementsByTagName("polyline")) == 2
+        assert "demo" in svg
+
+    def test_linear_mode(self):
+        svg = render_line_chart([("a", [0.0, 1.0, 2.0])], logy=False)
+        parse(svg)
+
+    def test_log_mode_skips_zeros(self):
+        svg = render_line_chart([("a", [1.0, 0.0, 0.01])])
+        document = parse(svg)
+        polyline = document.getElementsByTagName("polyline")[0]
+        assert len(polyline.getAttribute("points").split()) == 2
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart([("a", [0.0])])
+
+    def test_escapes_labels(self):
+        svg = render_line_chart([("<evil>", [1.0])], title="a&b")
+        assert "<evil>" not in svg.replace("&lt;evil&gt;", "")
+        parse(svg)
+
+
+class TestFigureSvg:
+    def test_figure2(self):
+        report = run_experiment("figure2", fs_bytes=120_000, seed=1)
+        document = parse(figure_svg(report))
+        # k=1,2,4,5 + predict + uniform = 6 series.
+        assert len(document.getElementsByTagName("polyline")) == 6
+
+    def test_figure3(self):
+        report = run_experiment("figure3", fs_bytes=120_000, seed=1)
+        document = parse(figure_svg(report))
+        assert len(document.getElementsByTagName("polyline")) == 3
+
+    def test_unknown_report_rejected(self):
+        with pytest.raises(ValueError):
+            figure_svg(ExperimentReport("table1", "t", "x", {}))
+
+    def test_write_to_file(self, tmp_path):
+        report = run_experiment("figure3", fs_bytes=120_000, seed=1)
+        path = tmp_path / "fig3.svg"
+        assert write_figure_svg(report, str(path)) == str(path)
+        parse(path.read_text())

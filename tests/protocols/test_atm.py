@@ -1,0 +1,71 @@
+"""Tests for the ATM cell model and HEC."""
+
+import pytest
+
+from repro.protocols.aal5 import build_aal5_frame
+from repro.protocols.atm import AtmCell, AtmCellHeader, cells_for_frame
+
+
+class TestHeader:
+    def test_pack_unpack_roundtrip(self):
+        header = AtmCellHeader(vpi=5, vci=1234, pti=1, clp=1, gfc=2)
+        assert AtmCellHeader.unpack(header.pack()) == header
+
+    def test_packed_length(self):
+        assert len(AtmCellHeader().pack()) == 5
+
+    def test_hec_detects_header_corruption(self):
+        packed = bytearray(AtmCellHeader(vci=77).pack())
+        packed[1] ^= 0x10
+        with pytest.raises(ValueError, match="HEC"):
+            AtmCellHeader.unpack(packed)
+
+    def test_hec_check_can_be_waived(self):
+        packed = bytearray(AtmCellHeader(vci=77).pack())
+        packed[4] ^= 0xFF
+        AtmCellHeader.unpack(packed, check_hec=False)
+
+    def test_last_cell_marking(self):
+        assert AtmCellHeader(pti=1).last_cell
+        assert not AtmCellHeader(pti=0).last_cell
+        assert not AtmCellHeader(pti=4).last_cell  # OAM-ish, user bit clear
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(vpi=256), dict(vci=65536), dict(pti=8), dict(clp=2), dict(gfc=16)],
+    )
+    def test_field_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AtmCellHeader(**kwargs)
+
+    def test_unpack_short_buffer(self):
+        with pytest.raises(ValueError):
+            AtmCellHeader.unpack(b"\x00\x00")
+
+
+class TestCell:
+    def test_payload_must_be_48_bytes(self):
+        with pytest.raises(ValueError):
+            AtmCell(header=AtmCellHeader(), payload=b"short")
+
+    def test_pack_is_53_bytes(self):
+        cell = AtmCell(header=AtmCellHeader(), payload=bytes(48))
+        assert len(cell.pack()) == 53
+
+
+class TestFrameSegmentation:
+    def test_last_cell_marked(self):
+        frame = build_aal5_frame(bytes(296))
+        cells = cells_for_frame(frame)
+        assert len(cells) == 7
+        assert [c.last for c in cells] == [False] * 6 + [True]
+
+    def test_payloads_reassemble_frame(self):
+        frame = build_aal5_frame(bytes(range(100)))
+        cells = cells_for_frame(frame)
+        assert b"".join(c.payload for c in cells) == frame.frame
+
+    def test_vpi_vci_applied(self):
+        frame = build_aal5_frame(bytes(10))
+        cells = cells_for_frame(frame, vpi=3, vci=99)
+        assert all(c.header.vpi == 3 and c.header.vci == 99 for c in cells)

@@ -1,0 +1,95 @@
+"""Tests for incremental checksum maintenance (RFC 1141/1624)."""
+
+import pytest
+
+from repro.checksums.internet import internet_checksum_field
+from repro.protocols.forwarding import (
+    decrement_ttl,
+    rewrite_addresses,
+    verify_ip_header,
+)
+from repro.protocols.ip import parse_ipv4_header
+from repro.protocols.packetizer import Packetizer, PacketizerConfig
+from repro.protocols.tcp import verify_tcp_checksum
+
+
+def make_packet(payload=b"forwarding payload bytes"):
+    return Packetizer(PacketizerConfig()).packetize(payload)[0].ip_packet
+
+
+class TestTTLDecrement:
+    def test_header_still_verifies(self):
+        packet = make_packet()
+        forwarded = decrement_ttl(packet)
+        assert verify_ip_header(forwarded)
+        assert parse_ipv4_header(forwarded).ttl == 63
+
+    def test_matches_recompute_congruence(self):
+        packet = make_packet()
+        forwarded = decrement_ttl(packet)
+        recomputed = bytearray(forwarded)
+        recomputed[10:12] = b"\x00\x00"
+        field = internet_checksum_field(recomputed[:20])
+        stored = int.from_bytes(forwarded[10:12], "big")
+        # Congruent mod 0xFFFF (both zeros allowed), and both verify.
+        assert stored % 0xFFFF == field % 0xFFFF
+
+    def test_chain_of_hops(self):
+        packet = make_packet()
+        for _ in range(63):
+            packet = decrement_ttl(packet)
+            assert verify_ip_header(packet)
+        assert parse_ipv4_header(packet).ttl == 1
+
+    def test_expired_ttl_rejected(self):
+        packet = make_packet()
+        for _ in range(64):
+            packet = decrement_ttl(packet)
+        with pytest.raises(ValueError, match="TTL"):
+            decrement_ttl(packet)
+
+    def test_payload_untouched(self):
+        packet = make_packet()
+        forwarded = decrement_ttl(packet)
+        assert forwarded[20:] == packet[20:]
+
+
+class TestNATRewrite:
+    def test_both_checksums_updated(self):
+        packet = make_packet()
+        rewritten = rewrite_addresses(packet, new_src="203.0.113.7",
+                                      new_dst="198.51.100.9")
+        assert verify_ip_header(rewritten)
+        assert verify_tcp_checksum("203.0.113.7", "198.51.100.9",
+                                   rewritten[20:])
+        header = parse_ipv4_header(rewritten)
+        assert header.src == 0xCB007107
+        assert header.dst == 0xC6336409
+
+    def test_src_only(self):
+        packet = make_packet()
+        rewritten = rewrite_addresses(packet, new_src="1.2.3.4")
+        config = PacketizerConfig()
+        assert verify_ip_header(rewritten)
+        assert verify_tcp_checksum("1.2.3.4", config.dst, rewritten[20:])
+
+    def test_payload_and_ports_untouched(self):
+        packet = make_packet()
+        rewritten = rewrite_addresses(packet, new_dst="8.8.8.8")
+        assert rewritten[20:24] == packet[20:24]  # ports
+        assert rewritten[40:] == packet[40:]  # payload
+
+    def test_non_tcp_rejected(self):
+        packet = bytearray(make_packet())
+        packet[9] = 17  # claim UDP
+        with pytest.raises(ValueError, match="TCP"):
+            rewrite_addresses(bytes(packet), new_src="1.2.3.4")
+
+    def test_roundtrip_rewrite(self):
+        config = PacketizerConfig()
+        packet = make_packet()
+        away = rewrite_addresses(packet, new_src="9.9.9.9")
+        back = rewrite_addresses(away, new_src=config.src)
+        assert verify_ip_header(back)
+        assert verify_tcp_checksum(config.src, config.dst, back[20:])
+        assert back[12:20] == packet[12:20]

@@ -1,0 +1,108 @@
+"""Tests for IPv4 fragmentation and reassembly."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.fragmentation import (
+    FRAGMENT_UNIT,
+    FragmentationError,
+    fragment_packet,
+    reassemble_fragments,
+)
+from repro.protocols.ip import IP_HEADER_LEN, parse_ipv4_header, validate_ipv4_header
+from repro.protocols.packetizer import Packetizer, PacketizerConfig
+
+
+def make_packet(payload_len, clear_df=True):
+    packet = Packetizer(PacketizerConfig(mss=payload_len)).packetize(
+        bytes(i % 251 for i in range(payload_len))
+    )[0].ip_packet
+    if clear_df:
+        from repro.core.fragsplice import _clear_df
+
+        packet = _clear_df(packet)
+    return packet
+
+
+class TestFragmentation:
+    def test_small_packet_unfragmented(self):
+        packet = make_packet(100)
+        assert fragment_packet(packet, 1500) == [packet]
+
+    def test_fragment_sizes_and_offsets(self):
+        packet = make_packet(256)
+        fragments = fragment_packet(packet, 92)
+        assert len(fragments) == 4
+        offsets = []
+        for fragment in fragments:
+            header = parse_ipv4_header(fragment)
+            offsets.append((header.flags_fragment & 0x1FFF) * FRAGMENT_UNIT)
+            assert len(fragment) <= 92
+            assert validate_ipv4_header(fragment)
+        assert offsets == [0, 72, 144, 216]
+        # All but the last have MF set.
+        flags = [parse_ipv4_header(f).flags_fragment & 0x2000 for f in fragments]
+        assert flags[:-1] == [0x2000] * 3 and flags[-1] == 0
+
+    def test_non_final_payloads_are_8_byte_multiples(self):
+        fragments = fragment_packet(make_packet(300), 100)
+        for fragment in fragments[:-1]:
+            assert (len(fragment) - IP_HEADER_LEN) % FRAGMENT_UNIT == 0
+
+    def test_df_respected(self):
+        packet = make_packet(256, clear_df=False)
+        with pytest.raises(FragmentationError, match="DF"):
+            fragment_packet(packet, 92)
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(FragmentationError):
+            fragment_packet(make_packet(64), 20)
+
+
+class TestReassembly:
+    @given(st.integers(9, 400), st.integers(60, 200))
+    @settings(max_examples=40)
+    def test_roundtrip_any_order(self, payload_len, mtu):
+        packet = make_packet(payload_len)
+        fragments = fragment_packet(packet, mtu)
+        rng = random.Random(payload_len)
+        shuffled = fragments[:]
+        rng.shuffle(shuffled)
+        assert reassemble_fragments(shuffled) == packet
+
+    def test_missing_fragment_detected(self):
+        fragments = fragment_packet(make_packet(256), 92)
+        with pytest.raises(FragmentationError, match="hole"):
+            reassemble_fragments(fragments[:1] + fragments[2:])
+
+    def test_missing_final_fragment_detected(self):
+        fragments = fragment_packet(make_packet(256), 92)
+        with pytest.raises(FragmentationError, match="MF"):
+            reassemble_fragments(fragments[:-1])
+
+    def test_duplicate_fragment_detected(self):
+        fragments = fragment_packet(make_packet(256), 92)
+        with pytest.raises(FragmentationError):
+            reassemble_fragments(fragments + [fragments[1]])
+
+    def test_mixed_datagrams_detected(self):
+        packets = Packetizer(PacketizerConfig()).packetize(bytes(600))
+        from repro.core.fragsplice import _clear_df
+
+        a = fragment_packet(_clear_df(packets[0].ip_packet), 92)
+        b = fragment_packet(_clear_df(packets[1].ip_packet), 92)
+        with pytest.raises(FragmentationError, match="different datagrams"):
+            reassemble_fragments([a[0], b[1], a[2], a[3]])
+
+    def test_corrupted_header_detected(self):
+        fragments = [bytearray(f) for f in fragment_packet(make_packet(256), 92)]
+        fragments[1][11] ^= 1
+        with pytest.raises(FragmentationError, match="checksum"):
+            reassemble_fragments([bytes(f) for f in fragments])
+
+    def test_empty_input(self):
+        with pytest.raises(FragmentationError):
+            reassemble_fragments([])

@@ -1,0 +1,104 @@
+"""Tests for IPv4 header construction, parsing and validation."""
+
+import pytest
+
+from repro.checksums.internet import ones_complement_sum
+from repro.protocols.ip import (
+    IP_HEADER_LEN,
+    build_ipv4_header,
+    ip_to_int,
+    parse_ipv4_header,
+    validate_ipv4_header,
+)
+
+
+class TestIpToInt:
+    def test_dotted_quad(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+
+    def test_passthrough_int(self):
+        assert ip_to_int(0x7F000001) == 0x7F000001
+
+    @pytest.mark.parametrize("bad", ["10.0.0", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            ip_to_int(2**32)
+
+
+class TestBuildAndParse:
+    def test_roundtrip(self):
+        header = build_ipv4_header(296, 42, "127.0.0.1", "127.0.0.2")
+        parsed = parse_ipv4_header(header)
+        assert parsed.version == 4
+        assert parsed.ihl == 5
+        assert parsed.total_length == 296
+        assert parsed.ident == 42
+        assert parsed.protocol == 6
+        assert parsed.src == ip_to_int("127.0.0.1")
+        assert parsed.dst == ip_to_int("127.0.0.2")
+        assert parsed.header_length == IP_HEADER_LEN
+
+    def test_checksum_sums_to_all_ones(self):
+        header = build_ipv4_header(100, 1, "10.1.2.3", "10.4.5.6")
+        assert ones_complement_sum(header) == 0xFFFF
+
+    def test_unfilled_checksum(self):
+        header = build_ipv4_header(100, 1, "10.1.2.3", "10.4.5.6",
+                                   fill_checksum=False)
+        assert header[10:12] == b"\x00\x00"
+
+    def test_ident_wraps_to_16_bits(self):
+        header = build_ipv4_header(100, 0x1_0005, "1.2.3.4", "5.6.7.8")
+        assert parse_ipv4_header(header).ident == 5
+
+    def test_parse_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            parse_ipv4_header(b"\x45\x00")
+
+
+class TestValidate:
+    def test_valid_header(self):
+        header = build_ipv4_header(296, 7, "127.0.0.1", "127.0.0.1")
+        assert validate_ipv4_header(header)
+
+    def test_rejects_wrong_version(self):
+        header = bytearray(build_ipv4_header(296, 7, "1.1.1.1", "2.2.2.2"))
+        header[0] = 0x55
+        assert not validate_ipv4_header(header)
+
+    def test_rejects_options(self):
+        header = bytearray(build_ipv4_header(296, 7, "1.1.1.1", "2.2.2.2"))
+        header[0] = 0x46  # IHL 6
+        assert not validate_ipv4_header(header)
+
+    def test_rejects_corrupted_checksum(self):
+        header = bytearray(build_ipv4_header(296, 7, "1.1.1.1", "2.2.2.2"))
+        header[15] ^= 1
+        assert not validate_ipv4_header(header)
+
+    def test_checksum_requirement_can_be_waived(self):
+        header = build_ipv4_header(296, 7, "1.1.1.1", "2.2.2.2",
+                                   fill_checksum=False)
+        assert not validate_ipv4_header(header)
+        assert validate_ipv4_header(header, require_checksum=False)
+
+    def test_rejects_tiny_total_length(self):
+        header = bytearray(build_ipv4_header(296, 7, "1.1.1.1", "2.2.2.2",
+                                             fill_checksum=False))
+        header[2:4] = (10).to_bytes(2, "big")
+        assert not validate_ipv4_header(header, require_checksum=False)
+
+    def test_rejects_short_buffer(self):
+        assert not validate_ipv4_header(b"\x45")
+
+    def test_random_data_rarely_validates(self, rng):
+        hits = 0
+        for _ in range(500):
+            data = rng.integers(0, 256, size=40).astype("uint8").tobytes()
+            hits += validate_ipv4_header(data)
+        assert hits == 0

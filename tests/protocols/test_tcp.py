@@ -1,0 +1,99 @@
+"""Tests for TCP header construction and checksum computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checksums.internet import fold_carries, word_sums
+from repro.protocols.tcp import (
+    FLAG_ACK,
+    FLAG_SYN,
+    TCP_HEADER_LEN,
+    build_tcp_header,
+    parse_tcp_header,
+    pseudo_header_word_sum,
+    solve_sum_to_target,
+    tcp_checksum_field,
+    verify_tcp_checksum,
+)
+
+
+class TestHeaderRoundtrip:
+    def test_roundtrip(self):
+        header = build_tcp_header(20, 54321, seq=1000, ack=2000,
+                                  flags=FLAG_ACK, window=8192)
+        parsed = parse_tcp_header(header)
+        assert parsed.sport == 20
+        assert parsed.dport == 54321
+        assert parsed.seq == 1000
+        assert parsed.ack == 2000
+        assert parsed.flags == FLAG_ACK
+        assert parsed.window == 8192
+        assert parsed.data_offset == 5
+        assert len(header) == TCP_HEADER_LEN
+
+    def test_seq_wraps(self):
+        header = build_tcp_header(1, 2, seq=2**32 + 5, ack=0)
+        assert parse_tcp_header(header).seq == 5
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            parse_tcp_header(b"\x00" * 10)
+
+    def test_flags(self):
+        header = build_tcp_header(1, 2, 0, 0, flags=FLAG_SYN | FLAG_ACK)
+        assert parse_tcp_header(header).flags == FLAG_SYN | FLAG_ACK
+
+
+class TestChecksum:
+    def test_field_then_verify(self):
+        src, dst = "192.168.0.1", "192.168.0.2"
+        segment = bytearray(build_tcp_header(1, 2, 100, 0) + b"payload bytes!")
+        field = tcp_checksum_field(src, dst, segment)
+        segment[16:18] = field.to_bytes(2, "big")
+        assert verify_tcp_checksum(src, dst, segment)
+
+    def test_verify_detects_payload_change(self):
+        src, dst = "192.168.0.1", "192.168.0.2"
+        segment = bytearray(build_tcp_header(1, 2, 100, 0) + b"payload bytes!")
+        segment[16:18] = tcp_checksum_field(src, dst, segment).to_bytes(2, "big")
+        segment[-1] ^= 0x01
+        assert not verify_tcp_checksum(src, dst, segment)
+
+    def test_verify_detects_address_change(self):
+        src, dst = "192.168.0.1", "192.168.0.2"
+        segment = bytearray(build_tcp_header(1, 2, 100, 0) + b"data")
+        segment[16:18] = tcp_checksum_field(src, dst, segment).to_bytes(2, "big")
+        assert not verify_tcp_checksum("192.168.0.9", dst, segment)
+
+    def test_pseudo_header_components(self):
+        total = pseudo_header_word_sum("0.0.0.1", "0.0.0.2", tcp_length=20)
+        assert total == 1 + 2 + 6 + 20
+
+    def test_word_swap_goes_undetected(self):
+        # The order-independence weakness, at the TCP layer.
+        src, dst = "10.0.0.1", "10.0.0.2"
+        segment = bytearray(build_tcp_header(1, 2, 100, 0) + b"ABCDWXYZ")
+        segment[16:18] = tcp_checksum_field(src, dst, segment).to_bytes(2, "big")
+        swapped = bytearray(segment)
+        swapped[20:22], swapped[22:24] = segment[22:24], segment[20:22]
+        assert swapped != segment
+        assert verify_tcp_checksum(src, dst, swapped)
+
+
+class TestSolveSumToTarget:
+    @given(st.binary(min_size=4, max_size=100), st.data())
+    @settings(max_examples=60)
+    def test_even_and_odd_offsets(self, data, draw):
+        offset = draw.draw(st.integers(0, len(data) - 2))
+        buf = bytearray(data)
+        buf[offset : offset + 2] = b"\x00\x00"
+        value = solve_sum_to_target(word_sums(buf), offset)
+        buf[offset : offset + 2] = value.to_bytes(2, "big")
+        assert fold_carries(word_sums(buf)) == 0xFFFF
+
+    def test_custom_target(self):
+        buf = bytearray(b"\x11\x22\x00\x00\x33\x44")
+        value = solve_sum_to_target(word_sums(buf), 2, target=0x1234)
+        buf[2:4] = value.to_bytes(2, "big")
+        assert fold_carries(word_sums(buf)) == 0x1234

@@ -1,0 +1,118 @@
+"""Tests for TCP options and the RFC 1146 alternate-checksum request."""
+
+import pytest
+
+from repro.protocols.tcp import parse_tcp_header
+from repro.protocols.tcpoptions import (
+    ALTERNATE_CHECKSUM_ALGORITHMS,
+    OPT_ALTERNATE_CHECKSUM_REQUEST,
+    OPT_MSS,
+    OPT_NOP,
+    TCPOption,
+    alternate_checksum_request,
+    build_tcp_header_with_options,
+    negotiated_algorithm,
+    parse_tcp_options,
+)
+
+
+class TestOptionEncoding:
+    def test_nop_and_end_single_byte(self):
+        assert TCPOption(OPT_NOP).encode() == b"\x01"
+        assert TCPOption(0).encode() == b"\x00"
+
+    def test_data_option(self):
+        option = TCPOption(OPT_MSS, (1460).to_bytes(2, "big"))
+        assert option.encode() == b"\x02\x04\x05\xb4"
+        assert option.encoded_length() == 4
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            TCPOption(99, bytes(300)).encode()
+
+
+class TestHeaderWithOptions:
+    def test_offset_and_padding(self):
+        header = build_tcp_header_with_options(
+            1, 2, 100, 0, [alternate_checksum_request("fletcher255")]
+        )
+        assert len(header) % 4 == 0
+        parsed = parse_tcp_header(header)
+        assert parsed.data_offset == len(header) // 4
+        assert parsed.data_offset > 5
+
+    def test_roundtrip(self):
+        options = [
+            TCPOption(OPT_MSS, (536).to_bytes(2, "big")),
+            alternate_checksum_request("fletcher256"),
+        ]
+        header = build_tcp_header_with_options(20, 21, 1, 0, options)
+        parsed = parse_tcp_options(header)
+        assert parsed == options
+
+    def test_option_space_limit(self):
+        with pytest.raises(ValueError, match="option space"):
+            build_tcp_header_with_options(
+                1, 2, 0, 0, [TCPOption(99, bytes(41))]
+            )
+
+    def test_no_options_is_plain_header(self):
+        header = build_tcp_header_with_options(1, 2, 0, 0, [])
+        assert len(header) == 20
+        assert parse_tcp_options(header) == []
+
+
+class TestParsing:
+    def test_nop_skipped_end_stops(self):
+        header = build_tcp_header_with_options(
+            1, 2, 0, 0, [TCPOption(OPT_NOP), alternate_checksum_request("tcp")]
+        )
+        options = parse_tcp_options(header)
+        assert [o.kind for o in options] == [OPT_ALTERNATE_CHECKSUM_REQUEST]
+
+    def test_bad_length_rejected(self):
+        header = bytearray(build_tcp_header_with_options(
+            1, 2, 0, 0, [TCPOption(OPT_MSS, b"\x01\x02")]
+        ))
+        header[21] = 1  # impossible option length
+        with pytest.raises(ValueError, match="length"):
+            parse_tcp_options(bytes(header))
+
+    def test_truncated_option(self):
+        header = bytearray(build_tcp_header_with_options(
+            1, 2, 0, 0, [TCPOption(OPT_MSS, b"\x01\x02")]
+        ))
+        header[20:24] = b"\x02\x08\x00\x00"  # claims 8 bytes, only 4 present
+        with pytest.raises(ValueError):
+            parse_tcp_options(bytes(header))
+
+    def test_bad_data_offset(self):
+        header = bytearray(build_tcp_header_with_options(1, 2, 0, 0, []))
+        header[12] = 0x40  # offset 4 < minimum 5
+        with pytest.raises(ValueError, match="offset"):
+            parse_tcp_options(bytes(header))
+
+
+class TestAlternateChecksum:
+    def test_request_encodes_algorithm_number(self):
+        option = alternate_checksum_request("fletcher255")
+        assert option.kind == OPT_ALTERNATE_CHECKSUM_REQUEST
+        assert option.data == b"\x01"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            alternate_checksum_request("md5")
+
+    @pytest.mark.parametrize("algorithm", ["tcp", "fletcher255", "fletcher256"])
+    def test_negotiation_roundtrip(self, algorithm):
+        header = build_tcp_header_with_options(
+            1, 2, 0, 0, [alternate_checksum_request(algorithm)]
+        )
+        assert negotiated_algorithm(header) == algorithm
+
+    def test_default_when_absent(self):
+        header = build_tcp_header_with_options(1, 2, 0, 0, [])
+        assert negotiated_algorithm(header) == "tcp"
+
+    def test_algorithm_table(self):
+        assert ALTERNATE_CHECKSUM_ALGORITHMS[1] == "fletcher255"

@@ -1,0 +1,93 @@
+"""Tests for the repro-checksums command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sum_args(self):
+        args = build_parser().parse_args(["sum", "f1", "f2", "-a", "crc32-aal5"])
+        assert args.files == ["f1", "f2"]
+        assert args.algorithm == "crc32-aal5"
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+
+class TestCommands:
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "internet" in out and "crc32-aal5" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "stanford-u1" in out
+
+    def test_sum_file(self, tmp_path, capsys):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"123456789")
+        assert main(["sum", str(path), "-a", "crc32-aal5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("fc891918")
+
+    def test_sum_default_algorithm(self, tmp_path, capsys):
+        path = tmp_path / "data.bin"
+        path.write_bytes(bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7]))
+        assert main(["sum", str(path)]) == 0
+        assert capsys.readouterr().out.startswith("ddf2")
+
+    def test_run_epd(self, capsys):
+        assert main(["run", "epd"]) == 0
+        assert "Early Packet Discard" in capsys.readouterr().out
+
+    def test_run_with_size(self, capsys):
+        assert main(["run", "table5", "--bytes", "120000", "--seed", "2"]) == 0
+        assert "locally congruent" in capsys.readouterr().out
+
+    def test_splice(self, capsys):
+        assert main([
+            "splice", "--profile", "uniform", "--bytes", "60000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total splices" in out
+        assert "missed (transport)" in out
+
+    def test_splice_trailer_fletcher(self, capsys):
+        assert main([
+            "splice", "--profile", "uniform", "--bytes", "40000",
+            "--algorithm", "fletcher256", "--placement", "trailer",
+        ]) == 0
+        assert "fletcher256" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_run_with_svg(self, tmp_path, capsys):
+        path = tmp_path / "fig.svg"
+        assert main(["run", "figure3", "--bytes", "100000",
+                     "--svg", str(path)]) == 0
+        assert path.read_text().startswith("<svg")
+
+    def test_report(self, tmp_path, capsys):
+        path = tmp_path / "out.md"
+        assert main(["report", "-o", str(path), "--bytes", "60000",
+                     "--only", "epd"]) == 0
+        assert "epd" in path.read_text()
+
+    def test_transfer(self, capsys):
+        assert main(["transfer", "--bytes", "30000", "--loss", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "silently corrupted" in out
+        assert "delivered clean" in out
+
+    def test_splice_with_workers(self, capsys):
+        assert main(["splice", "--profile", "uniform", "--bytes", "50000",
+                     "--workers", "2"]) == 0
+        assert "total splices" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Tests for the end-to-end reliable-transfer simulation."""
+
+import pytest
+
+from repro.corpus.generators import generate
+from repro.protocols.cellstream import EarlyPacketDiscard, IndependentLoss
+from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+from repro.sim import TransferReport, simulate_file_transfer
+
+
+class TestLosslessTransfer:
+    def test_everything_delivered_clean(self):
+        data = generate("english", 5_000, 1)
+        report = simulate_file_transfer(data, IndependentLoss(0.0))
+        assert report.delivered_clean == report.packets
+        assert report.delivered_corrupted == 0
+        assert report.transmissions == report.packets
+        assert report.frames_rejected == 0
+        assert report.retransmission_ratio == 1.0
+
+
+class TestLossyTransfer:
+    def test_retransmissions_recover_the_file(self):
+        data = generate("english", 8_000, 2)
+        report = simulate_file_transfer(data, IndependentLoss(0.2), seed=3)
+        assert report.delivered_clean == report.packets
+        assert report.gave_up == 0
+        assert report.transmissions > report.packets
+        assert report.frames_rejected > 0
+        assert report.cells_delivered < report.cells_sent
+
+    def test_deterministic(self):
+        data = generate("gmon", 6_000, 1)
+        a = simulate_file_transfer(data, IndependentLoss(0.2), seed=9)
+        b = simulate_file_transfer(data, IndependentLoss(0.2), seed=9)
+        assert a == b
+
+    def test_epd_still_delivers(self):
+        data = generate("english", 6_000, 4)
+        report = simulate_file_transfer(
+            data, EarlyPacketDiscard(IndependentLoss(0.2)), seed=5
+        )
+        assert report.delivered_clean == report.packets
+        assert report.delivered_corrupted == 0
+
+    def test_give_up_bound(self):
+        data = generate("english", 2_000, 5)
+        report = simulate_file_transfer(
+            data, IndependentLoss(0.9), max_attempts=2, seed=6
+        )
+        assert report.gave_up > 0
+        assert report.transmissions <= 2 * report.packets
+
+
+class TestSilentCorruption:
+    def test_crc_prevents_silent_corruption(self):
+        # The bottom line: on checksum-hostile data, the TCP sum alone
+        # lets corrupted packets reach the application; the AAL5 CRC
+        # stops them.
+        data = generate("gmon", 250_000, 3)
+        without = simulate_file_transfer(
+            data, IndependentLoss(0.25), use_crc=False, seed=2
+        )
+        with_crc = simulate_file_transfer(
+            data, IndependentLoss(0.25), use_crc=True, seed=2
+        )
+        assert without.silent_corruption > 0
+        assert with_crc.silent_corruption == 0
+        assert with_crc.gave_up == 0
+
+    def test_trailer_checksum_config(self):
+        data = generate("gmon", 20_000, 7)
+        config = PacketizerConfig(placement=ChecksumPlacement.TRAILER)
+        report = simulate_file_transfer(
+            data, IndependentLoss(0.2), config=config, seed=1
+        )
+        assert report.delivered_clean == report.packets
+        assert report.delivered_corrupted == 0
+
+
+def test_report_defaults():
+    report = TransferReport()
+    assert report.retransmission_ratio == 0.0
+    assert report.goodput == 0.0
+    assert report.silent_corruption == 0
