@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report figures quicktest clean
+.PHONY: install test bench report figures quicktest cache-stats cache-audit clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,8 +16,16 @@ quicktest:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# --cache: the second invocation is served from the artifact store
+# (~/.cache/repro-checksums or $REPRO_CHECKSUMS_CACHE) and is near-instant.
 report:
-	$(PYTHON) -m repro.cli report -o report.md --bytes 400000
+	$(PYTHON) -m repro.cli report -o report.md --bytes 400000 --cache
+
+cache-stats:
+	$(PYTHON) -m repro.cli cache stats
+
+cache-audit:
+	$(PYTHON) -m repro.cli cache audit
 
 figures:
 	$(PYTHON) -m repro.cli run figure2 --bytes 600000 --svg figure2.svg

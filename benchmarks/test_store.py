@@ -1,0 +1,75 @@
+"""Benchmarks for the repro.store persistence layer.
+
+Two claims worth numbers: (a) a warm cache hit is orders of magnitude
+cheaper than recomputing an experiment, and (b) the object store's
+framing overhead (CRC trailer + atomic write) is small against the
+splice work it saves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generators import generate
+from repro.experiments.registry import run_experiment
+from repro.store.objstore import ObjectStore, frame_object, unframe_object
+from repro.store.runner import RunStore
+
+from benchmarks.conftest import BENCH_FS_BYTES, BENCH_SEED
+
+BLOB = generate("english", 262_144, 5)
+
+
+@pytest.fixture
+def store_root(tmp_path, monkeypatch):
+    root = tmp_path / "bench-store"
+    monkeypatch.setenv("REPRO_CHECKSUMS_CACHE", str(root))
+    return root
+
+
+def test_objstore_put_throughput(benchmark, store_root):
+    store = ObjectStore(store_root)
+    counter = iter(range(10**9))
+
+    def put_unique():
+        return store.put(BLOB + next(counter).to_bytes(4, "big"))
+
+    digest = benchmark(put_unique)
+    assert digest in store
+
+
+def test_objstore_get_verified_throughput(benchmark, store_root):
+    store = ObjectStore(store_root)
+    digest = store.put(BLOB)
+    payload = benchmark(store.get, digest)
+    assert payload == bytes(BLOB)
+
+
+def test_trailer_frame_unframe_overhead(benchmark):
+    def round_trip():
+        payload, _ = unframe_object(frame_object(bytes(BLOB)))
+        return payload
+
+    assert benchmark(round_trip) == bytes(BLOB)
+
+
+def test_experiment_cold_vs_warm_cache(benchmark, store_root):
+    """A warm table4 hit must be >=10x cheaper than the cold run."""
+    import time
+
+    store = RunStore()
+    started = time.perf_counter()
+    cold = run_experiment("table4", fs_bytes=BENCH_FS_BYTES, seed=BENCH_SEED,
+                          cache=store)
+    cold_elapsed = time.perf_counter() - started
+
+    warm = benchmark(
+        lambda: run_experiment(
+            "table4", fs_bytes=BENCH_FS_BYTES, seed=BENCH_SEED, cache=store
+        )
+    )
+    assert warm.text == cold.text
+    warm_elapsed = benchmark.stats.stats.mean
+    print("\ncold %.3fs  warm %.6fs  speedup %.0fx"
+          % (cold_elapsed, warm_elapsed, cold_elapsed / warm_elapsed))
+    assert cold_elapsed / warm_elapsed >= 10

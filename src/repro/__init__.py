@@ -14,6 +14,8 @@ The library has four layers:
 * :mod:`repro.core` / :mod:`repro.analysis` / :mod:`repro.experiments`
   -- the packet-splice engine, the distribution analyses, and one
   callable per published table and figure.
+* :mod:`repro.store` -- the content-addressed artifact store behind
+  cached, resumable, integrity-audited experiment runs.
 
 Quickstart::
 
@@ -23,23 +25,40 @@ Quickstart::
     print(result.counters.miss_rate_transport)  # % of bad splices missed
 """
 
-from repro.checksums import get_algorithm, internet_checksum
-from repro.core import EngineOptions, SpliceEngine, run_splice_experiment
-from repro.corpus import build_filesystem, profile_names
-from repro.experiments import run_experiment
-from repro.protocols import PacketizerConfig
+import importlib
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "EngineOptions",
-    "PacketizerConfig",
-    "SpliceEngine",
-    "__version__",
-    "build_filesystem",
-    "get_algorithm",
-    "internet_checksum",
-    "profile_names",
-    "run_experiment",
-    "run_splice_experiment",
-]
+#: Public name -> defining submodule, resolved lazily (PEP 562) so that
+#: light entry points (the CLI, a warm cache hit) do not pay for the
+#: whole package import graph.  ``from repro import X`` still works.
+_EXPORTS = {
+    "EngineOptions": "repro.core",
+    "PacketizerConfig": "repro.protocols",
+    "RunStore": "repro.store",
+    "SpliceEngine": "repro.core",
+    "build_filesystem": "repro.corpus",
+    "get_algorithm": "repro.checksums",
+    "internet_checksum": "repro.checksums",
+    "profile_names": "repro.corpus",
+    "run_experiment": "repro.experiments",
+    "run_splice_experiment": "repro.core",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__():
+    return sorted({*globals(), *_EXPORTS})

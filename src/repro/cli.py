@@ -6,10 +6,15 @@ Subcommands:
 * ``profiles`` -- list the synthetic filesystem profiles.
 * ``sum FILE [FILE...]`` -- checksum files with a chosen algorithm.
 * ``run EXPERIMENT`` -- regenerate a paper table or figure (``--svg``
-  writes the chart for figure experiments).
+  writes the chart for figure experiments; ``--cache`` serves repeats
+  from the artifact store, ``--workers N`` fans out splice runs).
 * ``report`` -- regenerate every experiment into one Markdown file.
 * ``splice`` -- run a custom splice simulation over a profile.
 * ``transfer`` -- simulate a reliable transfer over a lossy link.
+* ``cache stats|audit|clear`` -- inspect, integrity-audit, or empty the
+  content-addressed artifact store (default root
+  ``~/.cache/repro-checksums``, overridable with ``--cache-dir`` or
+  ``$REPRO_CHECKSUMS_CACHE``).
 """
 
 from __future__ import annotations
@@ -17,9 +22,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.checksums.crc import CRCEngine
+# Only what building the parser itself needs (subcommand ``choices``)
+# is imported eagerly; experiment/engine modules load inside their
+# handlers so a warm ``--cache`` hit never imports the splice engine.
 from repro.checksums.registry import available_algorithms, get_algorithm
-from repro.core.experiment import run_splice_experiment
 from repro.corpus.profiles import PROFILES, build_filesystem, profile_names
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
@@ -51,6 +57,9 @@ def build_parser():
     p_run.add_argument("--seed", type=int, default=None)
     p_run.add_argument("--svg", metavar="PATH", default=None,
                        help="for figure experiments: also write an SVG chart")
+    _add_cache_arguments(p_run)
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="fan splice runs out over N processes")
 
     p_report = sub.add_parser(
         "report", help="regenerate every experiment into one Markdown file"
@@ -60,6 +69,9 @@ def build_parser():
     p_report.add_argument("--seed", type=int, default=3)
     p_report.add_argument("--only", nargs="*", default=None,
                           help="restrict to these experiment ids")
+    _add_cache_arguments(p_report)
+    p_report.add_argument("--workers", type=int, default=None,
+                          help="fan splice runs out over N processes")
 
     p_splice = sub.add_parser("splice", help="run a custom splice simulation")
     p_splice.add_argument("--profile", default="stanford-u1",
@@ -73,6 +85,23 @@ def build_parser():
                           choices=[p.value for p in ChecksumPlacement])
     p_splice.add_argument("--workers", type=int, default=None,
                           help="fan files out over N processes")
+    _add_cache_arguments(p_splice)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain the artifact store"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_stats = cache_sub.add_parser("stats", help="per-namespace object counts")
+    p_audit = cache_sub.add_parser(
+        "audit", help="re-verify every stored object's integrity trailer"
+    )
+    p_audit.add_argument("--evict", action="store_true",
+                         help="delete corrupt objects so runs recompute them")
+    p_clear = cache_sub.add_parser("clear", help="delete every stored object")
+    for p in (p_stats, p_audit, p_clear):
+        p.add_argument("--cache-dir", default=None,
+                       help="store root (default: $REPRO_CHECKSUMS_CACHE or "
+                            "~/.cache/repro-checksums)")
 
     p_transfer = sub.add_parser(
         "transfer", help="simulate a reliable transfer over a lossy link"
@@ -87,7 +116,27 @@ def build_parser():
     return parser
 
 
+def _add_cache_arguments(parser):
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="serve repeat runs from the artifact store")
+    parser.add_argument("--cache-dir", default=None,
+                        help="store root (default: $REPRO_CHECKSUMS_CACHE or "
+                             "~/.cache/repro-checksums)")
+
+
+def _make_store(args):
+    """A RunStore when ``--cache`` was requested, else None."""
+    if not getattr(args, "cache", False):
+        return None
+    from repro.store.runner import RunStore
+
+    return RunStore(args.cache_dir)
+
+
 def _cmd_algorithms():
+    from repro.checksums.crc import CRCEngine
+
     for name in available_algorithms():
         algorithm = get_algorithm(name)
         kind = "CRC" if isinstance(algorithm, CRCEngine) else "checksum"
@@ -118,7 +167,9 @@ def _cmd_run(args):
         kwargs["fs_bytes"] = args.bytes
     if args.seed is not None and args.experiment != "epd":
         kwargs["seed"] = args.seed
-    report = run_experiment(args.experiment, **kwargs)
+    report = run_experiment(
+        args.experiment, cache=_make_store(args), workers=args.workers, **kwargs
+    )
     print(report)
     if args.svg:
         from repro.experiments.svg import write_figure_svg
@@ -132,7 +183,11 @@ def _cmd_report(args):
     from repro.experiments.markdown import generate_markdown_report
 
     document = generate_markdown_report(
-        experiment_ids=args.only, fs_bytes=args.bytes, seed=args.seed
+        experiment_ids=args.only,
+        fs_bytes=args.bytes,
+        seed=args.seed,
+        cache=_make_store(args),
+        workers=args.workers,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(document)
@@ -141,13 +196,17 @@ def _cmd_report(args):
 
 
 def _cmd_splice(args):
+    from repro.core.experiment import run_splice_experiment
+
     config = PacketizerConfig(
         mss=args.mss,
         algorithm=args.algorithm,
         placement=ChecksumPlacement(args.placement),
     )
     fs = build_filesystem(args.profile, args.bytes, args.seed)
-    result = run_splice_experiment(fs, config, workers=args.workers)
+    result = run_splice_experiment(
+        fs, config, workers=args.workers, store=_make_store(args)
+    )
     c = result.counters
     print("filesystem         %s (%d bytes, %d files)" % (
         fs.name, fs.total_bytes, len(fs)))
@@ -163,6 +222,35 @@ def _cmd_splice(args):
     print("missed (CRC-32)    %d" % c.missed_crc32)
     print("effective bits     %.1f" % c.effective_bits)
     return 0
+
+
+def _cmd_cache(args):
+    from repro.store.audit import audit_run_store
+    from repro.store.runner import RunStore
+
+    store = RunStore(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print("root               %s" % stats["root"])
+        total_objects = total_bytes = 0
+        for name, _ in store.namespaces:
+            entry = stats[name]
+            total_objects += entry["objects"]
+            total_bytes += entry["bytes"]
+            print("%-11s %8d objects %12d bytes" % (
+                name, entry["objects"], entry["bytes"]))
+        print("%-11s %8d objects %12d bytes" % (
+            "total", total_objects, total_bytes))
+        return 0
+    if args.cache_command == "audit":
+        report = audit_run_store(store, evict=args.evict)
+        print(report.render())
+        return 0 if report.clean else 1
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print("removed %d objects from %s" % (removed, store.root))
+        return 0
+    return 1
 
 
 def _cmd_transfer(args):
@@ -212,6 +300,8 @@ def main(argv=None):
         return _cmd_splice(args)
     if args.command == "transfer":
         return _cmd_transfer(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 1
 
 

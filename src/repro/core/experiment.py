@@ -88,6 +88,7 @@ def run_splice_experiment(
     options=None,
     max_files=None,
     workers=None,
+    store=None,
 ):
     """Run the paper's splice simulation over ``filesystem``.
 
@@ -97,6 +98,12 @@ def run_splice_experiment(
     default); ``max_files`` truncates the filesystem for quick runs.
     Files are independent, so ``workers > 1`` fans them out over a
     process pool for large corpora (results are identical either way).
+
+    ``store`` (a :class:`repro.store.runner.RunStore`) makes the run
+    resumable and cached: per-file shards are persisted with integrity
+    trailers, completed shards are reused instead of recomputed, and
+    corrupt shards are evicted and recomputed — counters come out
+    bit-identical to a direct run.
     """
     config = config or PacketizerConfig()
     options = options or EngineOptions.from_packetizer(config)
@@ -104,6 +111,19 @@ def run_splice_experiment(
     files = list(filesystem)
     if max_files is not None:
         files = files[:max_files]
+
+    name = getattr(filesystem, "name", "<anonymous>")
+    if store is not None:
+        from repro.store.runner import run_sharded_splice
+
+        counters = run_sharded_splice(
+            files, config, options, store,
+            workers=workers, filesystem_name=name,
+        )
+        counters.sanity_check()
+        return SpliceExperimentResult(
+            filesystem=name, config=config, options=options, counters=counters,
+        )
 
     counters = SpliceCounters()
     if workers and workers > 1 and len(files) > 1:
@@ -118,7 +138,7 @@ def run_splice_experiment(
             counters += _file_counters((file.data, config, options))
     counters.sanity_check()
     return SpliceExperimentResult(
-        filesystem=getattr(filesystem, "name", "<anonymous>"),
+        filesystem=name,
         config=config,
         options=options,
         counters=counters,

@@ -20,10 +20,16 @@ every adjacent packet pair:
 
 from __future__ import annotations
 
+import json
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = ["SpliceCounters"]
+
+_COUNTER_FIELDS = ("missed_aux", "remaining_by_len", "missed_by_len")
+#: Counter fields whose keys are substitution lengths (ints); JSON
+#: object keys are strings, so these round-trip through int().
+_INT_KEYED = ("remaining_by_len", "missed_by_len")
 
 
 @dataclass
@@ -113,6 +119,49 @@ class SpliceCounters:
         if not self.missed_transport or not self.remaining:
             return float("inf")
         return math.log2(self.remaining / self.missed_transport)
+
+    # -- serialization (the repro.store result cache's wire format) --------
+
+    def to_dict(self):
+        """A JSON-native dict; inverse of :meth:`from_dict`."""
+        out = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name in _COUNTER_FIELDS:
+                value = {str(k): int(v) for k, v in sorted(value.items())}
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild counters from :meth:`to_dict` output.
+
+        Unknown keys are rejected rather than ignored: a schema drift
+        between writer and reader must surface as an error, never as
+        silently dropped counts.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                "unknown SpliceCounters fields: %s" % ", ".join(sorted(unknown))
+            )
+        kwargs = {}
+        for name, value in payload.items():
+            if name in _COUNTER_FIELDS:
+                keyfn = int if name in _INT_KEYED else str
+                value = Counter({keyfn(k): int(v) for k, v in value.items()})
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def to_json(self):
+        """Canonical JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text):
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def sanity_check(self):
         """Internal consistency of the counter relationships."""

@@ -1,70 +1,85 @@
-"""Registry mapping experiment ids to their functions."""
+"""Registry mapping experiment ids to their functions.
+
+:func:`run_experiment` is the single entry point the CLI and the
+Markdown report generator go through, so it is also where the
+``repro.store`` persistence layer hooks in:
+
+* ``cache=`` consults the experiment-level result cache: a verified
+  hit deserializes the stored :class:`ExperimentReport` (bit-identical
+  rendered text); a miss runs the experiment and stores it; a corrupt
+  entry is evicted and recomputed.
+* ``workers=`` / ``store=`` are forwarded only to experiments whose
+  signatures accept them (the splice tables), and never enter cache
+  keys — neither can change a result.
+
+The registry maps ids to ``"module:function"`` spec strings resolved
+on first use, so importing it (e.g. to build CLI ``choices``) does not
+drag in every experiment module — a warm ``--cache`` hit deserializes
+a stored report without ever importing the splice engine.
+"""
 
 from __future__ import annotations
 
-from repro.experiments.ablations import (
-    ablation_add_constant,
-    ablation_inverted_checksum,
-    ablation_unfilled_ip_header,
-    early_packet_discard,
-    pathological_families,
-)
-from repro.experiments.distribution_tables import (
-    table4_matchprob,
-    table5_locality,
-    table6_local_vs_actual,
-)
-from repro.experiments.extensions import (
-    corpus_stats,
-    error_models,
-    failure_locality,
-    fragment_splices,
-    loss_models,
-    monte_carlo_crosscheck,
-    mss_sweep,
-    uniformity_checks,
-)
-from repro.experiments.figures import figure2_distribution, figure3_fletcher_pdf
+import importlib
+import inspect
+
 from repro.experiments.report import ExperimentReport
-from repro.experiments.splice_tables import (
-    table1_nsc,
-    table2_sics,
-    table3_stanford,
-    table7_compressed,
-    table8_fletcher,
-    table9_trailer,
-    table10_header_vs_trailer,
-)
 
-__all__ = ["EXPERIMENTS", "ExperimentReport", "experiment_ids", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "experiment_ids",
+    "resolve",
+    "run_experiment",
+]
 
+_ABLATIONS = "repro.experiments.ablations"
+_DIST = "repro.experiments.distribution_tables"
+_EXT = "repro.experiments.extensions"
+_FIGURES = "repro.experiments.figures"
+_SPLICE = "repro.experiments.splice_tables"
+
+#: Experiment id -> ``"module:function"`` spec, resolved lazily.
+#: Iteration/membership still works as an id set for CLI choices and
+#: the Markdown generator's selection logic.
 EXPERIMENTS = {
-    "table1": table1_nsc,
-    "table2": table2_sics,
-    "table3": table3_stanford,
-    "table4": table4_matchprob,
-    "table5": table5_locality,
-    "table6": table6_local_vs_actual,
-    "table7": table7_compressed,
-    "table8": table8_fletcher,
-    "table9": table9_trailer,
-    "table10": table10_header_vs_trailer,
-    "figure2": figure2_distribution,
-    "figure3": figure3_fletcher_pdf,
-    "pathological": pathological_families,
-    "ablation-inverted": ablation_inverted_checksum,
-    "ablation-unfilled-header": ablation_unfilled_ip_header,
-    "ablation-add-constant": ablation_add_constant,
-    "epd": early_packet_discard,
-    "error-models": error_models,
-    "mss-sweep": mss_sweep,
-    "loss-models": loss_models,
-    "montecarlo": monte_carlo_crosscheck,
-    "fragment-splices": fragment_splices,
-    "failure-locality": failure_locality,
-    "uniformity": uniformity_checks,
-    "corpus-stats": corpus_stats,
+    "table1": _SPLICE + ":table1_nsc",
+    "table2": _SPLICE + ":table2_sics",
+    "table3": _SPLICE + ":table3_stanford",
+    "table4": _DIST + ":table4_matchprob",
+    "table5": _DIST + ":table5_locality",
+    "table6": _DIST + ":table6_local_vs_actual",
+    "table7": _SPLICE + ":table7_compressed",
+    "table8": _SPLICE + ":table8_fletcher",
+    "table9": _SPLICE + ":table9_trailer",
+    "table10": _SPLICE + ":table10_header_vs_trailer",
+    "figure2": _FIGURES + ":figure2_distribution",
+    "figure3": _FIGURES + ":figure3_fletcher_pdf",
+    "pathological": _ABLATIONS + ":pathological_families",
+    "ablation-inverted": _ABLATIONS + ":ablation_inverted_checksum",
+    "ablation-unfilled-header": _ABLATIONS + ":ablation_unfilled_ip_header",
+    "ablation-add-constant": _ABLATIONS + ":ablation_add_constant",
+    "epd": _ABLATIONS + ":early_packet_discard",
+    "error-models": _EXT + ":error_models",
+    "mss-sweep": _EXT + ":mss_sweep",
+    "loss-models": _EXT + ":loss_models",
+    "montecarlo": _EXT + ":monte_carlo_crosscheck",
+    "fragment-splices": _EXT + ":fragment_splices",
+    "failure-locality": _EXT + ":failure_locality",
+    "uniformity": _EXT + ":uniformity_checks",
+    "corpus-stats": _EXT + ":corpus_stats",
 }
+
+
+def resolve(experiment_id):
+    """Import and return the function behind ``experiment_id``."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            "unknown experiment %r; available: %s"
+            % (experiment_id, ", ".join(EXPERIMENTS))
+        )
+    module_name, _, attribute = EXPERIMENTS[experiment_id].partition(":")
+    return getattr(importlib.import_module(module_name), attribute)
 
 
 def experiment_ids():
@@ -72,11 +87,51 @@ def experiment_ids():
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id, **kwargs):
-    """Run a registered experiment and return its report."""
+def _accepts(function, name):
+    """True if ``function`` takes a ``name`` keyword."""
+    try:
+        return name in inspect.signature(function).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+
+
+def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs):
+    """Run a registered experiment and return its report.
+
+    ``cache`` is a :class:`repro.store.cache.ResultCache` (or a
+    :class:`repro.store.runner.RunStore`, whose ``results`` cache and
+    ``store`` hook are both used).  ``workers`` fans splice runs over a
+    process pool; ``store`` makes them resumable at shard granularity.
+    Neither enters the cache key — cached and direct runs are
+    bit-identical by construction.
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             "unknown experiment %r; available: %s"
             % (experiment_id, ", ".join(EXPERIMENTS))
         )
-    return EXPERIMENTS[experiment_id](**kwargs)
+
+    if cache is not None and store is None and hasattr(cache, "results"):
+        store = cache  # a RunStore doubles as shard store + result cache
+    result_cache = getattr(cache, "results", cache)
+
+    key = None
+    if result_cache is not None:
+        from repro.store.keys import experiment_key
+
+        key = experiment_key(experiment_id, kwargs)
+        report = result_cache.get_object(key, ExperimentReport.from_json)
+        if report is not None:
+            return report
+
+    function = resolve(experiment_id)
+    call_kwargs = dict(kwargs)
+    if workers is not None and _accepts(function, "workers"):
+        call_kwargs["workers"] = workers
+    if store is not None and _accepts(function, "store"):
+        call_kwargs["store"] = store
+    report = function(**call_kwargs)
+
+    if result_cache is not None:
+        result_cache.put_object(key, report)
+    return report

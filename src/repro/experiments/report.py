@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 __all__ = ["ExperimentReport"]
@@ -22,3 +23,39 @@ class ExperimentReport:
 
     def __str__(self):
         return "%s -- %s\n\n%s" % (self.experiment_id, self.title, self.text)
+
+    # -- serialization (the repro.store result cache's wire format) --------
+
+    def to_json(self):
+        """JSON text of the report; inverse of :meth:`from_json`.
+
+        ``data`` values must be JSON-representable (every experiment's
+        ``data`` dict is, by construction); tuples come back as lists
+        and non-finite floats use Python's ``Infinity``/``NaN``
+        extension, which round-trips through :func:`json.loads`.
+        """
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "text": self.text,
+                "data": self.data,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text):
+        """Rebuild a report from :meth:`to_json` output."""
+        payload = json.loads(text)
+        missing = {"experiment_id", "title", "text"} - set(payload)
+        if missing:
+            raise ValueError(
+                "report JSON missing fields: %s" % ", ".join(sorted(missing))
+            )
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            text=payload["text"],
+            data=payload.get("data", {}),
+        )

@@ -43,11 +43,11 @@ FLETCHER_SYSTEMS = (
 )
 
 
-def _splice_rows(systems, fs_bytes, seed, config):
+def _splice_rows(systems, fs_bytes, seed, config, workers=None, store=None):
     rows = []
     for name in systems:
         fs = build_filesystem(name, fs_bytes, seed)
-        result = run_splice_experiment(fs, config)
+        result = run_splice_experiment(fs, config, workers=workers, store=store)
         rows.append((name, result.counters))
     return rows
 
@@ -90,37 +90,41 @@ def _render_splice_table(rows):
     return table.render() + footer, data
 
 
-def _splice_table_report(experiment_id, title, systems, fs_bytes, seed):
-    rows = _splice_rows(systems, fs_bytes, seed, PacketizerConfig())
+def _splice_table_report(
+    experiment_id, title, systems, fs_bytes, seed, workers=None, store=None
+):
+    rows = _splice_rows(
+        systems, fs_bytes, seed, PacketizerConfig(), workers=workers, store=store
+    )
     text, data = _render_splice_table(rows)
     return ExperimentReport(experiment_id, title, text, {"rows": data})
 
 
-def table1_nsc(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
+def table1_nsc(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED, workers=None, store=None):
     """Table 1: CRC and TCP checksum results, NSC-profile systems."""
     return _splice_table_report(
         "table1", "Splice results, 256-byte packets (NSC profiles)",
-        TABLE1_SYSTEMS, fs_bytes, seed,
+        TABLE1_SYSTEMS, fs_bytes, seed, workers=workers, store=store,
     )
 
 
-def table2_sics(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
+def table2_sics(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED, workers=None, store=None):
     """Table 2: CRC and TCP checksum results, SICS-profile systems."""
     return _splice_table_report(
         "table2", "Splice results, 256-byte packets (SICS profiles)",
-        TABLE2_SYSTEMS, fs_bytes, seed,
+        TABLE2_SYSTEMS, fs_bytes, seed, workers=workers, store=store,
     )
 
 
-def table3_stanford(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
+def table3_stanford(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED, workers=None, store=None):
     """Table 3: CRC and TCP checksum results, Stanford-profile systems."""
     return _splice_table_report(
         "table3", "Splice results, 256-byte packets (Stanford profiles)",
-        TABLE3_SYSTEMS, fs_bytes, seed,
+        TABLE3_SYSTEMS, fs_bytes, seed, workers=workers, store=store,
     )
 
 
-def table7_compressed(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
+def table7_compressed(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED, workers=None, store=None):
     """Table 7: the Section 5.1 compression counterfactual.
 
     Compressing the worst filesystem (sics-opt) restores a near-uniform
@@ -128,8 +132,10 @@ def table7_compressed(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
     """
     fs = build_filesystem("sics-opt", fs_bytes, seed)
     config = PacketizerConfig()
-    before = run_splice_experiment(fs, config).counters
-    after = run_splice_experiment(compress_filesystem(fs), config).counters
+    before = run_splice_experiment(fs, config, workers=workers, store=store).counters
+    after = run_splice_experiment(
+        compress_filesystem(fs), config, workers=workers, store=store
+    ).counters
     table = TextTable(["corpus", "remaining", "TCP misses", "TCP miss %"])
     for label, c in (("sics-opt", before), ("sics-opt compressed", after)):
         table.add_row(
@@ -152,7 +158,7 @@ def table7_compressed(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
     )
 
 
-def table8_fletcher(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
+def table8_fletcher(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED, workers=None, store=None):
     """Table 8: Fletcher mod-255 / mod-256 vs the TCP checksum."""
     base = PacketizerConfig()
     configs = [
@@ -165,7 +171,9 @@ def table8_fletcher(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
     for name in FLETCHER_SYSTEMS:
         fs = build_filesystem(name, fs_bytes, seed)
         for label, config in configs:
-            c = run_splice_experiment(fs, config).counters
+            c = run_splice_experiment(
+                fs, config, workers=workers, store=store
+            ).counters
             table.add_row(
                 name if label == "TCP" else "",
                 label,
@@ -188,7 +196,7 @@ def table8_fletcher(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
     )
 
 
-def table9_trailer(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
+def table9_trailer(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED, workers=None, store=None):
     """Table 9: trailer-placed TCP checksum vs the header placement."""
     base = PacketizerConfig()
     trailer = base.with_overrides(placement=ChecksumPlacement.TRAILER)
@@ -198,8 +206,8 @@ def table9_trailer(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
     data = []
     for name in FLETCHER_SYSTEMS:
         fs = build_filesystem(name, fs_bytes, seed)
-        header_c = run_splice_experiment(fs, base).counters
-        trailer_c = run_splice_experiment(fs, trailer).counters
+        header_c = run_splice_experiment(fs, base, workers=workers, store=store).counters
+        trailer_c = run_splice_experiment(fs, trailer, workers=workers, store=store).counters
         ratio = (
             header_c.miss_rate_transport / trailer_c.miss_rate_transport
             if trailer_c.miss_rate_transport
@@ -226,13 +234,16 @@ def table9_trailer(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
     )
 
 
-def table10_header_vs_trailer(fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED):
+def table10_header_vs_trailer(
+    fs_bytes=DEFAULT_FS_BYTES, seed=DEFAULT_SEED, workers=None, store=None
+):
     """Table 10: false positives/negatives, header vs trailer placement."""
     fs = build_filesystem("stanford-u1", fs_bytes, seed)
     base = PacketizerConfig()
-    header_c = run_splice_experiment(fs, base).counters
+    header_c = run_splice_experiment(fs, base, workers=workers, store=store).counters
     trailer_c = run_splice_experiment(
-        fs, base.with_overrides(placement=ChecksumPlacement.TRAILER)
+        fs, base.with_overrides(placement=ChecksumPlacement.TRAILER),
+        workers=workers, store=store,
     ).counters
 
     def pct(count, total):

@@ -1,0 +1,47 @@
+"""repro.store: content-addressed artifact store for experiment runs.
+
+The persistence layer behind cached and resumable experiments:
+
+* :mod:`repro.store.objstore` -- sharded on-disk object store whose
+  frames carry integrity trailers computed with the paper's own check
+  codes (CRC-32/AAL5 by default);
+* :mod:`repro.store.keys` -- canonical cache keys over experiment
+  parameters, corpus identity and the code schema version;
+* :mod:`repro.store.cache` -- the counting result cache (hit / miss /
+  corrupt-evict-recompute);
+* :mod:`repro.store.manifest` / :mod:`repro.store.runner` -- resumable
+  sharded splice runs checkpointed per file;
+* :mod:`repro.store.audit` -- re-verify every stored object.
+
+Corruption is always survivable: a failed trailer evicts the entry and
+the caller recomputes — the cache can cost time, never correctness.
+"""
+
+from repro.store.audit import AuditReport, audit_run_store
+from repro.store.cache import ResultCache
+from repro.store.keys import SCHEMA_VERSION, experiment_key, shard_key
+from repro.store.manifest import ManifestStore, RunManifest
+from repro.store.objstore import (
+    DEFAULT_ALGORITHM,
+    IntegrityError,
+    ObjectStore,
+    default_root,
+)
+from repro.store.runner import RunStore, run_sharded_splice
+
+__all__ = [
+    "AuditReport",
+    "DEFAULT_ALGORITHM",
+    "IntegrityError",
+    "ManifestStore",
+    "ObjectStore",
+    "ResultCache",
+    "RunManifest",
+    "RunStore",
+    "SCHEMA_VERSION",
+    "audit_run_store",
+    "default_root",
+    "experiment_key",
+    "run_sharded_splice",
+    "shard_key",
+]

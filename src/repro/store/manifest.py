@@ -1,0 +1,118 @@
+"""Run manifests: per-shard completion state for resumable sweeps.
+
+A *run* is one splice experiment over one filesystem under one
+configuration; its *shards* are the per-file work units (keyed by file
+content digest, so identical files share work across runs).  The
+manifest records which shards have completed so an interrupted
+multi-hour sweep resumes from where it stopped instead of restarting:
+the runner consults the manifest and the shard cache, recomputes only
+what is missing or corrupt, and checkpoints after every shard.
+
+Manifests are themselves stored as integrity-trailed objects; a
+corrupt manifest degrades to "no manifest" (a fresh run that still
+reuses every intact cached shard).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.store.keys import SCHEMA_VERSION
+from repro.store.objstore import IntegrityError
+
+__all__ = ["ManifestStore", "RunManifest"]
+
+
+@dataclass
+class RunManifest:
+    """Completion bookkeeping for one sharded run."""
+
+    run_key: str
+    label: str = ""
+    params: dict = field(default_factory=dict)
+    #: shard key -> file name (for reporting; keys are authoritative).
+    shards: dict = field(default_factory=dict)
+    #: shard keys whose counters are stored and verified.
+    completed: list = field(default_factory=list)
+    schema: int = SCHEMA_VERSION
+
+    def register(self, shard_key, name):
+        self.shards[shard_key] = name
+
+    def mark_done(self, shard_key):
+        if shard_key not in self.completed:
+            self.completed.append(shard_key)
+
+    def mark_pending(self, shard_key):
+        """Demote a shard (its cached counters went missing/corrupt)."""
+        if shard_key in self.completed:
+            self.completed.remove(shard_key)
+
+    def is_done(self, shard_key):
+        return shard_key in set(self.completed)
+
+    @property
+    def total(self):
+        return len(self.shards)
+
+    @property
+    def done(self):
+        return len(self.completed)
+
+    @property
+    def finished(self):
+        return self.total > 0 and set(self.shards) <= set(self.completed)
+
+    def to_json(self):
+        return json.dumps(
+            {
+                "run_key": self.run_key,
+                "label": self.label,
+                "params": self.params,
+                "shards": self.shards,
+                "completed": self.completed,
+                "schema": self.schema,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text):
+        payload = json.loads(text)
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                "manifest schema %r != %d" % (payload.get("schema"), SCHEMA_VERSION)
+            )
+        return cls(
+            run_key=payload["run_key"],
+            label=payload.get("label", ""),
+            params=payload.get("params", {}),
+            shards=payload.get("shards", {}),
+            completed=payload.get("completed", []),
+        )
+
+
+class ManifestStore:
+    """Load/save manifests in an object store, degrading on corruption."""
+
+    def __init__(self, store):
+        self.store = store
+
+    def load(self, run_key):
+        """The stored manifest, or None (missing, corrupt, or stale)."""
+        try:
+            payload = self.store.get(run_key)
+        except KeyError:
+            return None
+        except IntegrityError:
+            self.store.delete(run_key)
+            return None
+        try:
+            return RunManifest.from_json(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError, KeyError):
+            self.store.delete(run_key)
+            return None
+
+    def save(self, manifest):
+        self.store.put_keyed(manifest.run_key, manifest.to_json().encode("utf-8"))

@@ -1,0 +1,247 @@
+"""Content-addressed on-disk object store with self-checking objects.
+
+Every stored object carries an **integrity trailer** computed with one
+of the check codes the paper studies (CRC-32/AAL5 by default, any
+:mod:`repro.checksums.registry` algorithm by name).  The store thereby
+dogfoods its own subject matter: a flipped bit in a cached artifact is
+caught the same way a corrupted AAL5 frame would be.
+
+Layout (mirroring the content-addressed pattern of object storages
+like Software Heritage's):
+
+* objects live under a two-level fan-out, ``root/ab/cd/abcd...``,
+  named by the 64-hex-digit address;
+* writes are atomic: a temp file in the same directory tree is
+  populated, fsynced, then ``os.replace``-d into place — readers never
+  observe a half-written object;
+* the on-disk frame is ``payload || value || name || name_len(1) ||
+  value_len(1) || magic(4)`` so the trailer parses backwards from the
+  end of the file without a header seek.
+
+Addresses are either the SHA-256 of the payload (:meth:`ObjectStore.put`
+— true content addressing) or a caller-chosen hex key
+(:meth:`ObjectStore.put_keyed` — used by the result cache, whose keys
+are digests of experiment *parameters* rather than of the payload).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+
+from repro.checksums.registry import get_algorithm
+
+__all__ = [
+    "DEFAULT_ALGORITHM",
+    "IntegrityError",
+    "ObjectStore",
+    "default_root",
+]
+
+#: Environment variable overriding the default store root.
+ROOT_ENV_VAR = "REPRO_CHECKSUMS_CACHE"
+
+#: The integrity-trailer algorithm used unless the caller picks another.
+DEFAULT_ALGORITHM = "crc32-aal5"
+
+_MAGIC = b"RCS1"
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+class IntegrityError(Exception):
+    """A stored object failed its integrity trailer (or is malformed)."""
+
+
+def default_root():
+    """The store root: ``$REPRO_CHECKSUMS_CACHE`` or ``~/.cache/repro-checksums``."""
+    env = os.environ.get(ROOT_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-checksums"
+
+
+def _is_object_name(name):
+    """True for fan-out object filenames (hex, no temp suffix)."""
+    return len(name) >= 6 and not name.endswith(".tmp") and set(name) <= _HEX_DIGITS
+
+
+def frame_object(payload, algorithm_name=DEFAULT_ALGORITHM):
+    """Append the integrity trailer to ``payload``."""
+    algorithm = get_algorithm(algorithm_name)
+    width = (algorithm.bits + 7) // 8
+    value = algorithm.compute(payload).to_bytes(width, "big")
+    name = algorithm_name.encode("ascii")
+    if not 1 <= len(name) <= 255 or not 1 <= width <= 255:
+        raise ValueError("trailer fields out of range for %r" % algorithm_name)
+    return b"".join(
+        [payload, value, name, bytes([len(name)]), bytes([width]), _MAGIC]
+    )
+
+
+def unframe_object(blob, verify=True):
+    """Split a stored frame into ``(payload, algorithm_name)``.
+
+    Raises :class:`IntegrityError` if the frame is malformed or (with
+    ``verify``) the recomputed check value disagrees with the trailer.
+    """
+    if len(blob) < len(_MAGIC) + 2 or blob[-4:] != _MAGIC:
+        raise IntegrityError("missing or damaged trailer magic")
+    value_len = blob[-5]
+    name_len = blob[-6]
+    end = len(blob) - 6
+    if name_len < 1 or value_len < 1 or end < name_len + value_len:
+        raise IntegrityError("trailer lengths out of range")
+    name_bytes = blob[end - name_len : end]
+    value = blob[end - name_len - value_len : end - name_len]
+    payload = blob[: end - name_len - value_len]
+    try:
+        algorithm_name = name_bytes.decode("ascii")
+        algorithm = get_algorithm(algorithm_name)
+    except (UnicodeDecodeError, KeyError) as exc:
+        raise IntegrityError("unreadable trailer algorithm: %s" % exc) from exc
+    if verify:
+        width = (algorithm.bits + 7) // 8
+        if width != value_len:
+            raise IntegrityError(
+                "trailer width %d != %d for %s" % (value_len, width, algorithm_name)
+            )
+        expected = algorithm.compute(payload).to_bytes(width, "big")
+        if expected != value:
+            raise IntegrityError(
+                "integrity trailer mismatch (%s): stored %s, computed %s"
+                % (algorithm_name, value.hex(), expected.hex())
+            )
+    return payload, algorithm_name
+
+
+class ObjectStore:
+    """A sharded, integrity-trailed, atomic-write object store."""
+
+    def __init__(self, root=None, algorithm=DEFAULT_ALGORITHM):
+        self.root = Path(root) if root is not None else default_root()
+        self.algorithm = algorithm
+        get_algorithm(algorithm)  # fail fast on unknown names
+
+    # -- addressing -------------------------------------------------------
+
+    @staticmethod
+    def address(payload):
+        """The content address (SHA-256 hex) of ``payload``."""
+        return hashlib.sha256(payload).hexdigest()
+
+    def path_for(self, digest):
+        """On-disk path of ``digest`` (two-level fan-out)."""
+        digest = digest.lower()
+        if len(digest) < 6 or set(digest) - _HEX_DIGITS:
+            raise ValueError("addresses must be hex strings, got %r" % digest)
+        return self.root / digest[:2] / digest[2:4] / digest
+
+    # -- write ------------------------------------------------------------
+
+    def put(self, payload):
+        """Store ``payload`` content-addressed; return its digest."""
+        digest = self.address(payload)
+        self.put_keyed(digest, payload, overwrite=False)
+        return digest
+
+    def put_keyed(self, key, payload, overwrite=True):
+        """Store ``payload`` under the caller-chosen hex ``key``.
+
+        Keyed entries (cache results, manifests) are overwritten by
+        default; content-addressed :meth:`put` skips the write when the
+        object already exists (identical payload by construction).
+        """
+        path = self.path_for(key)
+        if not overwrite and path.exists():
+            return key
+        self._atomic_write(path, frame_object(bytes(payload), self.algorithm))
+        return key
+
+    @staticmethod
+    def _atomic_write(path, blob):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- read -------------------------------------------------------------
+
+    def get(self, digest, verify=True):
+        """Return the payload stored at ``digest``.
+
+        Raises :class:`KeyError` if absent and :class:`IntegrityError`
+        if the integrity trailer does not verify.
+        """
+        path = self.path_for(digest)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            raise KeyError(digest) from None
+        payload, _ = unframe_object(blob, verify=verify)
+        return payload
+
+    def __contains__(self, digest):
+        return self.path_for(digest).exists()
+
+    def __iter__(self):
+        return self.digests()
+
+    def digests(self):
+        """Iterate over every stored address (sorted for determinism)."""
+        if not self.root.is_dir():
+            return
+        for first in sorted(self.root.iterdir()):
+            if not first.is_dir() or len(first.name) != 2:
+                continue
+            for second in sorted(first.iterdir()):
+                if not second.is_dir():
+                    continue
+                for path in sorted(second.iterdir()):
+                    if path.is_file() and _is_object_name(path.name):
+                        yield path.name
+
+    def __len__(self):
+        return sum(1 for _ in self.digests())
+
+    # -- maintenance ------------------------------------------------------
+
+    def delete(self, digest):
+        """Remove ``digest``; True if it existed."""
+        path = self.path_for(digest)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def clear(self):
+        """Delete every object (leaves the directory tree in place)."""
+        removed = 0
+        for digest in list(self.digests()):
+            removed += bool(self.delete(digest))
+        return removed
+
+    def total_bytes(self):
+        """Total on-disk bytes of stored frames."""
+        return sum(self.path_for(d).stat().st_size for d in self.digests())
+
+    def stats(self):
+        """Object count and byte totals for status displays."""
+        count = 0
+        size = 0
+        for digest in self.digests():
+            count += 1
+            size += self.path_for(digest).stat().st_size
+        return {"root": str(self.root), "objects": count, "bytes": size}

@@ -1,0 +1,170 @@
+"""Resumable, cached, sharded splice runs.
+
+The paper's headline numbers come from enumeration sweeps over whole
+filesystems — hours of work at production corpus sizes.  Files are
+independent, so the sweep shards naturally per file:
+
+* each shard is keyed by the **content digest** of the file plus the
+  packetizer/engine configuration (identical files share shards across
+  profiles, sizes, and experiments);
+* completed shards persist their :class:`SpliceCounters` as
+  integrity-trailed JSON; a manifest checkpoints completion state
+  after every shard;
+* a re-run (or a run interrupted and restarted) recomputes only the
+  shards that are missing or whose stored bytes fail the integrity
+  trailer — corrupt entries are evicted and recomputed, so corruption
+  costs time, never correctness.
+
+``run_splice_experiment(..., store=RunStore(...))`` routes through
+:func:`run_sharded_splice`; results are bit-identical to the direct
+path because shard merge order follows file order either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.core.results import SpliceCounters
+from repro.store.cache import ResultCache
+from repro.store.keys import SCHEMA_VERSION, digest_key, shard_key
+from repro.store.manifest import ManifestStore, RunManifest
+from repro.store.objstore import DEFAULT_ALGORITHM, ObjectStore, default_root
+
+__all__ = ["RunStore", "run_key_for", "run_sharded_splice"]
+
+
+class RunStore:
+    """Facade bundling the artifact store's namespaces under one root.
+
+    =============  =======================================================
+    namespace      contents
+    =============  =======================================================
+    ``objects/``   content-addressed blobs (``put``/``get`` by SHA-256)
+    ``results/``   experiment-level :class:`ExperimentReport` JSON
+    ``shards/``    per-file :class:`SpliceCounters` JSON
+    ``manifests/`` :class:`RunManifest` checkpoints
+    =============  =======================================================
+
+    Every namespace frames its payloads with the same integrity-trailer
+    algorithm (CRC-32/AAL5 unless overridden), so ``repro-checksums
+    cache audit`` can verify the whole tree uniformly.
+    """
+
+    def __init__(self, root=None, algorithm=DEFAULT_ALGORITHM):
+        self.root = Path(root) if root is not None else default_root()
+        self.algorithm = algorithm
+        self.objects = ObjectStore(self.root / "objects", algorithm)
+        self.results = ResultCache(ObjectStore(self.root / "results", algorithm))
+        self.shards = ResultCache(ObjectStore(self.root / "shards", algorithm))
+        self.manifests = ManifestStore(
+            ObjectStore(self.root / "manifests", algorithm)
+        )
+
+    @property
+    def namespaces(self):
+        """(name, ObjectStore) pairs, audit/statistics order."""
+        return (
+            ("objects", self.objects),
+            ("results", self.results.store),
+            ("shards", self.shards.store),
+            ("manifests", self.manifests.store),
+        )
+
+    def stats(self):
+        """Per-namespace object counts and byte totals."""
+        out = {"root": str(self.root)}
+        for name, store in self.namespaces:
+            out[name] = store.stats()
+        return out
+
+    def clear(self):
+        """Delete every stored object across all namespaces."""
+        return sum(store.clear() for _, store in self.namespaces)
+
+
+def run_key_for(filesystem_name, shard_keys):
+    """The manifest key of one run: its identity is its shard set."""
+    return digest_key("splice-run", SCHEMA_VERSION, filesystem_name, shard_keys)
+
+
+def run_sharded_splice(
+    files, config, options, store, workers=None, filesystem_name="<anonymous>"
+):
+    """Merge per-file splice counters, reusing every intact cached shard.
+
+    ``files`` is the materialized file list (objects with ``.data``);
+    returns the merged :class:`SpliceCounters`, bit-identical to the
+    uncached path.  ``workers > 1`` fans *missing* shards over a
+    process pool; completed shards are loaded, never recomputed.
+    """
+    # Import here: core.experiment lazily imports this module, so the
+    # worker function is shared without a load-time cycle.
+    from repro.core.experiment import _file_counters
+
+    shard_keys = [
+        shard_key(hashlib.sha256(file.data).hexdigest(), config, options)
+        for file in files
+    ]
+    run_key = run_key_for(filesystem_name, shard_keys)
+    manifest = store.manifests.load(run_key)
+    if manifest is None:
+        manifest = RunManifest(
+            run_key=run_key,
+            label=filesystem_name,
+            params={"files": len(files), "algorithm": config.algorithm},
+        )
+    for key, file in zip(shard_keys, files):
+        manifest.register(key, getattr(file, "name", "<file>"))
+
+    # Load completed shards; anything missing or corrupt is demoted and
+    # recomputed below (the cache evicts corrupt frames itself).
+    loaded = {}
+    for key in set(shard_keys):
+        counters = store.shards.get_object(key, SpliceCounters.from_json)
+        if counters is not None:
+            loaded[key] = counters
+            manifest.mark_done(key)
+        else:
+            manifest.mark_pending(key)
+
+    missing = [
+        (index, key)
+        for index, key in enumerate(shard_keys)
+        if key not in loaded
+    ]
+    # Identical files share one shard key; compute each key once.
+    unique_missing = {}
+    for index, key in missing:
+        unique_missing.setdefault(key, index)
+    jobs = [
+        (key, (files[index].data, config, options))
+        for key, index in unique_missing.items()
+    ]
+
+    if workers and workers > 1 and len(jobs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            computed = pool.map(_file_counters, [job for _, job in jobs], chunksize=1)
+            for (key, _), counters in zip(jobs, computed):
+                _store_shard(store, manifest, loaded, key, counters)
+    else:
+        for key, job in jobs:
+            _store_shard(store, manifest, loaded, key, _file_counters(job))
+
+    if not jobs:  # pure resume/hit: still persist the refreshed manifest
+        store.manifests.save(manifest)
+
+    merged = SpliceCounters()
+    for key in shard_keys:
+        merged += loaded[key]
+    return merged
+
+
+def _store_shard(store, manifest, loaded, key, counters):
+    """Persist one computed shard and checkpoint the manifest."""
+    loaded[key] = counters
+    store.shards.put_object(key, counters)
+    manifest.mark_done(key)
+    store.manifests.save(manifest)

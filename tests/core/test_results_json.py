@@ -1,0 +1,130 @@
+"""JSON round-tripping of the result containers.
+
+Satellite requirement: every result dataclass must satisfy
+``from_json(to_json(x)) == x`` — the cache's correctness rests on it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import SpliceCounters
+from repro.experiments.report import ExperimentReport
+
+counts = st.integers(min_value=0, max_value=2**40)
+str_counters = st.dictionaries(
+    st.sampled_from(["crc16-ccitt", "crc16-arc", "crc10-atm", "fletcher256"]),
+    st.integers(min_value=1, max_value=2**32),
+    max_size=4,
+).map(Counter)
+int_counters = st.dictionaries(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=2**32),
+    max_size=6,
+).map(Counter)
+
+splice_counters = st.builds(
+    SpliceCounters,
+    total=counts,
+    caught_by_header=counts,
+    identical=counts,
+    remaining=counts,
+    missed_transport=counts,
+    missed_crc32=counts,
+    missed_aux=str_counters,
+    identical_rejected=counts,
+    remaining_by_len=int_counters,
+    missed_by_len=int_counters,
+    remaining_with_hdr2=counts,
+    missed_with_hdr2=counts,
+    pairs=counts,
+    packets=counts,
+    files=counts,
+)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+reports = st.builds(
+    ExperimentReport,
+    experiment_id=st.text(max_size=20),
+    title=st.text(max_size=40),
+    text=st.text(max_size=200),
+    data=st.dictionaries(st.text(max_size=10), json_values, max_size=5),
+)
+
+
+class TestSpliceCountersRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(splice_counters)
+    def test_round_trip_identity(self, counters):
+        assert SpliceCounters.from_json(counters.to_json()) == counters
+
+    def test_default_round_trips(self):
+        assert SpliceCounters.from_json(SpliceCounters().to_json()) == SpliceCounters()
+
+    def test_counter_keys_recover_their_types(self):
+        counters = SpliceCounters(remaining=7)
+        counters.remaining_by_len[3] = 7
+        counters.missed_aux["crc16-ccitt"] = 2
+        loaded = SpliceCounters.from_json(counters.to_json())
+        assert loaded.remaining_by_len[3] == 7  # int key, not "3"
+        assert loaded.miss_rate_by_len(3) == counters.miss_rate_by_len(3)
+        assert loaded.miss_rate_aux("crc16-ccitt") == counters.miss_rate_aux(
+            "crc16-ccitt"
+        )  # str key recovered
+
+    def test_merge_of_round_tripped_counters(self):
+        a = SpliceCounters(total=5, remaining=5)
+        a.remaining_by_len[2] = 5
+        b = SpliceCounters.from_json(a.to_json())
+        assert (a + b).remaining_by_len[2] == 10
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SpliceCounters.from_dict({"total": 1, "bogus_field": 2})
+
+    @settings(max_examples=50, deadline=None)
+    @given(splice_counters)
+    def test_json_text_is_canonical(self, counters):
+        assert counters.to_json() == SpliceCounters.from_json(counters.to_json()).to_json()
+
+
+class TestExperimentReportRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(reports)
+    def test_round_trip_identity(self, report):
+        assert ExperimentReport.from_json(report.to_json()) == report
+
+    def test_infinities_survive(self):
+        report = ExperimentReport("x", "t", "body", {"effective_bits": float("inf")})
+        assert ExperimentReport.from_json(report.to_json()) == report
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            ExperimentReport.from_json('{"experiment_id": "x"}')
+
+    def test_real_experiment_report_round_trips(self):
+        from repro.experiments.registry import run_experiment
+
+        report = run_experiment("corpus-stats", fs_bytes=40_000, seed=2)
+        loaded = ExperimentReport.from_json(report.to_json())
+        assert loaded.text == report.text
+        assert loaded.to_json() == report.to_json()

@@ -1,0 +1,13 @@
+"""Store tests always run against an isolated cache root."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def cache_root(tmp_path, monkeypatch):
+    """Point the default store root at a per-test temp directory."""
+    root = tmp_path / "cache-root"
+    monkeypatch.setenv("REPRO_CHECKSUMS_CACHE", str(root))
+    return root

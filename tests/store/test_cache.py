@@ -1,0 +1,81 @@
+"""Tests for the counting result cache (hit / miss / corrupt-evict)."""
+
+from __future__ import annotations
+
+from repro.core.results import SpliceCounters
+from repro.experiments.report import ExperimentReport
+from repro.store.cache import ResultCache
+from repro.store.objstore import ObjectStore
+
+KEY = "ab" * 32
+OTHER = "cd" * 32
+
+
+def make_cache(tmp_path):
+    return ResultCache(ObjectStore(tmp_path / "results"))
+
+
+class TestCounters:
+    def test_miss_then_hit(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.get_json(KEY) is None
+        assert cache.stats.misses == 1
+        cache.put_json(KEY, {"rows": [1, 2, 3]})
+        assert cache.stats.puts == 1
+        assert cache.get_json(KEY) == {"rows": [1, 2, 3]}
+        assert cache.stats.hits == 1
+        assert cache.stats.corrupt == 0
+
+    def test_corrupt_entry_evicted_and_counted(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put_json(KEY, {"value": 42})
+        path = cache.store.path_for(KEY)
+        blob = bytearray(path.read_bytes())
+        blob[1] ^= 0x08
+        path.write_bytes(bytes(blob))
+
+        assert cache.get_json(KEY) is None  # never a wrong answer
+        assert cache.stats.corrupt == 1
+        assert KEY not in cache.store  # evicted
+        # ... and the slot is reusable
+        cache.put_json(KEY, {"value": 42})
+        assert cache.get_json(KEY) == {"value": 42}
+
+    def test_valid_trailer_bad_json_treated_as_corrupt(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store.put_keyed(KEY, b"not json at all")
+        assert cache.get_json(KEY) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.hits == 0
+
+    def test_stats_dict(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.get_json(KEY)
+        assert cache.stats.as_dict() == {
+            "hits": 0, "misses": 1, "corrupt": 0, "puts": 0,
+        }
+
+
+class TestTypedHelpers:
+    def test_counters_round_trip(self, tmp_path):
+        cache = make_cache(tmp_path)
+        counters = SpliceCounters(total=10, caught_by_header=4, identical=1,
+                                  remaining=5, missed_transport=2)
+        counters.remaining_by_len[3] = 5
+        counters.missed_by_len[3] = 2
+        cache.put_object(KEY, counters)
+        loaded = cache.get_object(KEY, SpliceCounters.from_json)
+        assert loaded == counters
+
+    def test_report_round_trip(self, tmp_path):
+        cache = make_cache(tmp_path)
+        report = ExperimentReport("table4", "title", "body", {"x": [1.5, 2.5]})
+        cache.put_object(OTHER, report)
+        loaded = cache.get_object(OTHER, ExperimentReport.from_json)
+        assert loaded == report
+
+    def test_get_object_corruption_is_safe(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store.put_keyed(KEY, b'{"not": "a report"}')
+        assert cache.get_object(KEY, ExperimentReport.from_json) is None
+        assert cache.stats.corrupt == 1

@@ -1,0 +1,94 @@
+"""Tests for canonical cache-key composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import EngineOptions
+from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+from repro.store import keys
+
+
+class TestCanonicalize:
+    def test_json_native_values_pass_through(self):
+        assert keys.canonicalize({"a": 1, "b": [True, None, "x"]}) == {
+            "a": 1,
+            "b": [True, None, "x"],
+        }
+
+    def test_dataclasses_are_type_tagged(self):
+        out = keys.canonicalize(PacketizerConfig())
+        assert out["__type__"] == "PacketizerConfig"
+        assert out["mss"] == 256
+        assert out["placement"] == "header"  # enum collapsed to value
+
+    def test_tuples_and_sets_become_lists(self):
+        assert keys.canonicalize((1, 2)) == [1, 2]
+        assert keys.canonicalize({3, 1, 2}) == [1, 2, 3]
+
+    def test_bytes_become_hex(self):
+        assert keys.canonicalize(b"\x00\xff") == {"__bytes__": "00ff"}
+
+    def test_unserializable_types_raise(self):
+        with pytest.raises(TypeError):
+            keys.canonicalize(object())
+
+    def test_canonical_json_is_order_independent(self):
+        a = keys.canonical_json({"x": 1, "y": 2})
+        b = keys.canonical_json({"y": 2, "x": 1})
+        assert a == b
+
+
+class TestExperimentKeys:
+    def test_stable_across_calls(self):
+        params = {"fs_bytes": 400_000, "seed": 3}
+        assert keys.experiment_key("table4", params) == keys.experiment_key(
+            "table4", dict(params)
+        )
+
+    def test_every_parameter_matters(self):
+        base = keys.experiment_key("table4", {"fs_bytes": 400_000, "seed": 3})
+        assert base != keys.experiment_key("table5", {"fs_bytes": 400_000, "seed": 3})
+        assert base != keys.experiment_key("table4", {"fs_bytes": 400_001, "seed": 3})
+        assert base != keys.experiment_key("table4", {"fs_bytes": 400_000, "seed": 4})
+
+    def test_workers_and_store_never_enter_keys(self):
+        base = keys.experiment_key("table1", {"fs_bytes": 1000, "seed": 3})
+        loaded = keys.experiment_key(
+            "table1",
+            {"fs_bytes": 1000, "seed": 3, "workers": 8, "store": "x", "cache": "y"},
+        )
+        assert base == loaded
+
+    def test_schema_version_is_key_material(self, monkeypatch):
+        before = keys.experiment_key("table1", {"seed": 3})
+        monkeypatch.setattr(keys, "SCHEMA_VERSION", keys.SCHEMA_VERSION + 1)
+        assert keys.experiment_key("table1", {"seed": 3}) != before
+
+    def test_keys_are_sha256_hex(self):
+        key = keys.experiment_key("table1", {})
+        assert len(key) == 64
+        int(key, 16)  # hex
+
+
+class TestShardKeys:
+    def test_config_and_options_matter(self):
+        config = PacketizerConfig()
+        options = EngineOptions.from_packetizer(config)
+        digest = "ab" * 32
+        base = keys.shard_key(digest, config, options)
+        assert base != keys.shard_key("cd" * 32, config, options)
+        trailer = config.with_overrides(placement=ChecksumPlacement.TRAILER)
+        assert base != keys.shard_key(
+            digest, trailer, EngineOptions.from_packetizer(trailer)
+        )
+        assert base != keys.shard_key(
+            digest, config, EngineOptions.from_packetizer(config, sample_splices=100)
+        )
+
+    def test_same_content_same_shard(self):
+        config = PacketizerConfig()
+        options = EngineOptions.from_packetizer(config)
+        assert keys.shard_key("ab" * 32, config, options) == keys.shard_key(
+            "ab" * 32, PacketizerConfig(), EngineOptions.from_packetizer(config)
+        )

@@ -1,0 +1,118 @@
+"""Tests for resumable sharded splice runs through the store."""
+
+from __future__ import annotations
+
+from repro.core.experiment import run_splice_experiment
+from repro.corpus.profiles import build_filesystem
+from repro.store.runner import RunStore
+
+
+def small_fs(profile="uniform", nbytes=50_000, seed=3):
+    return build_filesystem(profile, nbytes, seed)
+
+
+class TestStoreHook:
+    def test_bit_identical_to_direct_run(self, cache_root):
+        fs = small_fs()
+        direct = run_splice_experiment(fs)
+        stored = run_splice_experiment(fs, store=RunStore())
+        assert stored.counters == direct.counters
+
+    def test_second_run_is_all_hits(self, cache_root):
+        fs = small_fs()
+        store = RunStore()
+        first = run_splice_experiment(fs, store=store)
+        assert store.shards.stats.puts > 0
+        store2 = RunStore()  # fresh counters, same root
+        second = run_splice_experiment(fs, store=store2)
+        assert second.counters == first.counters
+        assert store2.shards.stats.puts == 0
+        assert store2.shards.stats.misses == 0
+        assert store2.shards.stats.hits > 0
+
+    def test_workers_path_matches(self, cache_root):
+        fs = small_fs()
+        direct = run_splice_experiment(fs)
+        stored = run_splice_experiment(fs, store=RunStore(), workers=2)
+        assert stored.counters == direct.counters
+
+    def test_shards_keyed_by_content_shared_across_filesystems(self, cache_root):
+        # Shards are keyed by file *content*, not by filesystem name:
+        # two differently-named corpora with the same bytes share work.
+        from tests.conftest import make_filesystem
+
+        spec = [("english", 6_000), ("gmon", 5_000)]
+        store = RunStore()
+        first = run_splice_experiment(
+            make_filesystem(spec, seed=11, name="volume-a"), store=store
+        )
+        assert store.shards.stats.puts == 2
+        second = run_splice_experiment(
+            make_filesystem(spec, seed=11, name="volume-b"), store=store
+        )
+        assert store.shards.stats.puts == 2  # nothing recomputed
+        assert first.counters == second.counters
+
+
+class TestResume:
+    def test_interrupted_run_resumes_from_completed_shards(self, cache_root):
+        fs = small_fs(nbytes=80_000)
+        store = RunStore()
+        complete = run_splice_experiment(fs, store=store)
+
+        # Simulate an interruption that lost some shards: delete half.
+        digests = list(store.shards.store.digests())
+        assert len(digests) >= 2
+        lost = digests[: len(digests) // 2]
+        for digest in lost:
+            store.shards.store.delete(digest)
+
+        resumed_store = RunStore()
+        resumed = run_splice_experiment(fs, store=resumed_store)
+        assert resumed.counters == complete.counters
+        # Only the lost shards were recomputed.
+        assert resumed_store.shards.stats.puts == len(lost)
+
+    def test_corrupt_shard_is_evicted_and_recomputed(self, cache_root):
+        fs = small_fs(nbytes=60_000)
+        store = RunStore()
+        complete = run_splice_experiment(fs, store=store)
+
+        digest = next(iter(store.shards.store.digests()))
+        path = store.shards.store.path_for(digest)
+        blob = bytearray(path.read_bytes())
+        blob[7] ^= 0x01  # a single flipped bit in a stored artifact
+        path.write_bytes(bytes(blob))
+
+        retry_store = RunStore()
+        retried = run_splice_experiment(fs, store=retry_store)
+        # Graceful degradation: recomputed, never a wrong answer.
+        assert retried.counters == complete.counters
+        assert retry_store.shards.stats.corrupt == 1
+        assert retry_store.shards.stats.puts == 1
+
+    def test_manifest_records_completion(self, cache_root):
+        fs = small_fs()
+        store = RunStore()
+        run_splice_experiment(fs, store=store)
+        manifests = list(store.manifests.store.digests())
+        assert len(manifests) == 1
+        manifest = store.manifests.load(manifests[0])
+        assert manifest is not None
+        assert manifest.finished
+        assert manifest.total == len(list(fs))
+        assert manifest.done == manifest.total
+        assert manifest.label == fs.name
+
+    def test_corrupt_manifest_degrades_to_fresh_run(self, cache_root):
+        fs = small_fs()
+        store = RunStore()
+        complete = run_splice_experiment(fs, store=store)
+        key = next(iter(store.manifests.store.digests()))
+        path = store.manifests.store.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[0] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        again = run_splice_experiment(fs, store=RunStore())
+        assert again.counters == complete.counters

@@ -91,3 +91,89 @@ class TestNewCommands:
         assert main(["splice", "--profile", "uniform", "--bytes", "50000",
                      "--workers", "2"]) == 0
         assert "total splices" in capsys.readouterr().out
+
+
+class TestCacheCommands:
+    def test_workers_flags_parse_on_run_and_report(self):
+        args = build_parser().parse_args(["run", "table1", "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["report", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_cache_flag_parses_with_negation(self):
+        args = build_parser().parse_args(["run", "table1", "--cache"])
+        assert args.cache is True
+        args = build_parser().parse_args(["run", "table1", "--no-cache"])
+        assert args.cache is False
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.cache is False
+
+    def test_run_cached_twice_is_byte_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        argv = ["run", "table5", "--bytes", "60000", "--seed", "2",
+                "--cache", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_cache_stats(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        main(["run", "table5", "--bytes", "60000", "--seed", "2",
+              "--cache", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "shards" in out
+        assert cache_dir in out
+
+    def test_cache_audit_detects_injected_corruption(self, tmp_path, capsys):
+        cache_dir = tmp_path / "store"
+        main(["run", "table5", "--bytes", "60000", "--seed", "2",
+              "--cache", "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        assert main(["cache", "audit", "--cache-dir", str(cache_dir)]) == 0
+
+        target = next(p for p in (cache_dir / "results").rglob("*") if p.is_file())
+        blob = bytearray(target.read_bytes())
+        blob[5] ^= 0x02
+        target.write_bytes(bytes(blob))
+
+        assert main(["cache", "audit", "--cache-dir", str(cache_dir)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_cache_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        main(["run", "table5", "--bytes", "60000", "--seed", "2",
+              "--cache", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        total_line = next(l for l in out.splitlines() if l.startswith("total"))
+        assert "0 objects" in total_line
+
+    def test_report_with_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        out_path = tmp_path / "out.md"
+        argv = ["report", "-o", str(out_path), "--bytes", "60000",
+                "--only", "table5", "--cache", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = out_path.read_text()
+        assert main(argv) == 0
+        second = out_path.read_text()
+        # identical modulo the per-run timing footnotes
+        strip = lambda text: [l for l in text.splitlines()
+                              if not l.startswith("*(regenerated")]
+        assert strip(first) == strip(second)
+
+    def test_splice_with_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        argv = ["splice", "--profile", "uniform", "--bytes", "50000",
+                "--cache", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold
