@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report figures quicktest cache-stats cache-audit clean
+.PHONY: install test bench report figures quicktest chaos cache-stats cache-audit clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,14 @@ test:
 
 quicktest:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+# Fault-injection verification: the chaos-marked tests (crash
+# consistency at every shard boundary, chaotic sweeps) plus the CLI
+# harness that injects worker crashes, bit rot, and ENOSPC into a real
+# sweep and asserts the counters come out bit-identical.
+chaos:
+	$(PYTHON) -m pytest tests/ -q -m chaos
+	$(PYTHON) -m repro.cli chaos --bytes 120000
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

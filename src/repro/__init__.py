@@ -16,6 +16,9 @@ The library has four layers:
   callable per published table and figure.
 * :mod:`repro.store` -- the content-addressed artifact store behind
   cached, resumable, integrity-audited experiment runs.
+* :mod:`repro.faults` -- deterministic fault injection (seeded fault
+  plans, store/worker injectors) behind the chaos-tested execution
+  layer (:mod:`repro.core.supervisor`).
 
 Quickstart::
 
@@ -34,9 +37,12 @@ __version__ = "1.0.0"
 #: whole package import graph.  ``from repro import X`` still works.
 _EXPORTS = {
     "EngineOptions": "repro.core",
+    "FaultPlan": "repro.faults",
     "PacketizerConfig": "repro.protocols",
+    "RunHealth": "repro.core",
     "RunStore": "repro.store",
     "SpliceEngine": "repro.core",
+    "SupervisedPool": "repro.core",
     "build_filesystem": "repro.corpus",
     "get_algorithm": "repro.checksums",
     "internet_checksum": "repro.checksums",

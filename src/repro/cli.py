@@ -15,6 +15,9 @@ Subcommands:
   content-addressed artifact store (default root
   ``~/.cache/repro-checksums``, overridable with ``--cache-dir`` or
   ``$REPRO_CHECKSUMS_CACHE``).
+* ``chaos`` -- run a splice sweep under a named fault-injection plan
+  (worker crashes, store bit rot, ENOSPC, ...) and assert the final
+  counters are bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
@@ -25,9 +28,12 @@ import sys
 # Only what building the parser itself needs (subcommand ``choices``)
 # is imported eagerly; experiment/engine modules load inside their
 # handlers so a warm ``--cache`` hit never imports the splice engine.
+# ``faults.plan`` and ``core.supervisor`` are stdlib-only and cheap.
 from repro.checksums.registry import available_algorithms, get_algorithm
+from repro.core.supervisor import RunAborted
 from repro.corpus.profiles import PROFILES, build_filesystem, profile_names
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.faults.plan import plan_names
 from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
 
 __all__ = ["build_parser", "main"]
@@ -102,6 +108,25 @@ def build_parser():
         p.add_argument("--cache-dir", default=None,
                        help="store root (default: $REPRO_CHECKSUMS_CACHE or "
                             "~/.cache/repro-checksums)")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a sweep under fault injection; verify counters survive",
+    )
+    p_chaos.add_argument("--profile", default="stanford-u1",
+                         choices=profile_names())
+    p_chaos.add_argument("--bytes", type=int, default=120_000)
+    p_chaos.add_argument("--seed", type=int, default=3)
+    p_chaos.add_argument("--mss", type=int, default=256)
+    p_chaos.add_argument("--plan", default="monkey", choices=plan_names(),
+                         help="named fault plan (default: monkey)")
+    p_chaos.add_argument("--fault-seed", type=int, default=0,
+                         help="seed of the fault schedule (replayable)")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="pool width for the chaotic pass")
+    p_chaos.add_argument("--cache-dir", default=None,
+                         help="root for the chaotic run's stores "
+                              "(default: a fresh temp directory)")
 
     p_transfer = sub.add_parser(
         "transfer", help="simulate a reliable transfer over a lossy link"
@@ -253,6 +278,78 @@ def _cmd_cache(args):
     return 1
 
 
+def _cmd_chaos(args):
+    """Dogfood the paper's thesis: inject faults, detect, survive.
+
+    Three sweeps over the same corpus:
+
+    1. a **clean** baseline (no store, no faults);
+    2. a **chaotic populate** pass: supervised pool + fault-wrapped
+       store, fresh root — worker crashes and write faults land here;
+    3. a **chaotic resume** pass over the same root — read-side
+       corruption (bit flips, torn reads) hits the now-populated
+       store, exercising evict-and-recompute.
+
+    Exit 0 iff both chaotic passes produce counters bit-identical to
+    the baseline and the fault plan replays deterministically.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.experiment import run_splice_experiment
+    from repro.core.supervisor import RunHealth
+    from repro.faults.injector import wrap_run_store
+    from repro.faults.plan import named_plan
+    from repro.store.runner import RunStore
+
+    fs = build_filesystem(args.profile, args.bytes, args.seed)
+    config = PacketizerConfig(mss=args.mss)
+    print("chaos plan         %s (fault seed %d)" % (args.plan, args.fault_seed))
+    print("corpus             %s (%d bytes, %d files)" % (
+        fs.name, fs.total_bytes, len(fs)))
+
+    clean = run_splice_experiment(fs, config)
+
+    root = Path(args.cache_dir) if args.cache_dir else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    health = RunHealth()
+    passes = []
+    for label, workers in (("populate", args.workers), ("resume", None)):
+        plan = named_plan(args.plan, seed=args.fault_seed)
+        pass_health = RunHealth()
+        store = wrap_run_store(RunStore(root / "store"), plan, pass_health)
+        result = run_splice_experiment(
+            fs, config, workers=workers, store=store,
+            faults=plan, health=pass_health,
+        )
+        passes.append((label, result, plan, pass_health))
+        health.merge(pass_health)
+
+    replay_ok = (
+        named_plan(args.plan, seed=args.fault_seed).preview()
+        == named_plan(args.plan, seed=args.fault_seed).preview()
+    )
+
+    identical = True
+    print("total splices      %d" % clean.counters.total)
+    for label, result, plan, pass_health in passes:
+        match = result.counters == clean.counters
+        identical = identical and match
+        print("%-18s %s (%s)" % (
+            label,
+            "counters identical" if match else "COUNTERS DIVERGED",
+            pass_health.summary(),
+        ))
+    print("plan replay        %s" % ("deterministic" if replay_ok else "BROKEN"))
+    print(health.render())
+    print("store root         %s" % root)
+    ok = identical and replay_ok
+    print("verdict            %s" % (
+        "faults cost time, never correctness" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def _cmd_transfer(args):
     from repro.protocols.cellstream import IndependentLoss
     from repro.sim import simulate_file_transfer
@@ -284,8 +381,7 @@ def _merge_reports(a, b):
     return merged
 
 
-def main(argv=None):
-    args = build_parser().parse_args(argv)
+def _dispatch(args):
     if args.command == "algorithms":
         return _cmd_algorithms()
     if args.command == "profiles":
@@ -302,7 +398,20 @@ def main(argv=None):
         return _cmd_transfer(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 1
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except RunAborted as exc:
+        # Every rung of the degradation ladder failed: one line, no
+        # traceback — the diagnostic is the message.
+        print("repro-checksums: run aborted: %s" % exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -12,6 +12,8 @@ checksum -- exactly the paper's methodology.
 - :mod:`repro.core.results` -- the counters behind the paper's tables.
 - :mod:`repro.core.engine` -- the vectorized splice evaluator.
 - :mod:`repro.core.experiment` -- drives an engine over a filesystem.
+- :mod:`repro.core.supervisor` -- fault-surviving pool execution and
+  the :class:`RunHealth` record experiments attach to their reports.
 """
 
 from repro.core.enumeration import (
@@ -27,13 +29,17 @@ from repro.core.experiment import (
     run_splice_experiment,
 )
 from repro.core.results import SpliceCounters
+from repro.core.supervisor import RunAborted, RunHealth, SupervisedPool
 
 __all__ = [
     "EngineOptions",
+    "RunAborted",
+    "RunHealth",
     "SpliceCounters",
     "SpliceEngine",
     "SpliceEnumeration",
     "SpliceExperimentResult",
+    "SupervisedPool",
     "enumerate_splices",
     "run_per_file_experiment",
     "run_splice_experiment",

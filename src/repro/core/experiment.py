@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import EngineOptions, SpliceEngine
 from repro.core.results import SpliceCounters
+from repro.core.supervisor import RunHealth, SupervisedPool
 from repro.protocols.ftpsim import FileTransferSimulator
 from repro.protocols.packetizer import PacketizerConfig
 
@@ -29,6 +30,8 @@ class SpliceExperimentResult:
     config: PacketizerConfig
     options: EngineOptions
     counters: SpliceCounters = field(default_factory=SpliceCounters)
+    #: supervision record for the run (clean runs stay uneventful).
+    health: RunHealth = field(default_factory=RunHealth)
 
     @property
     def algorithm_label(self):
@@ -82,6 +85,28 @@ def _file_counters(args):
     return counters
 
 
+def _make_pool(workers, health, faults):
+    """A :class:`SupervisedPool` for splice shards, optionally chaotic.
+
+    With ``faults`` (a :class:`repro.faults.FaultPlan`), jobs route
+    through the worker shim and each submission is paired with its
+    scheduled fault directive; the plan's suggested per-shard timeout
+    arms the supervisor's stall detection.
+    """
+    function = _file_counters
+    prepare = None
+    timeout = None
+    if faults is not None:
+        from repro.faults.injector import shim_file_counters, worker_prepare
+
+        function = shim_file_counters
+        prepare = worker_prepare(faults, health)
+        timeout = faults.shard_timeout
+    return SupervisedPool(
+        function, workers, health=health, prepare=prepare, timeout=timeout
+    )
+
+
 def run_splice_experiment(
     filesystem,
     config=None,
@@ -89,6 +114,8 @@ def run_splice_experiment(
     max_files=None,
     workers=None,
     store=None,
+    health=None,
+    faults=None,
 ):
     """Run the paper's splice simulation over ``filesystem``.
 
@@ -97,16 +124,27 @@ def run_splice_experiment(
     overrides the engine's judging options (derived from ``config`` by
     default); ``max_files`` truncates the filesystem for quick runs.
     Files are independent, so ``workers > 1`` fans them out over a
-    process pool for large corpora (results are identical either way).
+    **supervised** process pool for large corpora: failed shards are
+    retried with backoff, broken pools are respawned, and stubborn
+    shards fall back to in-process execution — results are identical
+    either way because every shard is a pure function of its bytes.
 
     ``store`` (a :class:`repro.store.runner.RunStore`) makes the run
     resumable and cached: per-file shards are persisted with integrity
     trailers, completed shards are reused instead of recomputed, and
     corrupt shards are evicted and recomputed — counters come out
-    bit-identical to a direct run.
+    bit-identical to a direct run.  Store I/O failures mid-run demote
+    the sweep to store-less computation instead of crashing it.
+
+    ``health`` (a :class:`repro.core.supervisor.RunHealth`) accumulates
+    the supervision record (a fresh one is created otherwise and
+    attached to the result); ``faults`` (a
+    :class:`repro.faults.FaultPlan`) injects a deterministic fault
+    schedule — used by ``repro-checksums chaos`` and the chaos tests.
     """
     config = config or PacketizerConfig()
     options = options or EngineOptions.from_packetizer(config)
+    health = health if health is not None else RunHealth()
 
     files = list(filesystem)
     if max_files is not None:
@@ -119,27 +157,24 @@ def run_splice_experiment(
         counters = run_sharded_splice(
             files, config, options, store,
             workers=workers, filesystem_name=name,
+            health=health, faults=faults,
         )
         counters.sanity_check()
         return SpliceExperimentResult(
-            filesystem=name, config=config, options=options, counters=counters,
+            filesystem=name, config=config, options=options,
+            counters=counters, health=health,
         )
 
     counters = SpliceCounters()
-    if workers and workers > 1 and len(files) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        jobs = [(file.data, config, options) for file in files]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for part in pool.map(_file_counters, jobs, chunksize=1):
-                counters += part
-    else:
-        for file in files:
-            counters += _file_counters((file.data, config, options))
+    pool = _make_pool(workers, health, faults)
+    jobs = [(file.data, config, options) for file in files]
+    for part in pool.map(jobs):
+        counters += part
     counters.sanity_check()
     return SpliceExperimentResult(
         filesystem=name,
         config=config,
         options=options,
         counters=counters,
+        health=health,
     )

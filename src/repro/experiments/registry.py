@@ -120,7 +120,12 @@ def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs
         from repro.store.keys import experiment_key
 
         key = experiment_key(experiment_id, kwargs)
-        report = result_cache.get_object(key, ExperimentReport.from_json)
+        try:
+            report = result_cache.get_object(key, ExperimentReport.from_json)
+        except OSError:
+            # A failing cache root must never fail the experiment; a
+            # read error is just a miss.
+            report = None
         if report is not None:
             return report
 
@@ -130,8 +135,29 @@ def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs
         call_kwargs["workers"] = workers
     if store is not None and _accepts(function, "store"):
         call_kwargs["store"] = store
+
+    health = None
+    if _accepts(function, "health"):
+        from repro.core.supervisor import RunHealth
+
+        health = RunHealth()
+        call_kwargs["health"] = health
     report = function(**call_kwargs)
 
+    # Attach the supervision record so reports say what they survived.
+    if health is not None and health.eventful and report.health is None:
+        report.health = health.to_dict()
+
     if result_cache is not None:
-        result_cache.put_object(key, report)
+        try:
+            result_cache.put_object(key, report)
+        except OSError as exc:
+            import warnings
+
+            warnings.warn(
+                "could not cache report for %r (%s); result is unaffected"
+                % (experiment_id, exc),
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return report

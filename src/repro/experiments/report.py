@@ -20,6 +20,10 @@ class ExperimentReport:
     title: str
     text: str
     data: dict = field(default_factory=dict)
+    #: supervision record of the generating run, as a JSON-native dict
+    #: (see :class:`repro.core.supervisor.RunHealth`); None for runs
+    #: that never needed intervention.
+    health: dict = None
 
     def __str__(self):
         return "%s -- %s\n\n%s" % (self.experiment_id, self.title, self.text)
@@ -32,17 +36,19 @@ class ExperimentReport:
         ``data`` values must be JSON-representable (every experiment's
         ``data`` dict is, by construction); tuples come back as lists
         and non-finite floats use Python's ``Infinity``/``NaN``
-        extension, which round-trips through :func:`json.loads`.
+        extension, which round-trips through :func:`json.loads`.  The
+        ``health`` record is included only when the run was eventful,
+        so uneventful reports serialize exactly as before.
         """
-        return json.dumps(
-            {
-                "experiment_id": self.experiment_id,
-                "title": self.title,
-                "text": self.text,
-                "data": self.data,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "text": self.text,
+            "data": self.data,
+        }
+        if self.health is not None:
+            payload["health"] = self.health
+        return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_json(cls, text):
@@ -58,4 +64,5 @@ class ExperimentReport:
             title=payload["title"],
             text=payload["text"],
             data=payload.get("data", {}),
+            health=payload.get("health"),
         )

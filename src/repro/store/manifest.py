@@ -100,19 +100,35 @@ class ManifestStore:
         self.store = store
 
     def load(self, run_key):
-        """The stored manifest, or None (missing, corrupt, or stale)."""
+        """The stored manifest, or None (missing, corrupt, or stale).
+
+        *Any* defect — a failed integrity trailer, undecodable bytes,
+        unparsable JSON, a schema mismatch, missing fields, or an I/O
+        error reading the entry — degrades to "no manifest": the run
+        rebuilds completion state from the shard cache instead of
+        propagating the error to an hours-long sweep.  Defective
+        entries are discarded (best effort) so the next load is a
+        clean miss.
+        """
         try:
             payload = self.store.get(run_key)
         except KeyError:
             return None
-        except IntegrityError:
-            self.store.delete(run_key)
+        except (IntegrityError, OSError):
+            self._discard(run_key)
             return None
         try:
             return RunManifest.from_json(payload.decode("utf-8"))
         except (UnicodeDecodeError, ValueError, KeyError):
-            self.store.delete(run_key)
+            self._discard(run_key)
             return None
+
+    def _discard(self, run_key):
+        """Drop a defective manifest; never let cleanup itself raise."""
+        try:
+            self.store.delete(run_key)
+        except OSError:
+            pass
 
     def save(self, manifest):
         self.store.put_keyed(manifest.run_key, manifest.to_json().encode("utf-8"))

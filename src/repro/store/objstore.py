@@ -62,6 +62,28 @@ def default_root():
     return Path.home() / ".cache" / "repro-checksums"
 
 
+def _fsync_dir(path):
+    """Best-effort fsync of a directory (making renames durable).
+
+    Platforms without ``O_DIRECTORY`` (or filesystems refusing
+    directory fsync) degrade silently — the write is still atomic,
+    just not guaranteed durable across power loss.
+    """
+    flags = getattr(os, "O_DIRECTORY", None)
+    if flags is None:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY | flags)
+    except OSError:  # pragma: no cover - directory vanished / no perms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs refuses directory fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _is_object_name(name):
     """True for fan-out object filenames (hex, no temp suffix)."""
     return len(name) >= 6 and not name.endswith(".tmp") and set(name) <= _HEX_DIGITS
@@ -175,6 +197,10 @@ class ObjectStore:
             except OSError:
                 pass
             raise
+        # Crash durability: the rename itself lives in the directory
+        # entry, so fsync the parent too — otherwise a power cut can
+        # forget a fully-fsynced object ever had a name.
+        _fsync_dir(path.parent)
 
     # -- read -------------------------------------------------------------
 
@@ -218,7 +244,14 @@ class ObjectStore:
     # -- maintenance ------------------------------------------------------
 
     def delete(self, digest):
-        """Remove ``digest``; True if it existed."""
+        """Remove ``digest``; True if *this call* removed it.
+
+        Idempotent under concurrent eviction: when two processes race
+        to evict the same corrupt shard, the loser observes the object
+        already gone (``FileNotFoundError`` — including a fan-out
+        directory component removed underneath it) and reports False
+        instead of raising.
+        """
         path = self.path_for(digest)
         try:
             path.unlink()

@@ -1,4 +1,4 @@
-"""Resumable, cached, sharded splice runs.
+"""Resumable, cached, sharded splice runs under supervision.
 
 The paper's headline numbers come from enumeration sweeps over whole
 filesystems — hours of work at production corpus sizes.  Files are
@@ -15,17 +15,28 @@ independent, so the sweep shards naturally per file:
   trailer — corrupt entries are evicted and recomputed, so corruption
   costs time, never correctness.
 
+Execution goes through :class:`repro.core.supervisor.SupervisedPool`
+(retry → pool respawn → in-process fallback), and store I/O goes
+through a **degradation ladder** of its own: an ``OSError`` from the
+cache root is retried once, a persistently failing store demotes the
+run to store-less computation with a single warning, and every
+intervention lands in the run's :class:`RunHealth` record.  A full
+disk or a read-only cache can therefore never abort a sweep — it only
+costs the resumability of that one run.
+
 ``run_splice_experiment(..., store=RunStore(...))`` routes through
 :func:`run_sharded_splice`; results are bit-identical to the direct
-path because shard merge order follows file order either way.
+path because shard merge is a sum of per-file counters either way.
 """
 
 from __future__ import annotations
 
 import hashlib
+import warnings
 from pathlib import Path
 
 from repro.core.results import SpliceCounters
+from repro.core.supervisor import RunHealth
 from repro.store.cache import ResultCache
 from repro.store.keys import SCHEMA_VERSION, digest_key, shard_key
 from repro.store.manifest import ManifestStore, RunManifest
@@ -88,26 +99,118 @@ def run_key_for(filesystem_name, shard_keys):
     return digest_key("splice-run", SCHEMA_VERSION, filesystem_name, shard_keys)
 
 
+class _StoreGuard:
+    """The store degradation ladder: retry once, then go store-less.
+
+    Every store operation the runner performs goes through
+    :meth:`_attempt`: an ``OSError`` is counted and the operation
+    retried once; a second failure skips the operation (the run keeps
+    its in-memory counters).  Once :data:`DEMOTE_AFTER` errors have
+    accumulated the guard demotes the whole run to store-less mode
+    with a single warning — persistence is disabled, correctness is
+    untouched.
+    """
+
+    #: Cumulative store errors after which the run goes store-less.
+    DEMOTE_AFTER = 6
+
+    def __init__(self, store, health):
+        self.store = store
+        self.health = health
+        self.active = store is not None
+
+    def _attempt(self, what, call, default=None):
+        if not self.active:
+            return default
+        last = None
+        for _ in range(2):  # the op itself, then one immediate retry
+            try:
+                return call()
+            except OSError as exc:
+                self.health.store_errors += 1
+                last = exc
+        if self.health.store_errors >= self.DEMOTE_AFTER:
+            self._demote(what, last)
+        return default
+
+    def _demote(self, what, exc):
+        self.active = False
+        self.health.storeless = True
+        note = (
+            "store-less mode after %d store errors (last: %s during %s)"
+            % (self.health.store_errors, exc, what)
+        )
+        self.health.degrade(note)
+        warnings.warn(
+            "artifact store is failing (%s during %s); continuing without "
+            "persistence — results are unaffected, resumability is lost "
+            "for this run" % (exc, what),
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    # -- guarded operations -------------------------------------------------
+
+    def load_manifest(self, run_key):
+        return self._attempt(
+            "manifest load", lambda: self.store.manifests.load(run_key)
+        )
+
+    def save_manifest(self, manifest):
+        self._attempt(
+            "manifest save", lambda: self.store.manifests.save(manifest)
+        )
+
+    def get_shard(self, key):
+        """A verified cached shard, or None; evictions are counted."""
+        before = self.store.shards.stats.corrupt if self.store else 0
+        value = self._attempt(
+            "shard read",
+            lambda: self.store.shards.get_object(key, SpliceCounters.from_json),
+        )
+        if self.store is not None:
+            self.health.evictions += self.store.shards.stats.corrupt - before
+        return value
+
+    def put_shard(self, key, counters):
+        self._attempt(
+            "shard write", lambda: self.store.shards.put_object(key, counters)
+        )
+
+
 def run_sharded_splice(
-    files, config, options, store, workers=None, filesystem_name="<anonymous>"
+    files,
+    config,
+    options,
+    store,
+    workers=None,
+    filesystem_name="<anonymous>",
+    health=None,
+    faults=None,
 ):
     """Merge per-file splice counters, reusing every intact cached shard.
 
     ``files`` is the materialized file list (objects with ``.data``);
     returns the merged :class:`SpliceCounters`, bit-identical to the
     uncached path.  ``workers > 1`` fans *missing* shards over a
-    process pool; completed shards are loaded, never recomputed.
+    supervised process pool; completed shards are loaded, never
+    recomputed.  ``health`` accumulates the supervision record;
+    ``faults`` threads a deterministic fault plan into the pool's
+    worker shim (the store side is injected by wrapping ``store``).
     """
     # Import here: core.experiment lazily imports this module, so the
-    # worker function is shared without a load-time cycle.
-    from repro.core.experiment import _file_counters
+    # pool construction is shared without a load-time cycle.
+    from repro.core.experiment import _make_pool
+
+    health = health if health is not None else RunHealth()
+    guard = _StoreGuard(store, health)
 
     shard_keys = [
         shard_key(hashlib.sha256(file.data).hexdigest(), config, options)
         for file in files
     ]
     run_key = run_key_for(filesystem_name, shard_keys)
-    manifest = store.manifests.load(run_key)
+    manifest = guard.load_manifest(run_key)
     if manifest is None:
         manifest = RunManifest(
             run_key=run_key,
@@ -118,10 +221,12 @@ def run_sharded_splice(
         manifest.register(key, getattr(file, "name", "<file>"))
 
     # Load completed shards; anything missing or corrupt is demoted and
-    # recomputed below (the cache evicts corrupt frames itself).
+    # recomputed below (the cache evicts corrupt frames itself).  The
+    # iteration order is the deterministic first-seen file order — with
+    # fault injection active, store faults must replay identically.
     loaded = {}
-    for key in set(shard_keys):
-        counters = store.shards.get_object(key, SpliceCounters.from_json)
+    for key in dict.fromkeys(shard_keys):
+        counters = guard.get_shard(key)
         if counters is not None:
             loaded[key] = counters
             manifest.mark_done(key)
@@ -142,19 +247,12 @@ def run_sharded_splice(
         for key, index in unique_missing.items()
     ]
 
-    if workers and workers > 1 and len(jobs) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            computed = pool.map(_file_counters, [job for _, job in jobs], chunksize=1)
-            for (key, _), counters in zip(jobs, computed):
-                _store_shard(store, manifest, loaded, key, counters)
-    else:
-        for key, job in jobs:
-            _store_shard(store, manifest, loaded, key, _file_counters(job))
+    pool = _make_pool(workers, health, faults)
+    for index, counters in pool.run([job for _, job in jobs]):
+        _store_shard(guard, manifest, loaded, jobs[index][0], counters)
 
     if not jobs:  # pure resume/hit: still persist the refreshed manifest
-        store.manifests.save(manifest)
+        guard.save_manifest(manifest)
 
     merged = SpliceCounters()
     for key in shard_keys:
@@ -162,9 +260,9 @@ def run_sharded_splice(
     return merged
 
 
-def _store_shard(store, manifest, loaded, key, counters):
-    """Persist one computed shard and checkpoint the manifest."""
+def _store_shard(guard, manifest, loaded, key, counters):
+    """Record one computed shard and checkpoint the manifest."""
     loaded[key] = counters
-    store.shards.put_object(key, counters)
+    guard.put_shard(key, counters)
     manifest.mark_done(key)
-    store.manifests.save(manifest)
+    guard.save_manifest(manifest)

@@ -1,0 +1,80 @@
+"""RunHealth in reports: JSON attachment and Markdown rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.supervisor import RunHealth
+from repro.experiments.markdown import _health_line
+from repro.experiments.registry import run_experiment
+from repro.experiments.report import ExperimentReport
+
+
+class TestReportSerialization:
+    def test_health_round_trips(self):
+        health = RunHealth(retries=2, evictions=1)
+        report = ExperimentReport("t", "Title", "text", {"x": 1},
+                                  health=health.to_dict())
+        clone = ExperimentReport.from_json(report.to_json())
+        assert clone.health == health.to_dict()
+        assert RunHealth.from_dict(clone.health) == health
+
+    def test_clean_reports_serialize_without_health_key(self):
+        # Byte-stability: reports from uneventful runs must serialize
+        # exactly as they did before the health field existed.
+        report = ExperimentReport("t", "Title", "text", {"x": 1})
+        payload = json.loads(report.to_json())
+        assert "health" not in payload
+        assert ExperimentReport.from_json(report.to_json()).health is None
+
+
+class TestMarkdownHealthLine:
+    def test_no_health_no_line(self):
+        assert _health_line(ExperimentReport("t", "T", "x")) is None
+
+    def test_eventful_health_renders_summary(self):
+        health = RunHealth(retries=3, evictions=1)
+        report = ExperimentReport("t", "T", "x", health=health.to_dict())
+        line = _health_line(report)
+        assert line == "*(run health: 3 retries, 1 eviction)*"
+
+    def test_foreign_health_payload_is_ignored(self):
+        report = ExperimentReport("t", "T", "x",
+                                  health={"not-a-field": True})
+        assert _health_line(report) is None
+
+
+@pytest.mark.chaos
+class TestRegistryHealthIntegration:
+    def test_eventful_run_attaches_health_to_report(self, tmp_path):
+        """Corrupt a cached shard; the rerun's report says it evicted."""
+        from repro.store.runner import RunStore
+
+        cache = RunStore(tmp_path / "store")
+        kwargs = dict(fs_bytes=60_000, seed=2)
+        first = run_experiment("table7", cache=cache, **kwargs)
+        assert first.health is None  # a clean run stays clean
+
+        # Flip one byte in one cached shard, then force a recompute by
+        # clearing the experiment-level result cache.
+        shard_path = next(
+            p for p in (tmp_path / "store" / "shards").rglob("*") if p.is_file()
+        )
+        blob = bytearray(shard_path.read_bytes())
+        blob[4] ^= 0x08
+        shard_path.write_bytes(bytes(blob))
+        cache.results.store.clear()
+
+        second = run_experiment("table7", cache=cache, **kwargs)
+        assert second.text == first.text  # corruption cost time, not truth
+        assert second.health is not None
+        health = RunHealth.from_dict(second.health)
+        assert health.evictions >= 1
+        line = _health_line(second)
+        assert line is not None and "eviction" in line
+
+        # The cached copy of the eventful report keeps its record.
+        third = run_experiment("table7", cache=cache, **kwargs)
+        assert third.health == second.health

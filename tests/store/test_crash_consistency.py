@@ -1,0 +1,106 @@
+"""Crash consistency: kill the sweep at every shard boundary, resume.
+
+The satellite property test of the robustness layer: a simulated
+``kill -9`` (:class:`SimulatedCrash`, a BaseException no ladder rung
+absorbs) interrupts :func:`run_sharded_splice` after each shard
+boundary in turn.  Whatever the store checkpointed must be enough for
+a resumed run to finish with counters **bit-identical** to a run that
+was never interrupted — and without recomputing the completed shards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import run_splice_experiment
+from repro.faults.injector import SimulatedCrash
+from repro.faults.plan import FaultPlan
+from repro.protocols.packetizer import PacketizerConfig
+from repro.store.runner import RunStore
+from tests.conftest import make_filesystem
+
+pytestmark = pytest.mark.chaos
+
+#: Four distinct content kinds -> four distinct shard keys/jobs.
+KINDS = [("english", 6_000), ("gmon", 5_000), ("c-source", 6_000), ("zero-heavy", 5_000)]
+N_SHARDS = len(KINDS)
+
+
+@pytest.fixture
+def fs():
+    return make_filesystem(KINDS, seed=11, name="crashbox")
+
+
+@pytest.fixture
+def config():
+    return PacketizerConfig()
+
+
+@pytest.fixture
+def clean_counters(fs, config):
+    return run_splice_experiment(fs, config).counters
+
+
+@pytest.mark.parametrize("boundary", range(N_SHARDS))
+def test_kill_at_each_shard_boundary_then_resume(
+    tmp_path, fs, config, clean_counters, boundary
+):
+    root = tmp_path / "store"
+
+    # --- the interrupted run: die right before computing shard k ----------
+    plan = FaultPlan(0, worker_script={boundary: "kill"})
+    killed_store = RunStore(root)
+    with pytest.raises(SimulatedCrash):
+        run_splice_experiment(fs, config, store=killed_store, faults=plan)
+    # Exactly the shards before the boundary were checkpointed.
+    assert killed_store.shards.stats.puts == boundary
+
+    # --- the resumed run: same root, no faults ----------------------------
+    resumed_store = RunStore(root)
+    result = run_splice_experiment(fs, config, store=resumed_store)
+
+    assert result.counters == clean_counters
+    # Only the missing shards were recomputed...
+    assert resumed_store.shards.stats.puts == N_SHARDS - boundary
+    # ...and the checkpointed ones were served from the store intact.
+    assert resumed_store.shards.stats.hits == boundary
+    assert resumed_store.shards.stats.corrupt == 0
+
+
+def test_resume_after_kill_is_idempotent(tmp_path, fs, config, clean_counters):
+    """A third run over the fully-recovered store recomputes nothing."""
+    root = tmp_path / "store"
+    plan = FaultPlan(0, worker_script={2: "kill"})
+    with pytest.raises(SimulatedCrash):
+        run_splice_experiment(fs, config, store=RunStore(root), faults=plan)
+    run_splice_experiment(fs, config, store=RunStore(root))
+
+    warm_store = RunStore(root)
+    result = run_splice_experiment(fs, config, store=warm_store)
+    assert result.counters == clean_counters
+    assert warm_store.shards.stats.puts == 0
+    assert warm_store.shards.stats.hits == N_SHARDS
+
+
+def test_kill_leaves_no_torn_manifest(tmp_path, fs, config):
+    """The manifest checkpoint visible after the crash parses cleanly."""
+    from repro.store.keys import shard_key
+    from repro.store.runner import run_key_for
+    import hashlib
+
+    root = tmp_path / "store"
+    plan = FaultPlan(0, worker_script={1: "kill"})
+    with pytest.raises(SimulatedCrash):
+        run_splice_experiment(fs, config, store=RunStore(root), faults=plan)
+
+    from repro.core.engine import EngineOptions
+
+    options = EngineOptions.from_packetizer(config)
+    keys = [
+        shard_key(hashlib.sha256(f.data).hexdigest(), config, options)
+        for f in fs
+    ]
+    manifest = RunStore(root).manifests.load(run_key_for("crashbox", keys))
+    assert manifest is not None  # atomic writes: never torn
+    assert manifest.done == 1  # exactly the pre-boundary checkpoint
+    assert not manifest.finished
