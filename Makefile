@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report figures quicktest chaos cache-stats cache-audit clean
+.PHONY: install test bench microbench report figures quicktest chaos cache-stats cache-audit clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,7 +21,15 @@ chaos:
 	$(PYTHON) -m pytest tests/ -q -m chaos
 	$(PYTHON) -m repro.cli chaos --bytes 120000
 
+# Quick throughput snapshot (BENCH_<n>.json + delta table vs the
+# previous one) and the disabled-telemetry overhead guarantee (<2% of
+# hot-path wall time, asserted).
 bench:
+	$(PYTHON) -m repro.cli bench --quick
+	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py -q -s
+
+# The full pytest-benchmark suite (regenerates every table & figure).
+microbench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # --cache: the second invocation is served from the artifact store

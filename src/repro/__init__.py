@@ -19,6 +19,11 @@ The library has four layers:
 * :mod:`repro.faults` -- deterministic fault injection (seeded fault
   plans, store/worker injectors) behind the chaos-tested execution
   layer (:mod:`repro.core.supervisor`).
+* :mod:`repro.telemetry` -- span-based tracing, counters/meters/
+  histograms, and the ``bench`` harness; a strict no-op unless enabled.
+* :mod:`repro.api` -- the stable facade these lazy exports come from
+  (``run_experiment``, ``open_store``, ``algorithms``, ``sum_file``,
+  ``experiment_ids``, ``Telemetry``).
 
 Quickstart::
 
@@ -43,12 +48,17 @@ _EXPORTS = {
     "RunStore": "repro.store",
     "SpliceEngine": "repro.core",
     "SupervisedPool": "repro.core",
+    "Telemetry": "repro.api",
+    "algorithms": "repro.api",
     "build_filesystem": "repro.corpus",
+    "experiment_ids": "repro.api",
     "get_algorithm": "repro.checksums",
     "internet_checksum": "repro.checksums",
+    "open_store": "repro.api",
     "profile_names": "repro.corpus",
-    "run_experiment": "repro.experiments",
+    "run_experiment": "repro.api",
     "run_splice_experiment": "repro.core",
+    "sum_file": "repro.api",
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS)]

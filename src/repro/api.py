@@ -1,0 +1,93 @@
+"""The stable public API of the ``repro`` package.
+
+Everything a downstream script (or the CLI) needs lives behind the six
+names in ``__all__``; the implementation modules behind them may move
+between releases, this facade will not.  Import either way::
+
+    from repro.api import run_experiment, sum_file
+    from repro import run_experiment            # same objects, lazily
+
+Each function imports its implementation on first call, so importing
+:mod:`repro.api` costs nothing beyond the interpreter seeing this file
+-- the CLI's ``--help`` and a warm cache hit stay fast.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Telemetry",
+    "algorithms",
+    "experiment_ids",
+    "open_store",
+    "run_experiment",
+    "sum_file",
+]
+
+
+def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs):
+    """Run a registered experiment; returns its ``ExperimentReport``.
+
+    ``cache`` may be a ``ResultCache`` or a ``RunStore`` (from
+    :func:`open_store`); ``workers`` fans splice runs over a process
+    pool; ``store`` makes them resumable.  See
+    :func:`repro.experiments.registry.run_experiment`.
+    """
+    from repro.experiments.registry import run_experiment as _run
+
+    return _run(
+        experiment_id, cache=cache, workers=workers, store=store, **kwargs
+    )
+
+
+def experiment_ids():
+    """All registered experiment ids (paper tables first)."""
+    from repro.experiments.registry import experiment_ids as _ids
+
+    return _ids()
+
+
+def algorithms():
+    """Name -> :class:`~repro.checksums.registry.ChecksumAlgorithm`.
+
+    Every value conforms to the protocol (``compute``/``field``/
+    ``verify``/``width``/``name``); iteration order is sorted by name.
+    """
+    from repro.checksums.registry import available_algorithms, get_algorithm
+
+    return {name: get_algorithm(name) for name in available_algorithms()}
+
+
+def sum_file(path, algorithm="internet"):
+    """The check value of the file at ``path`` as an ``int``."""
+    from repro.checksums.registry import get_algorithm
+
+    engine = get_algorithm(algorithm)
+    with open(path, "rb") as handle:
+        return engine.compute(handle.read())
+
+
+def open_store(root=None, algorithm=None):
+    """A :class:`~repro.store.runner.RunStore` rooted at ``root``.
+
+    ``root`` defaults to ``$REPRO_CHECKSUMS_CACHE`` or
+    ``~/.cache/repro-checksums``; ``algorithm`` names the integrity-
+    trailer check code (default CRC-32/AAL5).  Pass the result as
+    ``cache=``/``store=`` to :func:`run_experiment`.
+    """
+    from repro.store.objstore import DEFAULT_ALGORITHM
+    from repro.store.runner import RunStore
+
+    return RunStore(root, algorithm or DEFAULT_ALGORITHM)
+
+
+def __getattr__(name):
+    if name == "Telemetry":
+        from repro.telemetry.core import Telemetry
+
+        globals()["Telemetry"] = Telemetry
+        return Telemetry
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+def __dir__():
+    return sorted({*globals(), *__all__})

@@ -45,7 +45,11 @@ from repro.checksums.crc import (
     ZeroFeedOperator,
     crc_combine,
 )
-from repro.checksums.registry import available_algorithms, get_algorithm
+from repro.checksums.registry import (
+    ChecksumAlgorithm,
+    available_algorithms,
+    get_algorithm,
+)
 
 __all__ = [
     "CRC10_ATM",
@@ -54,6 +58,7 @@ __all__ = [
     "CRC32_AAL5",
     "CRCEngine",
     "CRCSpec",
+    "ChecksumAlgorithm",
     "Fletcher8",
     "FletcherSums",
     "InternetChecksum",

@@ -27,6 +27,7 @@ The specific CRCs the paper relies on are provided as specs:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -91,6 +92,8 @@ CRC10_ATM = CRCSpec("crc10-atm", 10, 0x233, 0x000, False, False, 0x000)
 #: superior Hamming distance, used by SCTP and iSCSI.
 CRC32C = CRCSpec("crc32c", 32, 0x1EDC6F41, 0xFFFFFFFF, True, True, 0xFFFFFFFF)
 
+_UNSET = object()
+
 
 class CRCEngine:
     """Table-driven CRC computation over a :class:`CRCSpec`.
@@ -105,11 +108,14 @@ class CRCEngine:
         self.spec = spec
         self.mask = (1 << spec.width) - 1
         self.name = spec.name
+        self.width = spec.width
+        #: Legacy alias of :attr:`width` (pre-protocol name).
         self.bits = spec.width
         self._table = self._build_table()
         self._table_np = np.asarray(self._table, dtype=np.uint32)
         self._zero_ops = {}
         self._residues = {}
+        self._frame_residue = None
 
     # -- table construction -------------------------------------------------
 
@@ -173,9 +179,80 @@ class CRCEngine:
         """The CRC value of ``data``."""
         return self.finalize(self.process(self.register_init, data))
 
-    def verify(self, data, stored):
-        """True if ``stored`` is the CRC of ``data``."""
-        return self.compute(data) == stored
+    @property
+    def _wire_order(self):
+        """The byte order CRC bytes travel in for this spec.
+
+        Reflected CRCs ship least-significant byte first (Ethernet
+        convention); non-reflected ones most-significant first (the
+        AAL5/ATM convention) -- the order under which the residue
+        register is a constant of the spec.
+        """
+        return "little" if self.spec.refout else "big"
+
+    def _feed_zero_bits(self, reg, count):
+        """Feed ``count`` single zero *bits* into the register.
+
+        Needed for specs whose width is not a byte multiple (CRC-10):
+        the stored field pads the CRC to whole bytes, and the pad bits
+        must enter the polynomial division for the framed message to
+        land on a message-independent residue.
+        """
+        if self.spec.refin:
+            poly = reflect_bits(self.spec.poly, self.spec.width)
+            for _ in range(count):
+                reg = (reg >> 1) ^ (poly if reg & 1 else 0)
+        else:
+            top = 1 << (self.spec.width - 1)
+            for _ in range(count):
+                reg = ((reg << 1) ^ self.spec.poly if reg & top else reg << 1)
+                reg &= self.mask
+        return reg
+
+    def field(self, data):
+        """The CRC bytes to append to ``data`` (spec wire order).
+
+        ``data + field(data)`` streams to a message-independent residue
+        register, so :meth:`verify` accepts the framed whole.  For
+        byte-multiple widths this is exactly :meth:`crc_bytes`; for
+        CRC-10 the value is bit-aligned so the 6 pad bits participate
+        in the division (the ATM OAM cell layout).
+        """
+        width_bytes = (self.spec.width + 7) // 8
+        pad = 8 * width_bytes - self.spec.width
+        if pad == 0:
+            return self.crc_bytes(data, self._wire_order)
+        reg = self.process(self.register_init, data)
+        reg = self._feed_zero_bits(reg, pad)
+        return self.finalize(reg).to_bytes(width_bytes, self._wire_order)
+
+    def verify(self, data, stored=_UNSET):
+        """True if ``data`` (trailing CRC bytes included) validates.
+
+        Streams the whole frame and compares the register against the
+        spec's residue constant -- the check a receiver that cannot see
+        the frame boundary performs, and the one the splice engine
+        models.
+
+        The pre-protocol two-argument shape ``verify(data, stored)``
+        still works but raises a :class:`DeprecationWarning`; compare
+        against :meth:`compute` directly instead.
+        """
+        if stored is not _UNSET:
+            warnings.warn(
+                "CRCEngine.verify(data, stored) is deprecated; use "
+                "verify(data) on the framed message or compare "
+                "compute(data) == stored",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.compute(data) == stored
+        reg = self.process(self.register_init, data)
+        if self._frame_residue is None:
+            probe = b"\xa5\x5a\x00\xff checksum residue probe"
+            probe_reg = self.process(self.register_init, probe)
+            self._frame_residue = self.process(probe_reg, self.field(probe))
+        return reg == self._frame_residue
 
     def crc_bytes(self, data, byteorder="big"):
         """The CRC of ``data`` serialised to bytes for transmission."""

@@ -13,6 +13,8 @@ splice engine proper evaluates the codes the paper's packets carry.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.checksums.fletcher import FletcherSums
@@ -20,6 +22,43 @@ from repro.checksums.fletcher import FletcherSums
 __all__ = ["Adler32", "Fletcher16", "Xor16", "adler32", "fletcher16", "xor16"]
 
 _ADLER_MOD = 65521  # largest prime below 2^16
+
+_UNSET = object()
+
+
+class _SuffixCode:
+    """Shared protocol plumbing for codes carried as a trailing field.
+
+    Subclasses provide ``width``/``name`` and ``compute``; this mixin
+    derives ``field`` (big-endian serialization of the check value) and
+    the unified single-argument ``verify`` -- true when the trailing
+    ``width // 8`` bytes equal the field of everything before them.
+
+    The pre-protocol two-argument shape ``verify(data, stored)`` still
+    works but raises a :class:`DeprecationWarning`; compare against
+    ``compute(data)`` directly instead.
+    """
+
+    def field(self, data):
+        """Bytes to append to ``data`` so the framed whole verifies."""
+        return self.compute(data).to_bytes(self.width // 8, "big")
+
+    def verify(self, data, stored=_UNSET):
+        """True if ``data`` (trailing check field included) validates."""
+        if stored is not _UNSET:
+            warnings.warn(
+                "%s.verify(data, stored) is deprecated; use "
+                "verify(data) on the framed message or compare "
+                "compute(data) == stored" % type(self).__name__,
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.compute(data) == stored
+        buf = bytes(data)
+        n = self.width // 8
+        if len(buf) < n:
+            return False
+        return self.field(buf[:-n]) == buf[-n:]
 
 
 def fletcher16(data, modulus=65535):
@@ -44,9 +83,11 @@ def fletcher16(data, modulus=65535):
     return FletcherSums(a, b)
 
 
-class Fletcher16:
+class Fletcher16(_SuffixCode):
     """Object API for the 32-bit Fletcher checksum."""
 
+    width = 32
+    #: Legacy alias of :attr:`width` (pre-protocol name).
     bits = 32
 
     def __init__(self, modulus=65535):
@@ -58,9 +99,6 @@ class Fletcher16:
     def compute(self, data):
         sums = fletcher16(data, self.modulus)
         return (sums.b << 16) | sums.a
-
-    def verify(self, data, stored):
-        return self.compute(data) == stored
 
 
 def adler32(data):
@@ -78,17 +116,16 @@ def adler32(data):
     return (b << 16) | a
 
 
-class Adler32:
+class Adler32(_SuffixCode):
     """Object API for Adler-32."""
 
+    width = 32
+    #: Legacy alias of :attr:`width` (pre-protocol name).
     bits = 32
     name = "adler32"
 
     def compute(self, data):
         return adler32(data)
-
-    def verify(self, data, stored):
-        return adler32(data) == stored
 
 
 def xor16(data):
@@ -106,14 +143,13 @@ def xor16(data):
     return int(np.bitwise_xor.reduce(values)) if values.size else 0
 
 
-class Xor16:
+class Xor16(_SuffixCode):
     """Object API for the XOR parity word."""
 
+    width = 16
+    #: Legacy alias of :attr:`width` (pre-protocol name).
     bits = 16
     name = "xor16"
 
     def compute(self, data):
         return xor16(data)
-
-    def verify(self, data, stored):
-        return xor16(data) == stored

@@ -120,9 +120,12 @@ class Fletcher8:
 
     ``Fletcher8(255)`` is the ones-complement variant ("F-255" in the
     paper's tables); ``Fletcher8(256)`` the twos-complement one
-    ("F-256", the TP4 flavour).
+    ("F-256", the TP4 flavour).  Conforms to the registry's
+    :class:`~repro.checksums.registry.ChecksumAlgorithm` protocol.
     """
 
+    width = 16
+    #: Legacy alias of :attr:`width` (pre-protocol name).
     bits = 16
 
     def __init__(self, modulus=255):
@@ -150,6 +153,16 @@ class Fletcher8:
         sums = fletcher8(buf, self.modulus)
         distance = len(buf) - (field_offset + 2)
         return fletcher_check_bytes(sums, distance, self.modulus)
+
+    def field(self, data):
+        """The two check bytes to *append* to ``data``.
+
+        Solves the trailing-pair case of :meth:`check_bytes`:
+        ``data + field(data)`` sums to (0, 0), so :meth:`verify`
+        accepts the framed whole.
+        """
+        x, y = self.check_bytes(bytes(data) + b"\x00\x00", len(data))
+        return bytes((x, y))
 
     def verify(self, data):
         """True if ``data`` (with embedded check bytes) sums to zero."""

@@ -118,12 +118,15 @@ def update_checksum_field(old_field, old_word, new_word):
 class InternetChecksum:
     """Object API over the Internet checksum, including vectorized forms.
 
-    Instances are stateless; the class exists so the algorithm registry
-    can hand out a uniform interface (``compute``/``field``/``verify``
-    plus the vectorized ``cell_sums``).
+    Instances are stateless; the class conforms to the registry's
+    :class:`~repro.checksums.registry.ChecksumAlgorithm` protocol
+    (``compute``/``field``/``verify`` plus ``width``/``name``) and adds
+    the vectorized ``cell_sums`` used by the splice engine.
     """
 
     name = "internet"
+    width = 16
+    #: Legacy alias of :attr:`width` (pre-protocol name).
     bits = 16
 
     def compute(self, data):
@@ -131,8 +134,16 @@ class InternetChecksum:
         return ones_complement_sum(data)
 
     def field(self, data):
-        """Value to store in the checksum field for ``data``."""
-        return internet_checksum_field(data)
+        """Check-field bytes to append to ``data`` (RFC 1071).
+
+        The sum is position-independent only across *even* byte
+        offsets, so for odd-length data the two field bytes are swapped
+        to land in the byte lanes the verifier's word framing assigns
+        them -- either way ``verify(data + field(data))`` holds.  (Use
+        :func:`internet_checksum_field` for the integer form.)
+        """
+        value = internet_checksum_field(data)
+        return value.to_bytes(2, "big" if len(bytes(data)) % 2 == 0 else "little")
 
     def verify(self, data):
         """True if ``data`` (including its stored field) sums to 0xFFFF."""

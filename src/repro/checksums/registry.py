@@ -1,12 +1,37 @@
 """Name-based registry of the check-code algorithms the paper studies.
 
-Checksum algorithms (``internet``, ``fletcher255``, ``fletcher256``)
-expose ``compute(data)`` / ``verify(data)``; CRC engines additionally
-carry the register-level API.  The registry powers the CLI and the
-experiment configuration layer, which refer to algorithms by name.
+Every registered algorithm conforms to the :class:`ChecksumAlgorithm`
+protocol -- the single calling convention the CLI, the artifact store,
+the bench harness, and :func:`repro.api.sum_file` rely on:
+
+=================  ====================================================
+member             meaning
+=================  ====================================================
+``name``           registry name (``"internet"``, ``"crc32-aal5"``, ...)
+``width``          check-value width in bits
+``compute(data)``  the check value of ``data`` as an ``int``
+``field(data)``    the bytes to *append* to ``data`` so that the
+                   framed whole verifies (big-endian for the sums,
+                   spec byte order for CRCs)
+``verify(data)``   True if ``data`` **with its check field included**
+                   validates -- sum-to-``0xFFFF`` for the Internet
+                   checksum, sum-to-zero for Fletcher, the residue
+                   register for CRCs, a trailing-field compare for the
+                   suffix codes
+=================  ====================================================
+
+For every algorithm ``a`` and message ``m``, the framing identity
+``a.verify(m + a.field(m))`` holds; this is what the artifact store's
+integrity trailers and the splice engine's verdict checks build on.
+
+Older call shapes (two-argument ``verify(data, stored)``, the ``bits``
+attribute) still work but the two-argument ``verify`` raises a
+``DeprecationWarning``; see each engine's docstring.
 """
 
 from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
 
 from repro.checksums.crc import (
     CRC10_ATM,
@@ -20,7 +45,33 @@ from repro.checksums.extra import Adler32, Fletcher16, Xor16
 from repro.checksums.fletcher import Fletcher8
 from repro.checksums.internet import InternetChecksum
 
-__all__ = ["available_algorithms", "get_algorithm"]
+__all__ = ["ChecksumAlgorithm", "available_algorithms", "get_algorithm"]
+
+
+@runtime_checkable
+class ChecksumAlgorithm(Protocol):
+    """The uniform interface every registered check code implements.
+
+    ``runtime_checkable`` so ``isinstance(x, ChecksumAlgorithm)``
+    verifies structural conformance (methods/attributes present; it
+    cannot check signatures -- the conformance tests do that).
+    """
+
+    name: str
+    width: int
+
+    def compute(self, data) -> int:
+        """The check value of ``data``."""
+        ...  # pragma: no cover - protocol stub
+
+    def field(self, data) -> bytes:
+        """Bytes to append to ``data`` so the framed whole verifies."""
+        ...  # pragma: no cover - protocol stub
+
+    def verify(self, data) -> bool:
+        """True if ``data`` (check field included) validates."""
+        ...  # pragma: no cover - protocol stub
+
 
 _FACTORIES = {
     "internet": InternetChecksum,

@@ -18,6 +18,19 @@ Subcommands:
 * ``chaos`` -- run a splice sweep under a named fault-injection plan
   (worker crashes, store bit rot, ENOSPC, ...) and assert the final
   counters are bit-identical to a fault-free run.
+* ``bench`` -- run the fixed benchmark workload matrix (algorithms x
+  placements x corpus sizes) and write a schema-versioned
+  ``BENCH_<n>.json`` snapshot plus a delta table vs the previous one.
+
+``run``/``report``/``splice``/``chaos`` accept ``--metrics DEST``:
+telemetry (span timings, counters, throughput meters, latency
+histograms) is collected for the run and written as JSON or markdown
+to stdout (``--metrics json``/``--metrics md``) or to a file path.
+
+Flags shared between subcommands (``--bytes``/``--seed``,
+``--workers``, ``--cache``/``--cache-dir``, ``--metrics``) are defined
+once as argparse *parent* parsers -- per-subcommand defaults differ,
+so the builders below take the defaults as parameters.
 """
 
 from __future__ import annotations
@@ -26,17 +39,68 @@ import argparse
 import sys
 
 # Only what building the parser itself needs (subcommand ``choices``)
-# is imported eagerly; experiment/engine modules load inside their
-# handlers so a warm ``--cache`` hit never imports the splice engine.
-# ``faults.plan`` and ``core.supervisor`` are stdlib-only and cheap.
-from repro.checksums.registry import available_algorithms, get_algorithm
+# is imported eagerly, and only through package-level or facade names;
+# experiment/engine modules load inside their handlers so a warm
+# ``--cache`` hit never imports the splice engine.  ``repro.api`` and
+# ``core.supervisor`` are import-cheap by design.
+from repro.api import experiment_ids, open_store, run_experiment, sum_file
+from repro.checksums import available_algorithms, get_algorithm
 from repro.core.supervisor import RunAborted
-from repro.corpus.profiles import PROFILES, build_filesystem, profile_names
-from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.faults.plan import plan_names
-from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+from repro.corpus import PROFILES, build_filesystem, profile_names
+from repro.faults import plan_names
+from repro.protocols import ChecksumPlacement, PacketizerConfig
 
 __all__ = ["build_parser", "main"]
+
+
+# ----------------------------------------------------------------------
+# shared flag groups (argparse parent parsers)
+
+def _corpus_parent(bytes_default, seed_default):
+    """``--bytes``/``--seed``: the synthetic corpus of a run."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--bytes", type=int, default=bytes_default,
+                        help="synthetic filesystem size in bytes")
+    parent.add_argument("--seed", type=int, default=seed_default)
+    return parent
+
+
+def _workers_parent(default=None,
+                    help_text="fan splice runs out over N processes"):
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=default,
+                        help=help_text)
+    return parent
+
+
+def _cache_parent(toggle=True):
+    """``--cache``/``--cache-dir``: the artifact store of a run."""
+    parent = argparse.ArgumentParser(add_help=False)
+    if toggle:
+        parent.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                            default=False,
+                            help="serve repeat runs from the artifact store")
+    parent.add_argument("--cache-dir", default=None,
+                        help="store root (default: $REPRO_CHECKSUMS_CACHE or "
+                             "~/.cache/repro-checksums)")
+    return parent
+
+
+def _metrics_parent():
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--metrics", metavar="DEST", default=None,
+                        help="collect run telemetry and write it: 'json' or "
+                             "'md' print to stdout; any other value is a "
+                             "file path (.json suffix -> JSON, else "
+                             "markdown)")
+    return parent
+
+
+def _profile_parent(default):
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--profile", default=default,
+                        choices=profile_names())
+    return parent
 
 
 def build_parser():
@@ -56,116 +120,106 @@ def build_parser():
     p_sum.add_argument("--algorithm", "-a", default="internet",
                        choices=available_algorithms())
 
-    p_run = sub.add_parser("run", help="regenerate a paper table or figure")
-    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    p_run.add_argument("--bytes", type=int, default=None,
-                       help="synthetic filesystem size in bytes")
-    p_run.add_argument("--seed", type=int, default=None)
+    p_run = sub.add_parser(
+        "run", help="regenerate a paper table or figure",
+        parents=[_corpus_parent(None, None), _cache_parent(),
+                 _workers_parent(), _metrics_parent()],
+    )
+    p_run.add_argument("experiment", choices=sorted(experiment_ids()))
     p_run.add_argument("--svg", metavar="PATH", default=None,
                        help="for figure experiments: also write an SVG chart")
-    _add_cache_arguments(p_run)
-    p_run.add_argument("--workers", type=int, default=None,
-                       help="fan splice runs out over N processes")
 
     p_report = sub.add_parser(
-        "report", help="regenerate every experiment into one Markdown file"
+        "report", help="regenerate every experiment into one Markdown file",
+        parents=[_corpus_parent(400_000, 3), _cache_parent(),
+                 _workers_parent(), _metrics_parent()],
     )
     p_report.add_argument("--output", "-o", default="report.md")
-    p_report.add_argument("--bytes", type=int, default=400_000)
-    p_report.add_argument("--seed", type=int, default=3)
     p_report.add_argument("--only", nargs="*", default=None,
                           help="restrict to these experiment ids")
-    _add_cache_arguments(p_report)
-    p_report.add_argument("--workers", type=int, default=None,
-                          help="fan splice runs out over N processes")
 
-    p_splice = sub.add_parser("splice", help="run a custom splice simulation")
-    p_splice.add_argument("--profile", default="stanford-u1",
-                          choices=profile_names())
-    p_splice.add_argument("--bytes", type=int, default=500_000)
-    p_splice.add_argument("--seed", type=int, default=3)
+    p_splice = sub.add_parser(
+        "splice", help="run a custom splice simulation",
+        parents=[_profile_parent("stanford-u1"), _corpus_parent(500_000, 3),
+                 _cache_parent(),
+                 _workers_parent(help_text="fan files out over N processes"),
+                 _metrics_parent()],
+    )
     p_splice.add_argument("--mss", type=int, default=256)
     p_splice.add_argument("--algorithm", default="tcp",
                           choices=["tcp", "fletcher255", "fletcher256"])
     p_splice.add_argument("--placement", default="header",
                           choices=[p.value for p in ChecksumPlacement])
-    p_splice.add_argument("--workers", type=int, default=None,
-                          help="fan files out over N processes")
-    _add_cache_arguments(p_splice)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain the artifact store"
     )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
-    p_stats = cache_sub.add_parser("stats", help="per-namespace object counts")
+    cache_sub.add_parser("stats", parents=[_cache_parent(toggle=False)],
+                         help="per-namespace object counts")
     p_audit = cache_sub.add_parser(
-        "audit", help="re-verify every stored object's integrity trailer"
+        "audit", parents=[_cache_parent(toggle=False)],
+        help="re-verify every stored object's integrity trailer",
     )
     p_audit.add_argument("--evict", action="store_true",
                          help="delete corrupt objects so runs recompute them")
-    p_clear = cache_sub.add_parser("clear", help="delete every stored object")
-    for p in (p_stats, p_audit, p_clear):
-        p.add_argument("--cache-dir", default=None,
-                       help="store root (default: $REPRO_CHECKSUMS_CACHE or "
-                            "~/.cache/repro-checksums)")
+    cache_sub.add_parser("clear", parents=[_cache_parent(toggle=False)],
+                         help="delete every stored object")
 
     p_chaos = sub.add_parser(
         "chaos",
         help="run a sweep under fault injection; verify counters survive",
+        parents=[_profile_parent("stanford-u1"), _corpus_parent(120_000, 3),
+                 _workers_parent(2, "pool width for the chaotic pass"),
+                 _metrics_parent()],
     )
-    p_chaos.add_argument("--profile", default="stanford-u1",
-                         choices=profile_names())
-    p_chaos.add_argument("--bytes", type=int, default=120_000)
-    p_chaos.add_argument("--seed", type=int, default=3)
     p_chaos.add_argument("--mss", type=int, default=256)
     p_chaos.add_argument("--plan", default="monkey", choices=plan_names(),
                          help="named fault plan (default: monkey)")
     p_chaos.add_argument("--fault-seed", type=int, default=0,
                          help="seed of the fault schedule (replayable)")
-    p_chaos.add_argument("--workers", type=int, default=2,
-                         help="pool width for the chaotic pass")
     p_chaos.add_argument("--cache-dir", default=None,
                          help="root for the chaotic run's stores "
                               "(default: a fresh temp directory)")
 
     p_transfer = sub.add_parser(
-        "transfer", help="simulate a reliable transfer over a lossy link"
+        "transfer", help="simulate a reliable transfer over a lossy link",
+        parents=[_profile_parent("pathological-gmon"),
+                 _corpus_parent(100_000, 2)],
     )
-    p_transfer.add_argument("--profile", default="pathological-gmon",
-                            choices=profile_names())
-    p_transfer.add_argument("--bytes", type=int, default=100_000)
     p_transfer.add_argument("--loss", type=float, default=0.25)
     p_transfer.add_argument("--no-crc", action="store_true",
                             help="rely on the TCP checksum alone")
-    p_transfer.add_argument("--seed", type=int, default=2)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the benchmark workload matrix, write BENCH_<n>.json",
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smaller matrix for CI smoke runs")
+    p_bench.add_argument("--out", default=".", metavar="DIR",
+                         help="directory for BENCH_<n>.json snapshots "
+                              "(default: current directory)")
+    p_bench.add_argument("--check", metavar="PATH", default=None,
+                         help="validate an existing snapshot against the "
+                              "bench schema and exit (CI drift gate)")
     return parser
-
-
-def _add_cache_arguments(parser):
-    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
-                        default=False,
-                        help="serve repeat runs from the artifact store")
-    parser.add_argument("--cache-dir", default=None,
-                        help="store root (default: $REPRO_CHECKSUMS_CACHE or "
-                             "~/.cache/repro-checksums)")
 
 
 def _make_store(args):
     """A RunStore when ``--cache`` was requested, else None."""
     if not getattr(args, "cache", False):
         return None
-    from repro.store.runner import RunStore
-
-    return RunStore(args.cache_dir)
+    return open_store(args.cache_dir)
 
 
 def _cmd_algorithms():
-    from repro.checksums.crc import CRCEngine
+    from repro.checksums import CRCEngine
 
     for name in available_algorithms():
         algorithm = get_algorithm(name)
         kind = "CRC" if isinstance(algorithm, CRCEngine) else "checksum"
-        print("%-14s %2d-bit %s" % (name, algorithm.bits, kind))
+        print("%-14s %2d-bit %s" % (name, algorithm.width, kind))
     return 0
 
 
@@ -178,11 +232,9 @@ def _cmd_profiles():
 
 def _cmd_sum(args):
     algorithm = get_algorithm(args.algorithm)
+    hex_digits = (algorithm.width + 3) // 4
     for path in args.files:
-        with open(path, "rb") as handle:
-            data = handle.read()
-        width = (algorithm.bits + 3) // 4
-        print("%0*x  %s" % (width, algorithm.compute(data), path))
+        print("%0*x  %s" % (hex_digits, sum_file(path, args.algorithm), path))
     return 0
 
 
@@ -251,9 +303,8 @@ def _cmd_splice(args):
 
 def _cmd_cache(args):
     from repro.store.audit import audit_run_store
-    from repro.store.runner import RunStore
 
-    store = RunStore(args.cache_dir)
+    store = open_store(args.cache_dir)
     if args.cache_command == "stats":
         stats = store.stats()
         print("root               %s" % stats["root"])
@@ -300,7 +351,6 @@ def _cmd_chaos(args):
     from repro.core.supervisor import RunHealth
     from repro.faults.injector import wrap_run_store
     from repro.faults.plan import named_plan
-    from repro.store.runner import RunStore
 
     fs = build_filesystem(args.profile, args.bytes, args.seed)
     config = PacketizerConfig(mss=args.mss)
@@ -318,7 +368,7 @@ def _cmd_chaos(args):
     for label, workers in (("populate", args.workers), ("resume", None)):
         plan = named_plan(args.plan, seed=args.fault_seed)
         pass_health = RunHealth()
-        store = wrap_run_store(RunStore(root / "store"), plan, pass_health)
+        store = wrap_run_store(open_store(root / "store"), plan, pass_health)
         result = run_splice_experiment(
             fs, config, workers=workers, store=store,
             faults=plan, health=pass_health,
@@ -372,6 +422,43 @@ def _cmd_transfer(args):
     return 0
 
 
+def _cmd_bench(args):
+    import json
+
+    from repro.telemetry.bench import (
+        delta_table,
+        latest_snapshot,
+        run_bench,
+        validate_snapshot,
+        write_snapshot,
+    )
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            validate_snapshot(payload)
+        except ValueError as exc:
+            print("repro-checksums: bench schema drift in %s: %s"
+                  % (args.check, exc), file=sys.stderr)
+            return 1
+        print("%s: schema %s ok (%d algorithms, %d engine rows)" % (
+            args.check, payload["schema"],
+            len(payload["algorithms"]), len(payload["engine"])))
+        return 0
+
+    previous, previous_path = latest_snapshot(args.out)
+    payload = run_bench(quick=args.quick)
+    path = write_snapshot(payload, args.out)
+    print("wrote %s (schema %s, %s matrix)" % (
+        path, payload["schema"], "quick" if args.quick else "full"))
+    print("")
+    print(delta_table(previous, payload))
+    if previous_path is not None:
+        print("\n(delta vs %s)" % previous_path)
+    return 0
+
+
 def _merge_reports(a, b):
     from repro.sim import TransferReport
 
@@ -381,37 +468,52 @@ def _merge_reports(a, b):
     return merged
 
 
+_COMMANDS = {
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "splice": _cmd_splice,
+    "transfer": _cmd_transfer,
+    "cache": _cmd_cache,
+    "chaos": _cmd_chaos,
+    "sum": _cmd_sum,
+    "bench": _cmd_bench,
+}
+
+
 def _dispatch(args):
     if args.command == "algorithms":
         return _cmd_algorithms()
     if args.command == "profiles":
         return _cmd_profiles()
-    if args.command == "sum":
-        return _cmd_sum(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "report":
-        return _cmd_report(args)
-    if args.command == "splice":
-        return _cmd_splice(args)
-    if args.command == "transfer":
-        return _cmd_transfer(args)
-    if args.command == "cache":
-        return _cmd_cache(args)
-    if args.command == "chaos":
-        return _cmd_chaos(args)
-    return 1
+    handler = _COMMANDS.get(args.command)
+    return handler(args) if handler else 1
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    metrics_dest = getattr(args, "metrics", None)
+    if metrics_dest:
+        from repro.telemetry.core import activate
+
+        activate()
     try:
-        return _dispatch(args)
+        code = _dispatch(args)
+        if metrics_dest:
+            from repro.telemetry.core import current
+            from repro.telemetry.export import write_metrics
+
+            write_metrics(current().snapshot(), metrics_dest)
+        return code
     except RunAborted as exc:
         # Every rung of the degradation ladder failed: one line, no
         # traceback — the diagnostic is the message.
         print("repro-checksums: run aborted: %s" % exc, file=sys.stderr)
         return 2
+    finally:
+        if metrics_dest:
+            from repro.telemetry.core import deactivate
+
+            deactivate()
 
 
 if __name__ == "__main__":

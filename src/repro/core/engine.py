@@ -41,6 +41,7 @@ from repro.core.enumeration import (
 from repro.core.results import SpliceCounters
 from repro.protocols.aal5 import CELL_PAYLOAD, aal5_crc_engine
 from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+from repro.telemetry.core import current as _telemetry
 
 __all__ = ["EngineOptions", "SpliceEngine"]
 
@@ -167,25 +168,31 @@ class SpliceEngine:
         ``units`` is the :class:`TransferUnit` list of one file.
         Consecutive pairs with the same shape are batched together.
         """
-        counters = SpliceCounters()
-        counters.packets += len(units)
-        groups = {}
-        for first, second in zip(units, units[1:]):
-            key = (
-                first.frame.cell_count,
-                second.frame.cell_count,
-                len(first.packet.ip_packet),
-                len(second.packet.ip_packet),
-            )
-            groups.setdefault(key, []).append((first, second))
-        for (n1, n2, iplen1, iplen2), pairs in groups.items():
-            enum = self._enumeration(n1, n2)
-            batch_size = max(1, self.options.batch_elements // max(enum.splices, 1))
-            for start in range(0, len(pairs), batch_size):
-                chunk = pairs[start : start + batch_size]
-                cells1 = np.stack([p[0].frame.cells() for p in chunk])
-                cells2 = np.stack([p[1].frame.cells() for p in chunk])
-                counters += self.evaluate_batch(cells1, cells2, iplen1, iplen2)
+        telemetry = _telemetry()
+        with telemetry.span("engine.stream"):
+            counters = SpliceCounters()
+            counters.packets += len(units)
+            groups = {}
+            for first, second in zip(units, units[1:]):
+                key = (
+                    first.frame.cell_count,
+                    second.frame.cell_count,
+                    len(first.packet.ip_packet),
+                    len(second.packet.ip_packet),
+                )
+                groups.setdefault(key, []).append((first, second))
+            for (n1, n2, iplen1, iplen2), pairs in groups.items():
+                enum = self._enumeration(n1, n2)
+                batch_size = max(
+                    1, self.options.batch_elements // max(enum.splices, 1)
+                )
+                for start in range(0, len(pairs), batch_size):
+                    chunk = pairs[start : start + batch_size]
+                    cells1 = np.stack([p[0].frame.cells() for p in chunk])
+                    cells2 = np.stack([p[1].frame.cells() for p in chunk])
+                    counters += self.evaluate_batch(
+                        cells1, cells2, iplen1, iplen2
+                    )
         return counters
 
     def splice_verdicts(self, cells1, cells2, iplen1, iplen2):
@@ -201,11 +208,13 @@ class SpliceEngine:
         custom accounting -- weighted loss models, per-splice studies,
         or cross-checks against the reference receiver.
         """
+        telemetry = _telemetry()
         cells1 = np.asarray(cells1, dtype=np.uint8)
         cells2 = np.asarray(cells2, dtype=np.uint8)
         batch, n1 = cells1.shape[:2]
         n2 = cells2.shape[1]
-        enum = self._enumeration(n1, n2)
+        with telemetry.span("engine.enumeration"):
+            enum = self._enumeration(n1, n2)
         if enum.splices == 0:
             empty = np.zeros((batch, 0), dtype=bool)
             return enum, {
@@ -230,19 +239,29 @@ class SpliceEngine:
             windows.append((lo, hi))
         t_hi = int(np.clip(iplen - CELL_PAYLOAD * slots, 0, CELL_PAYLOAD))
 
-        verdicts = {
-            "header_pass": self._header_pass(cand, idx, iplen),
-            "transport": self._transport_valid(
+        with telemetry.span("engine.header"):
+            header_pass = self._header_pass(cand, idx, iplen)
+        with telemetry.span("engine.transport"):
+            transport = self._transport_valid(
                 cand, trailer, idx, windows, t_hi, iplen
-            ),
-            "crc32": self._crc_valid(cand, trailer, idx),
-            "identical": self._identical(
+            )
+        with telemetry.span("engine.crc32"):
+            crc32 = self._crc_valid(cand, trailer, idx)
+        with telemetry.span("engine.identical"):
+            identical = self._identical(
                 cand, trailer, idx, cells1, cells2, iplen1, iplen2, windows
-            ),
-            "aux": {
+            )
+        with telemetry.span("engine.aux"):
+            aux = {
                 name: self._aux_valid(cand, trailer, idx, n1, engine, z48, z44)
                 for name, engine, z48, z44 in self._aux
-            },
+            }
+        verdicts = {
+            "header_pass": header_pass,
+            "transport": transport,
+            "crc32": crc32,
+            "identical": identical,
+            "aux": aux,
         }
         return enum, verdicts
 
@@ -255,7 +274,8 @@ class SpliceEngine:
         """
         counters = SpliceCounters()
         counters.pairs = np.asarray(cells1).shape[0]
-        enum, verdicts = self.splice_verdicts(cells1, cells2, iplen1, iplen2)
+        with _telemetry().span("engine.batch"):
+            enum, verdicts = self.splice_verdicts(cells1, cells2, iplen1, iplen2)
         if enum.splices == 0:
             return counters
         batch = counters.pairs

@@ -7,6 +7,7 @@ all possible splices of two adjacent TCP segments".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.engine import EngineOptions, SpliceEngine
@@ -14,6 +15,7 @@ from repro.core.results import SpliceCounters
 from repro.core.supervisor import RunHealth, SupervisedPool
 from repro.protocols.ftpsim import FileTransferSimulator
 from repro.protocols.packetizer import PacketizerConfig
+from repro.telemetry.core import current as _telemetry
 
 __all__ = [
     "SpliceExperimentResult",
@@ -145,20 +147,23 @@ def run_splice_experiment(
     config = config or PacketizerConfig()
     options = options or EngineOptions.from_packetizer(config)
     health = health if health is not None else RunHealth()
+    telemetry = _telemetry()
 
     files = list(filesystem)
     if max_files is not None:
         files = files[:max_files]
 
     name = getattr(filesystem, "name", "<anonymous>")
+    telemetry.gauge("experiment.workers", workers or 1)
     if store is not None:
         from repro.store.runner import run_sharded_splice
 
-        counters = run_sharded_splice(
-            files, config, options, store,
-            workers=workers, filesystem_name=name,
-            health=health, faults=faults,
-        )
+        with telemetry.span("experiment.sharded_run"):
+            counters = run_sharded_splice(
+                files, config, options, store,
+                workers=workers, filesystem_name=name,
+                health=health, faults=faults,
+            )
         counters.sanity_check()
         return SpliceExperimentResult(
             filesystem=name, config=config, options=options,
@@ -168,8 +173,13 @@ def run_splice_experiment(
     counters = SpliceCounters()
     pool = _make_pool(workers, health, faults)
     jobs = [(file.data, config, options) for file in files]
-    for part in pool.map(jobs):
-        counters += part
+    with telemetry.span("experiment.run"):
+        last = time.perf_counter()
+        for index, part in pool.run(jobs):
+            now = time.perf_counter()
+            _account_shard(telemetry, part, len(jobs[index][0]), now - last)
+            last = now
+            counters += part
     counters.sanity_check()
     return SpliceExperimentResult(
         filesystem=name,
@@ -178,3 +188,19 @@ def run_splice_experiment(
         counters=counters,
         health=health,
     )
+
+
+def _account_shard(telemetry, counters, nbytes, elapsed):
+    """Parent-side accounting for one resolved shard.
+
+    Counter/meter *amounts* come from the returned counters, so totals
+    are bit-identical across ``--workers`` settings; only the elapsed
+    seconds (and hence derived rates) depend on the execution layout.
+    """
+    telemetry.count("splice.files", counters.files or 1)
+    telemetry.count("splice.packets", counters.packets)
+    telemetry.count("splice.splices", counters.total)
+    telemetry.count("splice.missed_transport", counters.missed_transport)
+    telemetry.meter("splice.splices_rate", counters.total, elapsed)
+    telemetry.meter("splice.bytes_rate", nbytes, elapsed)
+    telemetry.observe("experiment.shard_seconds", elapsed)

@@ -36,6 +36,8 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields
 
+from repro.telemetry.core import current as _telemetry
+
 __all__ = ["RunAborted", "RunHealth", "SupervisedPool"]
 
 import json
@@ -244,9 +246,11 @@ class SupervisedPool:
     def _fallback(self, index, job):
         """Bottom rung: in-process, fault-free, last chance."""
         self.health.fallbacks += 1
+        telemetry = _telemetry()
         payload = self.prepare(index, None, job)
         try:
-            return self.function(payload)
+            with telemetry.span("supervisor.fallback"):
+                return self.function(payload)
         except Exception as exc:
             raise RunAborted(
                 "job %d failed after retries, pool restarts, and the "
@@ -255,7 +259,8 @@ class SupervisedPool:
 
     def _sleep(self, attempt):
         delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
-        time.sleep(delay * (0.5 + self._jitter.random()))
+        with _telemetry().span("supervisor.backoff"):
+            time.sleep(delay * (0.5 + self._jitter.random()))
 
     # -- pooled execution ---------------------------------------------------
 
@@ -278,7 +283,8 @@ class SupervisedPool:
                     queue = []
                     break
                 if pool is None:
-                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                    with _telemetry().span("supervisor.pool_spawn"):
+                        pool = ProcessPoolExecutor(max_workers=self.workers)
                 generation, queue = queue, []
                 futures = [
                     (pool.submit(
@@ -318,7 +324,8 @@ class SupervisedPool:
                         results_seen.add(index)
                         yield index, result
                 if condemned:
-                    pool.shutdown(wait=False, cancel_futures=True)
+                    with _telemetry().span("supervisor.pool_teardown"):
+                        pool.shutdown(wait=False, cancel_futures=True)
                     pool = None
                     self.health.pool_restarts += 1
         finally:

@@ -9,8 +9,10 @@ the per-kind reporting stays meaningful.
 from __future__ import annotations
 
 import os
+import time
 
 from repro.corpus.filesystem import Filesystem, SyntheticFile
+from repro.telemetry.core import current as _telemetry
 
 __all__ = ["guess_kind", "ingest_paths"]
 
@@ -50,26 +52,38 @@ def ingest_paths(paths, limit=10_000_000, name="user-data", min_size=1):
     Unreadable entries are skipped; ingestion stops once ``limit``
     bytes have been collected.  Walk order is sorted for determinism.
     """
+    telemetry = _telemetry()
     fs = Filesystem(name)
     total = 0
-    for path in paths:
-        candidates = []
-        if os.path.isdir(path):
-            for root, dirs, names in os.walk(path):
-                dirs.sort()
-                candidates.extend(os.path.join(root, n) for n in sorted(names))
-        else:
-            candidates.append(path)
-        for candidate in candidates:
+    t0 = time.perf_counter()
+    with telemetry.span("corpus.ingest"):
+        for path in paths:
+            candidates = []
+            if os.path.isdir(path):
+                for root, dirs, names in os.walk(path):
+                    dirs.sort()
+                    candidates.extend(
+                        os.path.join(root, n) for n in sorted(names)
+                    )
+            else:
+                candidates.append(path)
+            for candidate in candidates:
+                if total >= limit:
+                    break
+                try:
+                    with open(candidate, "rb") as handle:
+                        data = handle.read(limit - total)
+                except OSError:
+                    telemetry.count("corpus.ingest_skipped")
+                    continue
+                if len(data) < min_size:
+                    continue
+                fs.add(
+                    SyntheticFile(candidate, data, guess_kind(candidate, data))
+                )
+                telemetry.count("corpus.ingest_files")
+                total += len(data)
             if total >= limit:
-                return fs
-            try:
-                with open(candidate, "rb") as handle:
-                    data = handle.read(limit - total)
-            except OSError:
-                continue
-            if len(data) < min_size:
-                continue
-            fs.add(SyntheticFile(candidate, data, guess_kind(candidate, data)))
-            total += len(data)
+                break
+    telemetry.meter("corpus.ingest_bytes", total, time.perf_counter() - t0)
     return fs

@@ -127,6 +127,11 @@ def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs
             # read error is just a miss.
             report = None
         if report is not None:
+            from repro.telemetry.core import current as _telemetry
+
+            telemetry = _telemetry()
+            if telemetry.enabled and report.metrics is None:
+                report.metrics = telemetry.snapshot()
             return report
 
     function = resolve(experiment_id)
@@ -160,4 +165,13 @@ def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs
                 RuntimeWarning,
                 stacklevel=2,
             )
+
+    # Ride the telemetry snapshot alongside the health record — but only
+    # after the cache put, so persisted reports never carry the (run-
+    # specific, timing-laden) metrics of the run that produced them.
+    from repro.telemetry.core import current as _telemetry
+
+    telemetry = _telemetry()
+    if telemetry.enabled and report.metrics is None:
+        report.metrics = telemetry.snapshot()
     return report

@@ -24,6 +24,12 @@ class ExperimentReport:
     #: (see :class:`repro.core.supervisor.RunHealth`); None for runs
     #: that never needed intervention.
     health: dict = None
+    #: telemetry snapshot of the generating run (see
+    #: :meth:`repro.telemetry.Telemetry.snapshot`); None unless the run
+    #: was executed with telemetry enabled (``--metrics``).  Never
+    #: persisted to the result cache — cached reports replay without
+    #: stale timings.
+    metrics: dict = None
 
     def __str__(self):
         return "%s -- %s\n\n%s" % (self.experiment_id, self.title, self.text)
@@ -48,6 +54,8 @@ class ExperimentReport:
         }
         if self.health is not None:
             payload["health"] = self.health
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
         return json.dumps(payload, sort_keys=True)
 
     @classmethod
@@ -65,4 +73,5 @@ class ExperimentReport:
             text=payload["text"],
             data=payload.get("data", {}),
             health=payload.get("health"),
+            metrics=payload.get("metrics"),
         )

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 
 from repro.store.objstore import DEFAULT_ALGORITHM, IntegrityError, ObjectStore
+from repro.telemetry.core import current as _telemetry
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -66,22 +67,26 @@ class ResultCache:
             payload = self.store.get(key)
         except KeyError:
             self.stats.misses += 1
+            _telemetry().count("cache.misses")
             return None
         except IntegrityError:
             self.evict(key)
             return None
         self.stats.hits += 1
+        _telemetry().count("cache.hits")
         return payload
 
     def put_bytes(self, key, payload):
         self.store.put_keyed(key, payload)
         self.stats.puts += 1
+        _telemetry().count("cache.puts")
         return key
 
     def evict(self, key):
         """Drop a corrupt entry so the next lookup recomputes it."""
         self.store.delete(key)
         self.stats.corrupt += 1
+        _telemetry().count("cache.corrupt")
 
     # -- JSON documents ----------------------------------------------------
 

@@ -29,9 +29,11 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.checksums.registry import get_algorithm
+from repro.telemetry.core import current as _telemetry
 
 __all__ = [
     "DEFAULT_ALGORITHM",
@@ -92,7 +94,7 @@ def _is_object_name(name):
 def frame_object(payload, algorithm_name=DEFAULT_ALGORITHM):
     """Append the integrity trailer to ``payload``."""
     algorithm = get_algorithm(algorithm_name)
-    width = (algorithm.bits + 7) // 8
+    width = (algorithm.width + 7) // 8
     value = algorithm.compute(payload).to_bytes(width, "big")
     name = algorithm_name.encode("ascii")
     if not 1 <= len(name) <= 255 or not 1 <= width <= 255:
@@ -124,7 +126,7 @@ def unframe_object(blob, verify=True):
     except (UnicodeDecodeError, KeyError) as exc:
         raise IntegrityError("unreadable trailer algorithm: %s" % exc) from exc
     if verify:
-        width = (algorithm.bits + 7) // 8
+        width = (algorithm.width + 7) // 8
         if width != value_len:
             raise IntegrityError(
                 "trailer width %d != %d for %s" % (value_len, width, algorithm_name)
@@ -175,10 +177,15 @@ class ObjectStore:
         default; content-addressed :meth:`put` skips the write when the
         object already exists (identical payload by construction).
         """
+        telemetry = _telemetry()
+        t0 = time.perf_counter()
         path = self.path_for(key)
         if not overwrite and path.exists():
             return key
         self._atomic_write(path, frame_object(bytes(payload), self.algorithm))
+        telemetry.count("store.puts")
+        telemetry.meter("store.put_bytes", len(payload))
+        telemetry.observe("store.put_seconds", time.perf_counter() - t0)
         return key
 
     @staticmethod
@@ -210,12 +217,17 @@ class ObjectStore:
         Raises :class:`KeyError` if absent and :class:`IntegrityError`
         if the integrity trailer does not verify.
         """
+        telemetry = _telemetry()
+        t0 = time.perf_counter()
         path = self.path_for(digest)
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
             raise KeyError(digest) from None
         payload, _ = unframe_object(blob, verify=verify)
+        telemetry.count("store.gets")
+        telemetry.meter("store.get_bytes", len(payload))
+        telemetry.observe("store.get_seconds", time.perf_counter() - t0)
         return payload
 
     def __contains__(self, digest):

@@ -32,11 +32,13 @@ path because shard merge is a sum of per-file counters either way.
 from __future__ import annotations
 
 import hashlib
+import time
 import warnings
 from pathlib import Path
 
 from repro.core.results import SpliceCounters
 from repro.core.supervisor import RunHealth
+from repro.telemetry.core import current as _telemetry
 from repro.store.cache import ResultCache
 from repro.store.keys import SCHEMA_VERSION, digest_key, shard_key
 from repro.store.manifest import ManifestStore, RunManifest
@@ -200,9 +202,10 @@ def run_sharded_splice(
     """
     # Import here: core.experiment lazily imports this module, so the
     # pool construction is shared without a load-time cycle.
-    from repro.core.experiment import _make_pool
+    from repro.core.experiment import _account_shard, _make_pool
 
     health = health if health is not None else RunHealth()
+    telemetry = _telemetry()
     guard = _StoreGuard(store, health)
 
     shard_keys = [
@@ -225,13 +228,14 @@ def run_sharded_splice(
     # iteration order is the deterministic first-seen file order — with
     # fault injection active, store faults must replay identically.
     loaded = {}
-    for key in dict.fromkeys(shard_keys):
-        counters = guard.get_shard(key)
-        if counters is not None:
-            loaded[key] = counters
-            manifest.mark_done(key)
-        else:
-            manifest.mark_pending(key)
+    with telemetry.span("store.shard_load"):
+        for key in dict.fromkeys(shard_keys):
+            counters = guard.get_shard(key)
+            if counters is not None:
+                loaded[key] = counters
+                manifest.mark_done(key)
+            else:
+                manifest.mark_pending(key)
 
     missing = [
         (index, key)
@@ -246,10 +250,19 @@ def run_sharded_splice(
         (key, (files[index].data, config, options))
         for key, index in unique_missing.items()
     ]
+    telemetry.count("store.shard_hits", len(loaded))
+    telemetry.count("store.shard_misses", len(unique_missing))
 
     pool = _make_pool(workers, health, faults)
-    for index, counters in pool.run([job for _, job in jobs]):
-        _store_shard(guard, manifest, loaded, jobs[index][0], counters)
+    with telemetry.span("store.shard_compute"):
+        last = time.perf_counter()
+        for index, counters in pool.run([job for _, job in jobs]):
+            now = time.perf_counter()
+            _account_shard(
+                telemetry, counters, len(jobs[index][1][0]), now - last
+            )
+            last = now
+            _store_shard(guard, manifest, loaded, jobs[index][0], counters)
 
     if not jobs:  # pure resume/hit: still persist the refreshed manifest
         guard.save_manifest(manifest)

@@ -1,0 +1,59 @@
+"""repro.telemetry: span tracing, metrics, and bench snapshots.
+
+The observability layer threaded through every major subsystem:
+
+* :mod:`repro.telemetry.spans` -- hierarchical, aggregated wall+CPU
+  span timers;
+* :mod:`repro.telemetry.metrics` -- counters, gauges, throughput
+  meters, latency histograms;
+* :mod:`repro.telemetry.core` -- the process-wide registry
+  (:func:`current` / :func:`activate` / :func:`collect`) and its
+  strict no-op disabled twin;
+* :mod:`repro.telemetry.export` -- JSON / markdown snapshot rendering
+  (the CLI's ``--metrics``);
+* :mod:`repro.telemetry.bench` -- the ``repro-checksums bench``
+  workload matrix and its ``BENCH_<n>.json`` trajectory.
+
+Telemetry is **off by default** and a strict no-op when off: hot paths
+call :func:`current` and instrument unconditionally; the disabled cost
+is bounded below 2% of the splice hot path (enforced by
+``benchmarks/test_telemetry_overhead.py``).
+
+The package resolves its exports lazily (PEP 562) so importing
+:mod:`repro.telemetry` from hot modules stays free.
+"""
+
+import importlib
+
+_EXPORTS = {
+    "NullTelemetry": "repro.telemetry.core",
+    "TELEMETRY_SCHEMA": "repro.telemetry.core",
+    "Telemetry": "repro.telemetry.core",
+    "activate": "repro.telemetry.core",
+    "collect": "repro.telemetry.core",
+    "current": "repro.telemetry.core",
+    "deactivate": "repro.telemetry.core",
+    "render_markdown": "repro.telemetry.export",
+    "write_metrics": "repro.telemetry.export",
+    "BENCH_SCHEMA": "repro.telemetry.bench",
+    "run_bench": "repro.telemetry.bench",
+    "validate_snapshot": "repro.telemetry.bench",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted({*globals(), *_EXPORTS})

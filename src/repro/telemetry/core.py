@@ -1,0 +1,226 @@
+"""The process-wide telemetry registry, and its strict-no-op twin.
+
+Instrumented code never holds a :class:`Telemetry` directly; it calls
+:func:`current` (one module-global read) and uses whatever it gets:
+
+* by default that is :data:`NULL`, a :class:`NullTelemetry` whose every
+  method is a constant-returning no-op — instrumentation then costs a
+  function call and an empty context manager per *batch*-level region,
+  measured at well under 2% of the splice hot path (see
+  ``benchmarks/test_telemetry_overhead.py`` and the ``overhead``
+  section of ``repro-checksums bench`` snapshots);
+* under ``--metrics`` / ``bench`` the CLI installs a real
+  :class:`Telemetry` via :func:`activate` (or the :func:`collect`
+  context manager) and exports a snapshot at the end.
+
+Worker processes spawned by :class:`repro.core.supervisor
+.SupervisedPool` inherit the *default* (disabled) state; countable
+totals are accounted in the parent from returned results, which is
+what keeps counter totals bit-identical across ``--workers`` settings.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, Meter
+from repro.telemetry.spans import ActiveSpan, SpanNode
+
+__all__ = [
+    "NullTelemetry",
+    "TELEMETRY_SCHEMA",
+    "Telemetry",
+    "activate",
+    "collect",
+    "current",
+    "deactivate",
+]
+
+#: Schema identifier stamped into every exported snapshot.
+TELEMETRY_SCHEMA = "repro-telemetry/1"
+
+
+class Telemetry:
+    """Spans + counters + gauges + meters + histograms, one registry."""
+
+    enabled = True
+
+    def __init__(self):
+        self._root = SpanNode("run")
+        self._stack = [self._root]
+        self._counters = {}
+        self._gauges = {}
+        self._meters = {}
+        self._histograms = {}
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name):
+        """Context manager timing a named region under the active span."""
+        return ActiveSpan(self._stack, self._stack[-1].child(name))
+
+    # -- instruments -------------------------------------------------------
+
+    def count(self, name, amount=1):
+        """Add ``amount`` to the counter ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        counter.add(amount)
+
+    def gauge(self, name, value):
+        """Set the gauge ``name`` to ``value``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        gauge.set(value)
+
+    def meter(self, name, amount, seconds=0.0):
+        """Feed a throughput meter with (amount, elapsed-seconds)."""
+        meter = self._meters.get(name)
+        if meter is None:
+            meter = self._meters[name] = Meter()
+        meter.mark(amount, seconds)
+
+    def observe(self, name, seconds):
+        """Record one latency observation into histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(seconds)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self):
+        """A JSON-native dict of everything recorded so far.
+
+        The layout is stable under :data:`TELEMETRY_SCHEMA`; see
+        ``docs/architecture.md`` ("Observability") for field meanings.
+        """
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "spans": [node.to_dict() for node in self._root.children.values()],
+            "counters": {
+                name: self._counters[name].to_dict()
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].to_dict()
+                for name in sorted(self._gauges)
+            },
+            "meters": {
+                name: self._meters[name].to_dict()
+                for name in sorted(self._meters)
+            },
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, indent=None):
+        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
+
+    def render_markdown(self):
+        """Markdown rendering of the snapshot (the ``--metrics md`` view)."""
+        from repro.telemetry.export import render_markdown
+
+        return render_markdown(self.snapshot())
+
+
+class _NullSpan:
+    """The shared do-nothing span context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Strict no-op twin of :class:`Telemetry` (the disabled state).
+
+    Every method is safe to call unconditionally from hot paths; none
+    allocates.  ``snapshot()`` reports an empty, schema-stamped dict so
+    exporters need no special casing.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name):
+        return _NULL_SPAN
+
+    def count(self, name, amount=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def meter(self, name, amount, seconds=0.0):
+        pass
+
+    def observe(self, name, seconds):
+        pass
+
+    def snapshot(self):
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "spans": [],
+            "counters": {},
+            "gauges": {},
+            "meters": {},
+            "histograms": {},
+        }
+
+    def to_json(self, indent=None):
+        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
+
+    def render_markdown(self):
+        from repro.telemetry.export import render_markdown
+
+        return render_markdown(self.snapshot())
+
+
+#: The shared disabled instance installed by default.
+NULL = NullTelemetry()
+
+_ACTIVE = NULL
+
+
+def current():
+    """The process-wide telemetry (the disabled :data:`NULL` by default)."""
+    return _ACTIVE
+
+
+def activate(telemetry=None):
+    """Install (and return) a process-wide :class:`Telemetry`."""
+    global _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else Telemetry()
+    return _ACTIVE
+
+
+def deactivate():
+    """Restore the disabled no-op state; returns the displaced registry."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = NULL
+    return previous
+
+
+@contextmanager
+def collect(telemetry=None):
+    """``with collect() as tel:`` — activate for the block, then restore."""
+    telemetry = activate(telemetry)
+    try:
+        yield telemetry
+    finally:
+        deactivate()

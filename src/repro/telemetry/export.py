@@ -1,0 +1,132 @@
+"""Render telemetry snapshots as JSON or markdown; write ``--metrics``.
+
+The JSON form *is* the snapshot (schema ``repro-telemetry/1``); the
+markdown form is a human-ordered digest: span tree, counters, meters
+with derived rates, histogram summaries.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_markdown", "write_metrics"]
+
+
+def _span_lines(entry, indent, lines):
+    lines.append(
+        "%s%s: %d call%s, %.4fs wall, %.4fs cpu"
+        % (
+            "  " * indent,
+            entry["name"],
+            entry["count"],
+            "" if entry["count"] == 1 else "s",
+            entry["wall_s"],
+            entry["cpu_s"],
+        )
+    )
+    for child in entry.get("children", ()):
+        _span_lines(child, indent + 1, lines)
+
+
+def render_markdown(snapshot):
+    """Markdown text for one telemetry snapshot dict."""
+    lines = ["# Telemetry (%s)" % snapshot.get("schema", "?"), ""]
+
+    spans = snapshot.get("spans") or []
+    if spans:
+        lines.append("## Spans")
+        lines.append("")
+        lines.append("```")
+        for entry in spans:
+            _span_lines(entry, 0, lines)
+        lines.append("```")
+        lines.append("")
+
+    counters = snapshot.get("counters") or {}
+    if counters:
+        lines.append("## Counters")
+        lines.append("")
+        lines.append("| counter | total |")
+        lines.append("|---|---:|")
+        for name, value in counters.items():
+            lines.append("| %s | %d |" % (name, value))
+        lines.append("")
+
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        lines.append("## Gauges")
+        lines.append("")
+        lines.append("| gauge | value |")
+        lines.append("|---|---:|")
+        for name, value in gauges.items():
+            lines.append("| %s | %s |" % (name, value))
+        lines.append("")
+
+    meters = snapshot.get("meters") or {}
+    if meters:
+        lines.append("## Meters")
+        lines.append("")
+        lines.append("| meter | amount | seconds | rate/s |")
+        lines.append("|---|---:|---:|---:|")
+        for name, entry in meters.items():
+            lines.append(
+                "| %s | %d | %.4f | %.1f |"
+                % (name, entry["amount"], entry["seconds"], entry["rate"])
+            )
+        lines.append("")
+
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        lines.append("## Histograms")
+        lines.append("")
+        lines.append("| histogram | count | mean | min | max |")
+        lines.append("|---|---:|---:|---:|---:|")
+        for name, entry in histograms.items():
+            count = entry["count"]
+            mean = entry["sum_s"] / count if count else 0.0
+            lines.append(
+                "| %s | %d | %.6fs | %.6fs | %.6fs |"
+                % (
+                    name,
+                    count,
+                    mean,
+                    entry["min_s"] or 0.0,
+                    entry["max_s"] or 0.0,
+                )
+            )
+        lines.append("")
+
+    if len(lines) == 2:
+        lines.append("*(no telemetry recorded)*")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_metrics(snapshot, destination, stream=None):
+    """Emit a snapshot per the CLI ``--metrics`` argument.
+
+    ``destination`` is ``"json"`` or ``"md"`` (write to ``stream`` /
+    stdout) or a path (format chosen by suffix, ``.json`` vs anything
+    else -> markdown).  Returns the text written.
+    """
+    if destination == "json":
+        text = json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+        path = None
+    elif destination == "md":
+        text = render_markdown(snapshot)
+        path = None
+    elif destination.endswith(".json"):
+        text = json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+        path = destination
+    else:
+        text = render_markdown(snapshot)
+        path = destination
+    if path is None:
+        if stream is None:
+            import sys
+
+            stream = sys.stdout
+        stream.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,123 @@
+"""Counters, gauges, throughput meters, and latency histograms.
+
+All instruments are in-process, lock-free (the library is
+single-threaded per process; worker processes carry their own —
+usually disabled — telemetry), and JSON-native via ``to_dict``.
+
+Design rule, load-bearing for reproducibility tests: **counter and
+meter *amounts* are facts about the work done** (files processed,
+splices evaluated, bytes ingested), accounted in the parent process
+from returned results — so their totals are bit-identical no matter
+how the run was parallelised.  Wall-clock facts (span times, meter
+``seconds``, histogram observations) naturally vary run to run and are
+excluded from stability guarantees.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "Meter"]
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def add(self, amount=1):
+        self.value += amount
+
+    def to_dict(self):
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins scalar (pool width, corpus size, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+
+    def to_dict(self):
+        return self.value
+
+
+class Meter:
+    """A throughput meter: accumulated amount over accumulated seconds.
+
+    ``rate`` divides the two, so a meter fed per-batch (amount, dt)
+    pairs reports the aggregate bytes/sec, cells/sec, splices/sec.
+    """
+
+    __slots__ = ("amount", "seconds")
+
+    def __init__(self):
+        self.amount = 0
+        self.seconds = 0.0
+
+    def mark(self, amount, seconds=0.0):
+        self.amount += amount
+        self.seconds += seconds
+
+    @property
+    def rate(self):
+        return self.amount / self.seconds if self.seconds > 0 else 0.0
+
+    def to_dict(self):
+        return {
+            "amount": self.amount,
+            "seconds": round(self.seconds, 9),
+            "rate": round(self.rate, 3),
+        }
+
+
+#: Decade bucket upper bounds (seconds) for latency histograms:
+#: 1µs .. 100s, plus an overflow bucket.
+LATENCY_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram for latency observations (seconds)."""
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds=LATENCY_BOUNDS):
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self):
+        return {
+            "count": self.count,
+            "sum_s": round(self.total, 9),
+            "min_s": round(self.min, 9) if self.min is not None else None,
+            "max_s": round(self.max, 9) if self.max is not None else None,
+            "bounds_s": list(self.bounds),
+            "buckets": list(self.buckets),
+        }

@@ -1,0 +1,109 @@
+"""Hierarchical span timers: aggregated wall + CPU time per call site.
+
+A span is one *named region* of the run ("engine.crc32", "store.get").
+Spans nest: entering a span while another is active attaches it as a
+child, so the export is a tree mirroring the call structure.  Spans
+with the same name under the same parent are **aggregated** into one
+node (count + total wall + total CPU) rather than appended, so a hot
+loop instrumented with a span costs O(1) memory no matter how many
+iterations run.
+
+Wall time comes from :func:`time.perf_counter`, CPU time from
+:func:`time.process_time`; both are monotonic and unaffected by wall
+clock adjustments.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["SpanNode"]
+
+
+class SpanNode:
+    """One aggregated node of the span tree."""
+
+    __slots__ = ("name", "count", "wall", "cpu", "children")
+
+    def __init__(self, name):
+        self.name = name
+        #: completed enter/exit cycles aggregated into this node.
+        self.count = 0
+        #: total wall-clock seconds across all cycles.
+        self.wall = 0.0
+        #: total process CPU seconds across all cycles.
+        self.cpu = 0.0
+        #: child name -> :class:`SpanNode`, insertion-ordered.
+        self.children = {}
+
+    def child(self, name):
+        """The (created-on-demand) child node named ``name``."""
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def to_dict(self):
+        """JSON-native rendering of this node and its subtree."""
+        entry = {
+            "name": self.name,
+            "count": self.count,
+            "wall_s": round(self.wall, 9),
+            "cpu_s": round(self.cpu, 9),
+        }
+        if self.children:
+            entry["children"] = [c.to_dict() for c in self.children.values()]
+        return entry
+
+    def render(self, indent=0):
+        """Indented text lines for markdown/console export."""
+        lines = [
+            "%s%-*s %6d call%s %10.4fs wall %10.4fs cpu"
+            % (
+                "  " * indent,
+                max(1, 32 - 2 * indent),
+                self.name,
+                self.count,
+                " " if self.count == 1 else "s",
+                self.wall,
+                self.cpu,
+            )
+        ]
+        for node in self.children.values():
+            lines.extend(node.render(indent + 1))
+        return lines
+
+
+class ActiveSpan:
+    """Context manager timing one enter/exit cycle of a node.
+
+    Created by :meth:`repro.telemetry.core.Telemetry.span`; accumulates
+    into the aggregated :class:`SpanNode` on exit and pops itself off
+    the telemetry's span stack.
+    """
+
+    __slots__ = ("_stack", "_node", "_wall0", "_cpu0")
+
+    def __init__(self, stack, node):
+        self._stack = stack
+        self._node = node
+
+    def __enter__(self):
+        self._stack.append(self._node)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self._node
+
+    def __exit__(self, exc_type, exc, tb):
+        node = self._node
+        node.wall += time.perf_counter() - self._wall0
+        node.cpu += time.process_time() - self._cpu0
+        node.count += 1
+        # Pop back to this span's parent; tolerate (but do not hide)
+        # mispaired exits by searching from the top of the stack.
+        stack = self._stack
+        for index in range(len(stack) - 1, 0, -1):
+            if stack[index] is node:
+                del stack[index:]
+                break
+        return False

@@ -1,0 +1,11 @@
+"""Telemetry tests must never leak an active registry into the suite."""
+
+import pytest
+
+from repro.telemetry.core import deactivate
+
+
+@pytest.fixture(autouse=True)
+def _restore_disabled_state():
+    yield
+    deactivate()

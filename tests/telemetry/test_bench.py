@@ -1,0 +1,133 @@
+"""Bench snapshot schema validation, persistence, and deltas."""
+
+import json
+
+import pytest
+
+from repro.telemetry.bench import (
+    BENCH_SCHEMA,
+    delta_table,
+    latest_snapshot,
+    next_snapshot_path,
+    validate_snapshot,
+    write_snapshot,
+)
+
+
+def _payload():
+    """A minimal, valid bench snapshot."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": 1_700_000_000,
+        "quick": True,
+        "machine": {"python": "3.x", "platform": "test", "processor": "test"},
+        "workload": {"seed": 1, "cell_bytes": 48},
+        "algorithms": {
+            "internet": {
+                "width": 16,
+                "kind": "checksum",
+                "cells_per_sec": 1e6,
+                "splices_per_sec": 1e5,
+            },
+            "crc32-aal5": {
+                "width": 32,
+                "kind": "crc",
+                "cells_per_sec": 2e6,
+                "splices_per_sec": 5e3,
+            },
+        },
+        "engine": [
+            {
+                "algorithm": "tcp",
+                "placement": "header",
+                "corpus_bytes": 60_000,
+                "splices": 123456,
+                "seconds": 0.5,
+                "splices_per_sec": 246912.0,
+            }
+        ],
+        "overhead": {"disabled_pct": 0.01, "enabled_pct": 1.2, "batches": 4},
+    }
+
+
+class TestValidation:
+    def test_valid_payload_passes(self):
+        assert validate_snapshot(_payload()) is not None
+
+    def test_wrong_schema_rejected(self):
+        payload = _payload()
+        payload["schema"] = "repro-bench/999"
+        with pytest.raises(ValueError, match="schema mismatch"):
+            validate_snapshot(payload)
+
+    def test_missing_top_key_rejected(self):
+        payload = _payload()
+        del payload["overhead"]
+        with pytest.raises(ValueError, match="drift"):
+            validate_snapshot(payload)
+
+    def test_extra_top_key_rejected(self):
+        payload = _payload()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="drift"):
+            validate_snapshot(payload)
+
+    def test_algorithm_missing_key_rejected(self):
+        payload = _payload()
+        del payload["algorithms"]["internet"]["cells_per_sec"]
+        with pytest.raises(ValueError, match="internet"):
+            validate_snapshot(payload)
+
+    def test_non_positive_rate_rejected(self):
+        payload = _payload()
+        payload["algorithms"]["internet"]["splices_per_sec"] = 0
+        with pytest.raises(ValueError, match="non-positive"):
+            validate_snapshot(payload)
+
+    def test_empty_engine_rejected(self):
+        payload = _payload()
+        payload["engine"] = []
+        with pytest.raises(ValueError, match="engine"):
+            validate_snapshot(payload)
+
+
+class TestPersistence:
+    def test_snapshots_are_append_only(self, tmp_path):
+        assert next_snapshot_path(tmp_path).name == "BENCH_0001.json"
+        first = write_snapshot(_payload(), tmp_path)
+        assert first.name == "BENCH_0001.json"
+        second = write_snapshot(_payload(), tmp_path)
+        assert second.name == "BENCH_0002.json"
+        payload, path = latest_snapshot(tmp_path)
+        assert path == second
+        assert payload["schema"] == BENCH_SCHEMA
+
+    def test_latest_of_empty_dir(self, tmp_path):
+        assert latest_snapshot(tmp_path) == (None, None)
+
+    def test_write_rejects_invalid(self, tmp_path):
+        payload = _payload()
+        payload.pop("machine")
+        with pytest.raises(ValueError):
+            write_snapshot(payload, tmp_path)
+        assert latest_snapshot(tmp_path) == (None, None)
+
+    def test_written_file_is_stable_json(self, tmp_path):
+        path = write_snapshot(_payload(), tmp_path)
+        assert json.loads(path.read_text()) == _payload()
+
+
+class TestDeltaTable:
+    def test_first_snapshot_renders_absolutes(self):
+        text = delta_table(None, _payload())
+        assert "| internet cells/s | 1000000 | - | n/a |" in text
+
+    def test_delta_against_previous(self):
+        previous = _payload()
+        current_payload = _payload()
+        current_payload["algorithms"]["internet"]["cells_per_sec"] = 2e6
+        text = delta_table(previous, current_payload)
+        assert "+100.0%" in text
+
+    def test_overhead_line_present(self):
+        assert "telemetry disabled overhead" in delta_table(None, _payload())

@@ -1,0 +1,175 @@
+"""Span nesting, instruments, snapshot round-trips, and the no-op twin."""
+
+import json
+
+import pytest
+
+from repro.telemetry.core import (
+    NULL,
+    TELEMETRY_SCHEMA,
+    NullTelemetry,
+    Telemetry,
+    activate,
+    collect,
+    current,
+    deactivate,
+)
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        t = Telemetry()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        spans = t.snapshot()["spans"]
+        assert len(spans) == 1
+        outer = spans[0]
+        assert outer["name"] == "outer"
+        assert outer["count"] == 1
+        (inner,) = outer["children"]
+        assert inner["name"] == "inner"
+        assert inner["count"] == 2  # aggregated, not appended
+
+    def test_same_name_under_different_parents_is_distinct(self):
+        t = Telemetry()
+        with t.span("a"):
+            with t.span("x"):
+                pass
+        with t.span("b"):
+            with t.span("x"):
+                pass
+        spans = {entry["name"]: entry for entry in t.snapshot()["spans"]}
+        assert spans["a"]["children"][0]["count"] == 1
+        assert spans["b"]["children"][0]["count"] == 1
+
+    def test_hot_loop_is_constant_memory(self):
+        t = Telemetry()
+        for _ in range(1000):
+            with t.span("loop"):
+                pass
+        (node,) = t.snapshot()["spans"]
+        assert node["count"] == 1000
+        assert "children" not in node
+
+    def test_span_times_accumulate(self):
+        t = Telemetry()
+        with t.span("timed"):
+            sum(range(1000))
+        (node,) = t.snapshot()["spans"]
+        assert node["wall_s"] >= 0.0
+        assert node["cpu_s"] >= 0.0
+
+    def test_exception_inside_span_still_closes_it(self):
+        t = Telemetry()
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("x")
+        (node,) = t.snapshot()["spans"]
+        assert node["count"] == 1
+        # the stack unwound: a new span lands at the root again
+        with t.span("after"):
+            pass
+        assert [e["name"] for e in t.snapshot()["spans"]] == ["boom", "after"]
+
+
+class TestInstruments:
+    def test_counters_accumulate(self):
+        t = Telemetry()
+        t.count("c")
+        t.count("c", 41)
+        assert t.snapshot()["counters"]["c"] == 42
+
+    def test_gauge_keeps_last_value(self):
+        t = Telemetry()
+        t.gauge("g", 1)
+        t.gauge("g", 7)
+        assert t.snapshot()["gauges"]["g"] == 7
+
+    def test_meter_rate(self):
+        t = Telemetry()
+        t.meter("m", 500, 0.25)
+        t.meter("m", 500, 0.25)
+        entry = t.snapshot()["meters"]["m"]
+        assert entry["amount"] == 1000
+        assert entry["seconds"] == pytest.approx(0.5)
+        assert entry["rate"] == pytest.approx(2000.0)
+
+    def test_histogram_summary(self):
+        t = Telemetry()
+        for value in (0.001, 0.002, 0.004):
+            t.observe("h", value)
+        entry = t.snapshot()["histograms"]["h"]
+        assert entry["count"] == 3
+        assert entry["min_s"] == pytest.approx(0.001)
+        assert entry["max_s"] == pytest.approx(0.004)
+        assert entry["sum_s"] == pytest.approx(0.007)
+        assert sum(entry["buckets"]) == 3
+
+
+class TestSnapshot:
+    def test_schema_stamp(self):
+        assert Telemetry().snapshot()["schema"] == TELEMETRY_SCHEMA
+
+    def test_json_round_trip(self):
+        t = Telemetry()
+        with t.span("s"):
+            t.count("c", 3)
+            t.meter("m", 10, 0.1)
+            t.observe("h", 0.01)
+            t.gauge("g", 2)
+        replayed = json.loads(t.to_json())
+        assert replayed == t.snapshot()
+
+    def test_names_are_sorted(self):
+        t = Telemetry()
+        t.count("zz")
+        t.count("aa")
+        assert list(t.snapshot()["counters"]) == ["aa", "zz"]
+
+
+class TestDisabledState:
+    def test_default_is_null(self):
+        assert current() is NULL
+        assert not current().enabled
+
+    def test_null_span_is_shared_and_inert(self):
+        first = NULL.span("a")
+        second = NULL.span("b")
+        assert first is second  # one shared object: zero allocation
+        with first:
+            pass
+
+    def test_null_instruments_record_nothing(self):
+        NULL.count("c", 5)
+        NULL.gauge("g", 1)
+        NULL.meter("m", 1, 1.0)
+        NULL.observe("h", 0.1)
+        snapshot = NULL.snapshot()
+        assert snapshot["schema"] == TELEMETRY_SCHEMA
+        assert snapshot["counters"] == {}
+        assert snapshot["spans"] == []
+
+    def test_null_has_no_instance_dict(self):
+        assert not hasattr(NullTelemetry(), "__dict__")
+
+    def test_activate_deactivate(self):
+        t = activate()
+        assert current() is t and t.enabled
+        displaced = deactivate()
+        assert displaced is t
+        assert current() is NULL
+
+    def test_collect_restores_on_exit(self):
+        with collect() as t:
+            assert current() is t
+            t.count("x")
+        assert current() is NULL
+
+    def test_collect_restores_on_error(self):
+        with pytest.raises(ValueError):
+            with collect():
+                raise ValueError("boom")
+        assert current() is NULL

@@ -1,0 +1,58 @@
+"""Markdown rendering and the ``--metrics`` writer."""
+
+import io
+import json
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.export import render_markdown, write_metrics
+
+
+def _sample():
+    t = Telemetry()
+    with t.span("outer"):
+        with t.span("inner"):
+            pass
+    t.count("widgets", 7)
+    t.gauge("workers", 2)
+    t.meter("bytes", 4096, 0.5)
+    t.observe("latency", 0.004)
+    return t.snapshot()
+
+
+class TestRenderMarkdown:
+    def test_sections_present(self):
+        text = render_markdown(_sample())
+        for heading in ("# Telemetry", "## Spans", "## Counters",
+                        "## Gauges", "## Meters", "## Histograms"):
+            assert heading in text
+        assert "outer" in text and "inner" in text
+        assert "| widgets | 7 |" in text
+
+    def test_empty_snapshot_renders(self):
+        from repro.telemetry.core import NULL
+
+        text = render_markdown(NULL.snapshot())
+        assert "no telemetry recorded" in text
+
+
+class TestWriteMetrics:
+    def test_json_to_stream(self):
+        stream = io.StringIO()
+        text = write_metrics(_sample(), "json", stream=stream)
+        assert stream.getvalue() == text
+        assert json.loads(text)["counters"]["widgets"] == 7
+
+    def test_md_to_stream(self):
+        stream = io.StringIO()
+        write_metrics(_sample(), "md", stream=stream)
+        assert "## Counters" in stream.getvalue()
+
+    def test_json_path(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics(_sample(), str(path))
+        assert json.loads(path.read_text())["gauges"]["workers"] == 2
+
+    def test_markdown_path(self, tmp_path):
+        path = tmp_path / "metrics.md"
+        write_metrics(_sample(), str(path))
+        assert path.read_text().startswith("# Telemetry")

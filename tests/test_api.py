@@ -1,0 +1,102 @@
+"""The stable ``repro.api`` facade and the package-level lazy exports."""
+
+import pytest
+
+import repro
+import repro.api as api
+
+
+class TestFacadeSurface:
+    def test_all_is_exactly_the_contract(self):
+        assert sorted(api.__all__) == [
+            "Telemetry",
+            "algorithms",
+            "experiment_ids",
+            "open_store",
+            "run_experiment",
+            "sum_file",
+        ]
+
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_package_reexports_are_the_same_objects(self):
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            api.nonexistent_name
+
+    def test_dir_lists_the_contract(self):
+        for name in api.__all__:
+            assert name in dir(api)
+
+
+class TestAlgorithms:
+    def test_returns_conforming_instances(self):
+        from repro.checksums import ChecksumAlgorithm
+
+        algorithms = api.algorithms()
+        assert "internet" in algorithms and "crc32-aal5" in algorithms
+        for name, algorithm in algorithms.items():
+            assert isinstance(algorithm, ChecksumAlgorithm)
+            assert algorithm.width > 0
+
+    def test_sorted_iteration_order(self):
+        names = list(api.algorithms())
+        assert names == sorted(names)
+
+
+class TestSumFile:
+    def test_default_algorithm(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"123456789")
+        from repro.checksums import internet_checksum
+
+        assert api.sum_file(str(path)) == internet_checksum(b"123456789")
+
+    def test_named_algorithm(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"123456789")
+        assert api.sum_file(str(path), "crc32-aal5") == 0xFC891918
+
+
+class TestOpenStore:
+    def test_rooted_run_store(self, tmp_path):
+        store = api.open_store(tmp_path / "store")
+        from repro.store.runner import RunStore
+
+        assert isinstance(store, RunStore)
+        assert store.root == tmp_path / "store"
+
+    def test_algorithm_override(self, tmp_path):
+        store = api.open_store(tmp_path / "store", algorithm="crc32c")
+        assert store.algorithm == "crc32c"
+
+
+class TestRunExperiment:
+    def test_facade_runs_and_caches(self, tmp_path):
+        store = api.open_store(tmp_path / "store")
+        first = api.run_experiment(
+            "table5", cache=store, fs_bytes=60_000, seed=2
+        )
+        second = api.run_experiment(
+            "table5", cache=store, fs_bytes=60_000, seed=2
+        )
+        assert first.text == second.text
+        assert store.results.stats.hits >= 1
+
+    def test_ids_cover_the_paper_tables(self):
+        ids = api.experiment_ids()
+        for table in ("table1", "table5", "figure2", "epd"):
+            assert table in ids
+
+
+class TestTelemetryExport:
+    def test_telemetry_is_the_real_class(self):
+        from repro.telemetry.core import Telemetry
+
+        assert api.Telemetry is Telemetry
+        assert repro.Telemetry is Telemetry

@@ -1,0 +1,97 @@
+"""``--metrics`` plumbing and the bench subcommand, end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.telemetry.core import NULL, current
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_stays_disabled():
+    yield
+    assert current() is NULL  # the CLI must always restore the no-op state
+
+
+class TestMetricsFlag:
+    def test_parses_on_all_simulation_commands(self):
+        parser = build_parser()
+        for argv in (["run", "table5", "--metrics", "json"],
+                     ["report", "--metrics", "md"],
+                     ["splice", "--metrics", "out.json"],
+                     ["chaos", "--metrics", "out.md"]):
+            assert parser.parse_args(argv).metrics == argv[-1]
+
+    def test_absent_by_default(self):
+        assert build_parser().parse_args(["run", "table5"]).metrics is None
+
+    def test_splice_writes_json_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["splice", "--profile", "uniform", "--bytes", "40000",
+                     "--metrics", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["schema"] == "repro-telemetry/1"
+        assert snapshot["counters"]["splice.splices"] > 0
+        assert "splice.splices_rate" in snapshot["meters"]
+        names = [entry["name"] for entry in snapshot["spans"]]
+        assert "experiment.run" in names
+
+    def test_run_emits_markdown_to_stdout(self, capsys):
+        # table1 exercises the instrumented splice engine; distribution
+        # tables (table4-6) do not run it and report empty telemetry.
+        assert main(["run", "table1", "--bytes", "60000", "--seed", "2",
+                     "--metrics", "md"]) == 0
+        out = capsys.readouterr().out
+        assert "# Telemetry" in out and "## Counters" in out
+
+    def test_metrics_off_means_no_registry(self, tmp_path, capsys):
+        assert main(["splice", "--profile", "uniform",
+                     "--bytes", "40000"]) == 0
+        assert current() is NULL
+
+
+class TestWorkerStability:
+    def test_counter_totals_identical_across_workers(self, tmp_path, capsys):
+        """The accounting invariant: counters and meter *amounts* are
+        recorded in the parent from returned shard results, so they are
+        bit-identical whether the sweep ran in-process or on a pool.
+        (Span timings and histogram contents are timing-dependent and
+        deliberately excluded.)
+        """
+        snapshots = {}
+        for workers in (1, 2):
+            path = tmp_path / ("metrics-w%d.json" % workers)
+            argv = ["splice", "--profile", "uniform", "--bytes", "50000",
+                    "--workers", str(workers), "--metrics", str(path)]
+            assert main(argv) == 0
+            snapshots[workers] = json.loads(path.read_text())
+        assert snapshots[1]["counters"] == snapshots[2]["counters"]
+        amounts = {
+            workers: {
+                name: entry["amount"]
+                for name, entry in snapshot["meters"].items()
+            }
+            for workers, snapshot in snapshots.items()
+        }
+        assert amounts[1] == amounts[2]
+
+
+class TestBenchCommand:
+    def test_check_accepts_written_snapshot(self, tmp_path, capsys):
+        from repro.telemetry.bench import write_snapshot
+        from tests.telemetry.test_bench import _payload
+
+        path = write_snapshot(_payload(), tmp_path)
+        assert main(["bench", "--check", str(path)]) == 0
+        assert "schema repro-bench/1 ok" in capsys.readouterr().out
+
+    def test_check_rejects_drift(self, tmp_path, capsys):
+        from tests.telemetry.test_bench import _payload
+
+        payload = _payload()
+        payload["extra"] = True
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        assert main(["bench", "--check", str(path)]) == 1
+        assert "drift" in capsys.readouterr().err
