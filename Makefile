@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench microbench report figures quicktest chaos cache-stats cache-audit clean
+.PHONY: install test bench microbench report figures quicktest chaos cache-stats cache-audit lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,22 @@ cache-stats:
 
 cache-audit:
 	$(PYTHON) -m repro.cli cache audit
+
+# Static analysis: the domain-aware reprolint rules always run; ruff
+# and mypy run only when installed (CI installs them; the hermetic dev
+# container may not have them, and lint must not demand a network).
+lint:
+	$(PYTHON) -m repro.cli lint src
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --config-file pyproject.toml src/repro/checksums src/repro/store src/repro/telemetry; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 figures:
 	$(PYTHON) -m repro.cli run figure2 --bytes 600000 --svg figure2.svg

@@ -41,25 +41,58 @@ __version__ = "1.0.0"
 #: light entry points (the CLI, a warm cache hit) do not pay for the
 #: whole package import graph.  ``from repro import X`` still works.
 _EXPORTS = {
+    # Implementation classes re-exported for power users; everything
+    # else below comes through the stable facade.
     "EngineOptions": "repro.core",
     "FaultPlan": "repro.faults",
-    "PacketizerConfig": "repro.protocols",
-    "RunHealth": "repro.core",
     "RunStore": "repro.store",
     "SpliceEngine": "repro.core",
     "SupervisedPool": "repro.core",
-    "Telemetry": "repro.api",
-    "algorithms": "repro.api",
-    "build_filesystem": "repro.corpus",
-    "experiment_ids": "repro.api",
     "get_algorithm": "repro.checksums",
     "internet_checksum": "repro.checksums",
-    "open_store": "repro.api",
-    "profile_names": "repro.corpus",
-    "run_experiment": "repro.api",
-    "run_splice_experiment": "repro.core",
-    "sum_file": "repro.api",
 }
+
+#: Every facade name (``repro.api.__all__``) re-exports here too, so
+#: ``repro.X is repro.api.X`` holds across the whole contract.
+_FACADE_EXPORTS = (
+    "ChecksumPlacement",
+    "IndependentLoss",
+    "PacketizerConfig",
+    "RunAborted",
+    "RunHealth",
+    "Telemetry",
+    "TransferReport",
+    "activate_telemetry",
+    "algorithm_names",
+    "algorithm_summaries",
+    "algorithms",
+    "audit_run_store",
+    "bench_delta_table",
+    "build_filesystem",
+    "current_telemetry",
+    "deactivate_telemetry",
+    "experiment_ids",
+    "generate_markdown_report",
+    "latest_bench_snapshot",
+    "named_plan",
+    "open_store",
+    "plan_names",
+    "profile_names",
+    "profile_summaries",
+    "run_bench",
+    "run_experiment",
+    "run_splice_experiment",
+    "simulate_file_transfer",
+    "sum_file",
+    "validate_bench_snapshot",
+    "wrap_run_store",
+    "write_bench_snapshot",
+    "write_figure_svg",
+    "write_metrics",
+)
+for _name in _FACADE_EXPORTS:
+    _EXPORTS[_name] = "repro.api"
+del _name
 
 __all__ = ["__version__", *sorted(_EXPORTS)]
 

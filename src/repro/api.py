@@ -1,27 +1,101 @@
 """The stable public API of the ``repro`` package.
 
-Everything a downstream script (or the CLI) needs lives behind the six
-names in ``__all__``; the implementation modules behind them may move
-between releases, this facade will not.  Import either way::
+Everything a downstream script (or the CLI) needs lives behind this
+facade; the implementation modules behind it may move between
+releases, this module will not.  Import either way::
 
     from repro.api import run_experiment, sum_file
     from repro import run_experiment            # same objects, lazily
 
-Each function imports its implementation on first call, so importing
-:mod:`repro.api` costs nothing beyond the interpreter seeing this file
--- the CLI's ``--help`` and a warm cache hit stay fast.
+Each function imports its implementation on first call, and the names
+in :data:`_LAZY` resolve on first attribute access (PEP 562), so
+importing :mod:`repro.api` costs nothing beyond the interpreter seeing
+this file -- the CLI's ``--help`` and a warm cache hit stay fast.
+reprolint rules REP301 (the CLI imports only this facade) and REP303
+(no eager engine imports on cold paths) enforce both halves of that
+contract.
 """
 
 from __future__ import annotations
 
+import importlib
+
 __all__ = [
+    # run / store / algorithm entry points
     "Telemetry",
+    "algorithm_names",
+    "algorithm_summaries",
     "algorithms",
     "experiment_ids",
     "open_store",
     "run_experiment",
     "sum_file",
+    # corpus / profiles
+    "build_filesystem",
+    "profile_names",
+    "profile_summaries",
+    # splice runs and their configuration
+    "ChecksumPlacement",
+    "PacketizerConfig",
+    "RunAborted",
+    "RunHealth",
+    "run_splice_experiment",
+    # transfer simulation
+    "IndependentLoss",
+    "TransferReport",
+    "simulate_file_transfer",
+    # store maintenance
+    "audit_run_store",
+    # fault injection / chaos
+    "named_plan",
+    "plan_names",
+    "wrap_run_store",
+    # reporting and rendering
+    "generate_markdown_report",
+    "write_figure_svg",
+    # telemetry and bench
+    "activate_telemetry",
+    "bench_delta_table",
+    "current_telemetry",
+    "deactivate_telemetry",
+    "latest_bench_snapshot",
+    "run_bench",
+    "validate_bench_snapshot",
+    "write_bench_snapshot",
+    "write_metrics",
 ]
+
+#: Facade name -> ``(module, attribute)``, resolved lazily so the
+#: import bill of each subsystem is paid only by callers that use it.
+_LAZY = {
+    "ChecksumPlacement": ("repro.protocols.packetizer", "ChecksumPlacement"),
+    "IndependentLoss": ("repro.protocols.cellstream", "IndependentLoss"),
+    "PacketizerConfig": ("repro.protocols.packetizer", "PacketizerConfig"),
+    "RunAborted": ("repro.core.supervisor", "RunAborted"),
+    "RunHealth": ("repro.core.supervisor", "RunHealth"),
+    "Telemetry": ("repro.telemetry.core", "Telemetry"),
+    "TransferReport": ("repro.sim.transfer", "TransferReport"),
+    "activate_telemetry": ("repro.telemetry.core", "activate"),
+    "audit_run_store": ("repro.store.audit", "audit_run_store"),
+    "bench_delta_table": ("repro.telemetry.bench", "delta_table"),
+    "build_filesystem": ("repro.corpus.profiles", "build_filesystem"),
+    "current_telemetry": ("repro.telemetry.core", "current"),
+    "deactivate_telemetry": ("repro.telemetry.core", "deactivate"),
+    "generate_markdown_report": (
+        "repro.experiments.markdown", "generate_markdown_report"),
+    "latest_bench_snapshot": ("repro.telemetry.bench", "latest_snapshot"),
+    "named_plan": ("repro.faults.plan", "named_plan"),
+    "plan_names": ("repro.faults.plan", "plan_names"),
+    "run_bench": ("repro.telemetry.bench", "run_bench"),
+    "run_splice_experiment": (
+        "repro.core.experiment", "run_splice_experiment"),
+    "simulate_file_transfer": ("repro.sim.transfer", "simulate_file_transfer"),
+    "validate_bench_snapshot": ("repro.telemetry.bench", "validate_snapshot"),
+    "wrap_run_store": ("repro.faults.injector", "wrap_run_store"),
+    "write_bench_snapshot": ("repro.telemetry.bench", "write_snapshot"),
+    "write_figure_svg": ("repro.experiments.svg", "write_figure_svg"),
+    "write_metrics": ("repro.telemetry.export", "write_metrics"),
+}
 
 
 def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs):
@@ -57,6 +131,44 @@ def algorithms():
     return {name: get_algorithm(name) for name in available_algorithms()}
 
 
+def algorithm_names():
+    """Sorted names of every registered check code."""
+    from repro.checksums.registry import available_algorithms
+
+    return available_algorithms()
+
+
+def algorithm_summaries():
+    """``[(name, width_bits, kind), ...]`` sorted by name.
+
+    ``kind`` is ``"CRC"`` or ``"checksum"`` -- what the ``algorithms``
+    CLI listing shows.
+    """
+    from repro.checksums.crc import CRCEngine
+    from repro.checksums.registry import available_algorithms, get_algorithm
+
+    summaries = []
+    for name in available_algorithms():
+        algorithm = get_algorithm(name)
+        kind = "CRC" if isinstance(algorithm, CRCEngine) else "checksum"
+        summaries.append((name, algorithm.width, kind))
+    return summaries
+
+
+def profile_names():
+    """Names of the synthetic filesystem profiles."""
+    from repro.corpus.profiles import profile_names as _names
+
+    return _names()
+
+
+def profile_summaries():
+    """``[(name, description), ...]`` for the synthetic profiles."""
+    from repro.corpus.profiles import PROFILES, profile_names
+
+    return [(name, PROFILES[name].description) for name in profile_names()]
+
+
 def sum_file(path, algorithm="internet"):
     """The check value of the file at ``path`` as an ``int``."""
     from repro.checksums.registry import get_algorithm
@@ -81,12 +193,15 @@ def open_store(root=None, algorithm=None):
 
 
 def __getattr__(name):
-    if name == "Telemetry":
-        from repro.telemetry.core import Telemetry
-
-        globals()["Telemetry"] = Telemetry
-        return Telemetry
-    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        ) from None
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value
+    return value
 
 
 def __dir__():

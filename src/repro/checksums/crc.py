@@ -104,13 +104,13 @@ class CRCEngine:
     :class:`ZeroFeedOperator`.
     """
 
-    def __init__(self, spec):
+    def __init__(self, spec: CRCSpec) -> None:
         self.spec = spec
-        self.mask = (1 << spec.width) - 1
-        self.name = spec.name
-        self.width = spec.width
+        self.mask: int = (1 << spec.width) - 1
+        self.name: str = spec.name
+        self.width: int = spec.width
         #: Legacy alias of :attr:`width` (pre-protocol name).
-        self.bits = spec.width
+        self.bits: int = spec.width
         self._table = self._build_table()
         self._table_np = np.asarray(self._table, dtype=np.uint32)
         self._zero_ops = {}
@@ -175,7 +175,7 @@ class CRCEngine:
 
     # -- conventional API ----------------------------------------------------
 
-    def compute(self, data):
+    def compute(self, data) -> int:
         """The CRC value of ``data``."""
         return self.finalize(self.process(self.register_init, data))
 
@@ -209,7 +209,7 @@ class CRCEngine:
                 reg &= self.mask
         return reg
 
-    def field(self, data):
+    def field(self, data) -> bytes:
         """The CRC bytes to append to ``data`` (spec wire order).
 
         ``data + field(data)`` streams to a message-independent residue
@@ -226,7 +226,7 @@ class CRCEngine:
         reg = self._feed_zero_bits(reg, pad)
         return self.finalize(reg).to_bytes(width_bytes, self._wire_order)
 
-    def verify(self, data, stored=_UNSET):
+    def verify(self, data, stored=_UNSET) -> bool:
         """True if ``data`` (trailing CRC bytes included) validates.
 
         Streams the whole frame and compares the register against the

@@ -39,11 +39,18 @@ class _SuffixCode:
     ``compute(data)`` directly instead.
     """
 
-    def field(self, data):
+    #: Provided by subclasses (declared here for the type checker).
+    width: int
+    name: str
+
+    def compute(self, data) -> int:  # pragma: no cover - subclass hook
+        raise NotImplementedError
+
+    def field(self, data) -> bytes:
         """Bytes to append to ``data`` so the framed whole verifies."""
         return self.compute(data).to_bytes(self.width // 8, "big")
 
-    def verify(self, data, stored=_UNSET):
+    def verify(self, data, stored=_UNSET) -> bool:
         """True if ``data`` (trailing check field included) validates."""
         if stored is not _UNSET:
             warnings.warn(
@@ -86,17 +93,17 @@ def fletcher16(data, modulus=65535):
 class Fletcher16(_SuffixCode):
     """Object API for the 32-bit Fletcher checksum."""
 
-    width = 32
+    width: int = 32
     #: Legacy alias of :attr:`width` (pre-protocol name).
-    bits = 32
+    bits: int = 32
 
-    def __init__(self, modulus=65535):
+    def __init__(self, modulus: int = 65535) -> None:
         if modulus not in (65535, 65536):
             raise ValueError("Fletcher-16 modulus must be 65535 or 65536")
         self.modulus = modulus
         self.name = "fletcher16-%d" % modulus
 
-    def compute(self, data):
+    def compute(self, data) -> int:
         sums = fletcher16(data, self.modulus)
         return (sums.b << 16) | sums.a
 
@@ -119,12 +126,12 @@ def adler32(data):
 class Adler32(_SuffixCode):
     """Object API for Adler-32."""
 
-    width = 32
+    width: int = 32
     #: Legacy alias of :attr:`width` (pre-protocol name).
-    bits = 32
-    name = "adler32"
+    bits: int = 32
+    name: str = "adler32"
 
-    def compute(self, data):
+    def compute(self, data) -> int:
         return adler32(data)
 
 
@@ -146,10 +153,10 @@ def xor16(data):
 class Xor16(_SuffixCode):
     """Object API for the XOR parity word."""
 
-    width = 16
+    width: int = 16
     #: Legacy alias of :attr:`width` (pre-protocol name).
-    bits = 16
-    name = "xor16"
+    bits: int = 16
+    name: str = "xor16"
 
-    def compute(self, data):
+    def compute(self, data) -> int:
         return xor16(data)

@@ -124,17 +124,17 @@ class Fletcher8:
     :class:`~repro.checksums.registry.ChecksumAlgorithm` protocol.
     """
 
-    width = 16
+    width: int = 16
     #: Legacy alias of :attr:`width` (pre-protocol name).
-    bits = 16
+    bits: int = 16
 
-    def __init__(self, modulus=255):
+    def __init__(self, modulus: int = 255) -> None:
         if modulus not in (255, 256):
             raise ValueError("Fletcher modulus must be 255 or 256")
         self.modulus = modulus
         self.name = "fletcher%d" % modulus
 
-    def compute(self, data):
+    def compute(self, data) -> int:
         """The packed 16-bit checksum ``(B << 8) | A`` of ``data``."""
         return fletcher8(data, self.modulus).packed()
 
@@ -154,7 +154,7 @@ class Fletcher8:
         distance = len(buf) - (field_offset + 2)
         return fletcher_check_bytes(sums, distance, self.modulus)
 
-    def field(self, data):
+    def field(self, data) -> bytes:
         """The two check bytes to *append* to ``data``.
 
         Solves the trailing-pair case of :meth:`check_bytes`:
@@ -164,7 +164,7 @@ class Fletcher8:
         x, y = self.check_bytes(bytes(data) + b"\x00\x00", len(data))
         return bytes((x, y))
 
-    def verify(self, data):
+    def verify(self, data) -> bool:
         """True if ``data`` (with embedded check bytes) sums to zero."""
         sums = fletcher8(data, self.modulus)
         return sums.a == 0 and sums.b == 0

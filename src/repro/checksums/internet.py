@@ -124,16 +124,16 @@ class InternetChecksum:
     the vectorized ``cell_sums`` used by the splice engine.
     """
 
-    name = "internet"
-    width = 16
+    name: str = "internet"
+    width: int = 16
     #: Legacy alias of :attr:`width` (pre-protocol name).
-    bits = 16
+    bits: int = 16
 
-    def compute(self, data):
+    def compute(self, data) -> int:
         """16-bit ones-complement sum of ``data``."""
         return ones_complement_sum(data)
 
-    def field(self, data):
+    def field(self, data) -> bytes:
         """Check-field bytes to append to ``data`` (RFC 1071).
 
         The sum is position-independent only across *even* byte
@@ -145,7 +145,7 @@ class InternetChecksum:
         value = internet_checksum_field(data)
         return value.to_bytes(2, "big" if len(bytes(data)) % 2 == 0 else "little")
 
-    def verify(self, data):
+    def verify(self, data) -> bool:
         """True if ``data`` (including its stored field) sums to 0xFFFF."""
         return ones_complement_sum(data) == MOD_MASK
 

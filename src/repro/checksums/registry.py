@@ -31,7 +31,7 @@ attribute) still work but the two-argument ``verify`` raises a
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Callable, Dict, List, Protocol, Union, runtime_checkable
 
 from repro.checksums.crc import (
     CRC10_ATM,
@@ -45,7 +45,16 @@ from repro.checksums.extra import Adler32, Fletcher16, Xor16
 from repro.checksums.fletcher import Fletcher8
 from repro.checksums.internet import InternetChecksum
 
-__all__ = ["ChecksumAlgorithm", "available_algorithms", "get_algorithm"]
+__all__ = [
+    "ByteSource",
+    "ChecksumAlgorithm",
+    "available_algorithms",
+    "get_algorithm",
+]
+
+#: Anything the engines accept as message bytes.  ``memoryview`` is the
+#: splice engine's native currency (zero-copy windows over the corpus).
+ByteSource = Union[bytes, bytearray, memoryview]
 
 
 @runtime_checkable
@@ -55,25 +64,30 @@ class ChecksumAlgorithm(Protocol):
     ``runtime_checkable`` so ``isinstance(x, ChecksumAlgorithm)``
     verifies structural conformance (methods/attributes present; it
     cannot check signatures -- the conformance tests do that).
+
+    ``compute`` returns a value already reduced modulo the code, i.e.
+    ``0 <= compute(data) < (1 << width)``; engines that keep a wider
+    accumulator mask with ``(1 << width) - 1`` before returning (the
+    REP501 lint rule checks the literal masks statically).
     """
 
     name: str
     width: int
 
-    def compute(self, data) -> int:
-        """The check value of ``data``."""
+    def compute(self, data: ByteSource) -> int:
+        """The check value of ``data`` (``< 1 << width``)."""
         ...  # pragma: no cover - protocol stub
 
-    def field(self, data) -> bytes:
+    def field(self, data: ByteSource) -> bytes:
         """Bytes to append to ``data`` so the framed whole verifies."""
         ...  # pragma: no cover - protocol stub
 
-    def verify(self, data) -> bool:
+    def verify(self, data: ByteSource) -> bool:
         """True if ``data`` (check field included) validates."""
         ...  # pragma: no cover - protocol stub
 
 
-_FACTORIES = {
+_FACTORIES: Dict[str, Callable[[], ChecksumAlgorithm]] = {
     "internet": InternetChecksum,
     "tcp": InternetChecksum,
     "fletcher255": lambda: Fletcher8(255),
@@ -89,15 +103,15 @@ _FACTORIES = {
     "crc32c": lambda: CRCEngine(CRC32C),
 }
 
-_INSTANCES = {}
+_INSTANCES: Dict[str, ChecksumAlgorithm] = {}
 
 
-def available_algorithms():
+def available_algorithms() -> List[str]:
     """Sorted names of every registered algorithm."""
     return sorted(_FACTORIES)
 
 
-def get_algorithm(name):
+def get_algorithm(name: str) -> ChecksumAlgorithm:
     """Return the (cached) algorithm instance registered under ``name``."""
     key = name.lower()
     if key not in _FACTORIES:

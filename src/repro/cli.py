@@ -21,6 +21,9 @@ Subcommands:
 * ``bench`` -- run the fixed benchmark workload matrix (algorithms x
   placements x corpus sizes) and write a schema-versioned
   ``BENCH_<n>.json`` snapshot plus a delta table vs the previous one.
+* ``lint`` -- run reprolint, the domain-aware static analysis that
+  enforces the repo's determinism/concurrency/layering/crash-
+  consistency invariants (``--format json|md``, ``--fix-baseline``).
 
 ``run``/``report``/``splice``/``chaos`` accept ``--metrics DEST``:
 telemetry (span timings, counters, throughput meters, latency
@@ -31,6 +34,13 @@ Flags shared between subcommands (``--bytes``/``--seed``,
 ``--workers``, ``--cache``/``--cache-dir``, ``--metrics``) are defined
 once as argparse *parent* parsers -- per-subcommand defaults differ,
 so the builders below take the defaults as parameters.
+
+Layering contract (enforced by reprolint REP301): this module imports
+project code only through the stable :mod:`repro.api` facade -- plus
+:mod:`repro.lint`, the tooling layer above the domain code.  Only what
+building the parser itself needs (subcommand ``choices``) is imported
+eagerly; everything else loads inside its handler so a warm
+``--cache`` hit never imports the splice engine (REP303).
 """
 
 from __future__ import annotations
@@ -38,17 +48,20 @@ from __future__ import annotations
 import argparse
 import sys
 
-# Only what building the parser itself needs (subcommand ``choices``)
-# is imported eagerly, and only through package-level or facade names;
-# experiment/engine modules load inside their handlers so a warm
-# ``--cache`` hit never imports the splice engine.  ``repro.api`` and
-# ``core.supervisor`` are import-cheap by design.
-from repro.api import experiment_ids, open_store, run_experiment, sum_file
-from repro.checksums import available_algorithms, get_algorithm
-from repro.core.supervisor import RunAborted
-from repro.corpus import PROFILES, build_filesystem, profile_names
-from repro.faults import plan_names
-from repro.protocols import ChecksumPlacement, PacketizerConfig
+from repro.api import (
+    algorithm_names,
+    experiment_ids,
+    open_store,
+    plan_names,
+    profile_names,
+    run_experiment,
+    sum_file,
+)
+
+#: ``[p.value for p in ChecksumPlacement]``, spelled literally so parser
+#: construction does not import the packetizer (and with it numpy) on
+#: every CLI start-up; ``tests/test_cli.py`` pins the equivalence.
+_PLACEMENT_CHOICES = ("header", "trailer")
 
 __all__ = ["build_parser", "main"]
 
@@ -118,7 +131,7 @@ def build_parser():
     p_sum = sub.add_parser("sum", help="checksum one or more files")
     p_sum.add_argument("files", nargs="+")
     p_sum.add_argument("--algorithm", "-a", default="internet",
-                       choices=available_algorithms())
+                       choices=algorithm_names())
 
     p_run = sub.add_parser(
         "run", help="regenerate a paper table or figure",
@@ -149,7 +162,7 @@ def build_parser():
     p_splice.add_argument("--algorithm", default="tcp",
                           choices=["tcp", "fletcher255", "fletcher256"])
     p_splice.add_argument("--placement", default="header",
-                          choices=[p.value for p in ChecksumPlacement])
+                          choices=list(_PLACEMENT_CHOICES))
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain the artifact store"
@@ -203,6 +216,29 @@ def build_parser():
     p_bench.add_argument("--check", metavar="PATH", default=None,
                          help="validate an existing snapshot against the "
                               "bench schema and exit (CI drift gate)")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo's domain-aware static analysis",
+    )
+    p_lint.add_argument("paths", nargs="*", default=None,
+                        help="source roots to scan (default: ./src if it "
+                             "exists, else .)")
+    p_lint.add_argument("--format", dest="fmt", default="text",
+                        choices=["text", "json", "md"],
+                        help="report format (default: text)")
+    p_lint.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline file (default: "
+                             ".reprolint-baseline.json if present)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="ignore the committed baseline")
+    p_lint.add_argument("--fix-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    p_lint.add_argument("--rules", metavar="IDS", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
     return parser
 
 
@@ -214,25 +250,28 @@ def _make_store(args):
 
 
 def _cmd_algorithms():
-    from repro.checksums import CRCEngine
+    from repro.api import algorithm_summaries
 
-    for name in available_algorithms():
-        algorithm = get_algorithm(name)
-        kind = "CRC" if isinstance(algorithm, CRCEngine) else "checksum"
-        print("%-14s %2d-bit %s" % (name, algorithm.width, kind))
+    for name, width, kind in algorithm_summaries():
+        print("%-14s %2d-bit %s" % (name, width, kind))
     return 0
 
 
 def _cmd_profiles():
-    for name in profile_names():
-        profile = PROFILES[name]
-        print("%-22s %s" % (name, profile.description))
+    from repro.api import profile_summaries
+
+    for name, description in profile_summaries():
+        print("%-22s %s" % (name, description))
     return 0
 
 
 def _cmd_sum(args):
-    algorithm = get_algorithm(args.algorithm)
-    hex_digits = (algorithm.width + 3) // 4
+    from repro.api import algorithm_summaries
+
+    width = dict(
+        (name, bits) for name, bits, _ in algorithm_summaries()
+    )[args.algorithm]
+    hex_digits = (width + 3) // 4
     for path in args.files:
         print("%0*x  %s" % (hex_digits, sum_file(path, args.algorithm), path))
     return 0
@@ -249,7 +288,7 @@ def _cmd_run(args):
     )
     print(report)
     if args.svg:
-        from repro.experiments.svg import write_figure_svg
+        from repro.api import write_figure_svg
 
         write_figure_svg(report, args.svg)
         print("\nSVG written to %s" % args.svg)
@@ -257,7 +296,7 @@ def _cmd_run(args):
 
 
 def _cmd_report(args):
-    from repro.experiments.markdown import generate_markdown_report
+    from repro.api import generate_markdown_report
 
     document = generate_markdown_report(
         experiment_ids=args.only,
@@ -273,7 +312,12 @@ def _cmd_report(args):
 
 
 def _cmd_splice(args):
-    from repro.core.experiment import run_splice_experiment
+    from repro.api import (
+        ChecksumPlacement,
+        PacketizerConfig,
+        build_filesystem,
+        run_splice_experiment,
+    )
 
     config = PacketizerConfig(
         mss=args.mss,
@@ -302,7 +346,7 @@ def _cmd_splice(args):
 
 
 def _cmd_cache(args):
-    from repro.store.audit import audit_run_store
+    from repro.api import audit_run_store
 
     store = open_store(args.cache_dir)
     if args.cache_command == "stats":
@@ -347,10 +391,14 @@ def _cmd_chaos(args):
     import tempfile
     from pathlib import Path
 
-    from repro.core.experiment import run_splice_experiment
-    from repro.core.supervisor import RunHealth
-    from repro.faults.injector import wrap_run_store
-    from repro.faults.plan import named_plan
+    from repro.api import (
+        PacketizerConfig,
+        RunHealth,
+        build_filesystem,
+        named_plan,
+        run_splice_experiment,
+        wrap_run_store,
+    )
 
     fs = build_filesystem(args.profile, args.bytes, args.seed)
     config = PacketizerConfig(mss=args.mss)
@@ -401,8 +449,7 @@ def _cmd_chaos(args):
 
 
 def _cmd_transfer(args):
-    from repro.protocols.cellstream import IndependentLoss
-    from repro.sim import simulate_file_transfer
+    from repro.api import IndependentLoss, build_filesystem, simulate_file_transfer
 
     fs = build_filesystem(args.profile, args.bytes, args.seed)
     report = None
@@ -425,19 +472,19 @@ def _cmd_transfer(args):
 def _cmd_bench(args):
     import json
 
-    from repro.telemetry.bench import (
-        delta_table,
-        latest_snapshot,
+    from repro.api import (
+        bench_delta_table,
+        latest_bench_snapshot,
         run_bench,
-        validate_snapshot,
-        write_snapshot,
+        validate_bench_snapshot,
+        write_bench_snapshot,
     )
 
     if args.check:
         with open(args.check, encoding="utf-8") as handle:
             payload = json.load(handle)
         try:
-            validate_snapshot(payload)
+            validate_bench_snapshot(payload)
         except ValueError as exc:
             print("repro-checksums: bench schema drift in %s: %s"
                   % (args.check, exc), file=sys.stderr)
@@ -447,20 +494,75 @@ def _cmd_bench(args):
             len(payload["algorithms"]), len(payload["engine"])))
         return 0
 
-    previous, previous_path = latest_snapshot(args.out)
+    previous, previous_path = latest_bench_snapshot(args.out)
     payload = run_bench(quick=args.quick)
-    path = write_snapshot(payload, args.out)
+    path = write_bench_snapshot(payload, args.out)
     print("wrote %s (schema %s, %s matrix)" % (
         path, payload["schema"], "quick" if args.quick else "full"))
     print("")
-    print(delta_table(previous, payload))
+    print(bench_delta_table(previous, payload))
     if previous_path is not None:
         print("\n(delta vs %s)" % previous_path)
     return 0
 
 
+def _cmd_lint(args):
+    from pathlib import Path
+
+    from repro.lint import (
+        all_rules,
+        load_baseline,
+        render_json,
+        render_markdown,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+    from repro.lint.config import DEFAULT_BASELINE_NAME
+
+    if args.list_rules:
+        for rule in all_rules():
+            print("%s %-32s %-8s %s" % (
+                rule.id, rule.title, rule.severity, rule.invariant))
+        return 0
+
+    paths = list(args.paths or [])
+    if not paths:
+        paths = ["src"] if Path("src").is_dir() else ["."]
+
+    baseline_path = Path(args.baseline or DEFAULT_BASELINE_NAME)
+    fingerprints = set()
+    if not args.no_baseline and not args.fix_baseline:
+        try:
+            fingerprints = load_baseline(baseline_path)
+        except ValueError as exc:
+            print("repro-checksums: %s" % exc, file=sys.stderr)
+            return 2
+
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+
+    try:
+        result = run_lint(paths, rules=rules, baseline=fingerprints)
+    except KeyError as exc:
+        print("repro-checksums: %s" % exc.args[0], file=sys.stderr)
+        return 2
+
+    if args.fix_baseline:
+        count = write_baseline(result.findings, baseline_path)
+        print("baseline rewritten: %d finding(s) recorded in %s" % (
+            count, baseline_path))
+        return 0
+
+    renderer = {"text": render_text, "json": render_json,
+                "md": render_markdown}[args.fmt]
+    print(renderer(result))
+    return result.exit_code
+
+
 def _merge_reports(a, b):
-    from repro.sim import TransferReport
+    from repro.api import TransferReport
 
     merged = TransferReport()
     for name in merged.__dataclass_fields__:
@@ -477,6 +579,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "sum": _cmd_sum,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 
@@ -493,27 +596,30 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     metrics_dest = getattr(args, "metrics", None)
     if metrics_dest:
-        from repro.telemetry.core import activate
+        from repro.api import activate_telemetry
 
-        activate()
+        activate_telemetry()
     try:
         code = _dispatch(args)
         if metrics_dest:
-            from repro.telemetry.core import current
-            from repro.telemetry.export import write_metrics
+            from repro.api import current_telemetry, write_metrics
 
-            write_metrics(current().snapshot(), metrics_dest)
+            write_metrics(current_telemetry().snapshot(), metrics_dest)
         return code
-    except RunAborted as exc:
-        # Every rung of the degradation ladder failed: one line, no
-        # traceback — the diagnostic is the message.
-        print("repro-checksums: run aborted: %s" % exc, file=sys.stderr)
-        return 2
+    except Exception as exc:
+        from repro.api import RunAborted
+
+        if isinstance(exc, RunAborted):
+            # Every rung of the degradation ladder failed: one line, no
+            # traceback — the diagnostic is the message.
+            print("repro-checksums: run aborted: %s" % exc, file=sys.stderr)
+            return 2
+        raise
     finally:
         if metrics_dest:
-            from repro.telemetry.core import deactivate
+            from repro.api import deactivate_telemetry
 
-            deactivate()
+            deactivate_telemetry()
 
 
 if __name__ == "__main__":

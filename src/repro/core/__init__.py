@@ -14,35 +14,54 @@ checksum -- exactly the paper's methodology.
 - :mod:`repro.core.experiment` -- drives an engine over a filesystem.
 - :mod:`repro.core.supervisor` -- fault-surviving pool execution and
   the :class:`RunHealth` record experiments attach to their reports.
+
+Exports resolve lazily (PEP 562), mirroring the top-level package:
+importing :mod:`repro.core` -- which happens whenever *any* submodule
+is imported, including the import-cheap :mod:`repro.core.supervisor`
+and :mod:`repro.core.results` that the CLI and the store rely on --
+must not drag in the vectorized engine and numpy.  Cold entry points
+(a warm ``--cache`` hit, ``--help``) stay fast; reprolint rule REP303
+enforces this discipline.
 """
 
-from repro.core.enumeration import (
-    SpliceEnumeration,
-    enumerate_splices,
-    splice_count,
-    structural_splice_count,
-)
-from repro.core.engine import EngineOptions, SpliceEngine
-from repro.core.experiment import (
-    SpliceExperimentResult,
-    run_per_file_experiment,
-    run_splice_experiment,
-)
-from repro.core.results import SpliceCounters
-from repro.core.supervisor import RunAborted, RunHealth, SupervisedPool
+from __future__ import annotations
 
-__all__ = [
-    "EngineOptions",
-    "RunAborted",
-    "RunHealth",
-    "SpliceCounters",
-    "SpliceEngine",
-    "SpliceEnumeration",
-    "SpliceExperimentResult",
-    "SupervisedPool",
-    "enumerate_splices",
-    "run_per_file_experiment",
-    "run_splice_experiment",
-    "splice_count",
-    "structural_splice_count",
-]
+import importlib
+
+#: Public name -> defining submodule, resolved on first attribute use.
+_EXPORTS = {
+    "EngineOptions": "repro.core.engine",
+    "RunAborted": "repro.core.supervisor",
+    "RunHealth": "repro.core.supervisor",
+    "SpliceCounters": "repro.core.results",
+    "SpliceEngine": "repro.core.engine",
+    "SpliceEnumeration": "repro.core.enumeration",
+    "SpliceExperimentResult": "repro.core.experiment",
+    "SupervisedPool": "repro.core.supervisor",
+    "enumerate_splices": "repro.core.enumeration",
+    "run_per_file_experiment": "repro.core.experiment",
+    "run_splice_experiment": "repro.core.experiment",
+    "splice_count": "repro.core.enumeration",
+    "structural_splice_count": "repro.core.enumeration",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        # ``from repro.core import reference`` style submodule access.
+        try:
+            return importlib.import_module("%s.%s" % (__name__, name))
+        except ModuleNotFoundError:
+            raise AttributeError(
+                "module %r has no attribute %r" % (__name__, name)
+            ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: resolve each name at most once
+    return value
+
+
+def __dir__():
+    return sorted({*globals(), *_EXPORTS})

@@ -1,0 +1,80 @@
+"""The committed lint baseline: legacy findings that do not fail CI.
+
+A baseline entry is a fingerprint (rule + file + source line text +
+occurrence index -- deliberately *not* the line number, so unrelated
+edits above a finding do not un-baseline it).  ``repro-checksums lint
+--fix-baseline`` rewrites the file from the current findings;
+anything not in the file fails the run.
+
+The file is JSON so diffs review well; entries carry the location at
+capture time purely as a human aid.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "apply_baseline",
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+def fingerprint_findings(findings):
+    """``fingerprint -> finding`` with per-duplicate occurrence counts."""
+    counts = {}
+    result = {}
+    for finding in sorted(findings, key=lambda f: f.sort_key()):
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        result[finding.fingerprint(occurrence)] = finding
+    return result
+
+
+def write_baseline(findings, path):
+    """Write ``findings`` as the new baseline at ``path``."""
+    entries = {
+        fingerprint: {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for fingerprint, finding in fingerprint_findings(findings).items()
+    }
+    payload = {"schema": BASELINE_SCHEMA, "findings": entries}
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    Path(path).write_text(text, encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path):
+    """The fingerprint set at ``path`` (empty if the file is absent)."""
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    schema = payload.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise ValueError(
+            "unsupported baseline schema %r (expected %r)"
+            % (schema, BASELINE_SCHEMA)
+        )
+    return set(payload.get("findings", {}))
+
+
+def apply_baseline(findings, fingerprints):
+    """Mark findings whose fingerprint is baselined; returns the count."""
+    matched = 0
+    for fingerprint, finding in fingerprint_findings(findings).items():
+        if fingerprint in fingerprints:
+            finding.baselined = True
+            matched += 1
+    return matched

@@ -1,0 +1,162 @@
+"""Policy knobs for the lint engine.
+
+The defaults encode *this repository's* layering and determinism
+contracts.  Tests exercise rules against synthetic trees by building
+fixture packages with the same dotted layout (``repro/core/...``), or
+by overriding individual fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["DEFAULT_BASELINE_NAME", "LintConfig"]
+
+#: Conventional baseline filename, committed at the repo root.
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+
+def _tuple(*items):
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything rule behaviour keys off, in one frozen record."""
+
+    # -- determinism (REP101/REP102/REP103) ----------------------------
+
+    #: Packages whose import-time or result-path code must be seeded:
+    #: any module whose dotted name starts with one of these prefixes.
+    deterministic_prefixes: tuple = field(default_factory=lambda: _tuple(
+        "repro.core", "repro.analysis", "repro.experiments",
+        "repro.corpus", "repro.protocols", "repro.checksums",
+        "repro.sim", "repro.faults", "repro.store", "repro.telemetry",
+    ))
+
+    #: Function-name shapes treated as serialization/report producers
+    #: for the unsorted-iteration rule (REP103).
+    serialization_prefixes: tuple = field(default_factory=lambda: _tuple(
+        "to_", "render", "write_", "dump", "export",
+    ))
+    serialization_names: tuple = field(default_factory=lambda: _tuple(
+        "snapshot", "stats", "summary",
+    ))
+
+    # -- concurrency (REP201/REP202) -----------------------------------
+
+    #: Constructors whose first argument runs in worker processes.
+    pool_constructors: tuple = field(default_factory=lambda: _tuple(
+        "SupervisedPool", "ProcessPoolExecutor",
+    ))
+
+    # -- layering (REP301/REP302/REP303) -------------------------------
+
+    #: Modules held to the facade-only import rule.
+    cli_modules: tuple = field(default_factory=lambda: _tuple("repro.cli"))
+    #: What those modules may import from the project (everything else
+    #: must go through the facade).  ``repro.lint`` is dev tooling
+    #: layered *above* the domain code, so it is reachable directly.
+    cli_allowed_prefixes: tuple = field(default_factory=lambda: _tuple(
+        "repro.api", "repro.lint",
+    ))
+
+    #: The bottom layer: may import nothing else from the project.
+    pure_layer_prefixes: tuple = field(default_factory=lambda: _tuple(
+        "repro.checksums",
+    ))
+
+    #: Cold-path modules: importable on a warm ``--cache`` hit, so they
+    #: must not eagerly import the splice engine (PR 1's 10-20x
+    #: warm-start win).  Exact names match only themselves; prefixes
+    #: match their whole subtree.
+    cold_modules_exact: tuple = field(default_factory=lambda: _tuple(
+        "repro", "repro.core", "repro.experiments",
+        "repro.experiments.registry", "repro.experiments.report",
+        "repro.experiments.render",
+    ))
+    cold_prefixes: tuple = field(default_factory=lambda: _tuple(
+        "repro.api", "repro.cli", "repro.checksums", "repro.store",
+        "repro.telemetry", "repro.corpus", "repro.faults", "repro.lint",
+    ))
+
+    #: Hot modules a cold module must not import at module scope.
+    hot_module_prefixes: tuple = field(default_factory=lambda: _tuple(
+        "repro.core.engine", "repro.core.experiment", "repro.sim",
+        "repro.experiments.splice_tables", "repro.experiments.figures",
+        "repro.experiments.ablations", "repro.experiments.extensions",
+    ))
+    #: Names that resolve to hot modules when imported off a lazy
+    #: package (``from repro.core import SpliceEngine`` pays for the
+    #: engine even though ``repro.core`` itself is cheap).
+    hot_attribute_names: tuple = field(default_factory=lambda: _tuple(
+        "SpliceEngine", "EngineOptions", "SpliceExperimentResult",
+        "run_splice_experiment", "run_per_file_experiment",
+        "simulate_file_transfer", "TransferReport",
+    ))
+    #: Lazy packages whose attributes may be hot (PEP 562 facades).
+    lazy_packages: tuple = field(default_factory=lambda: _tuple(
+        "repro", "repro.core",
+    ))
+
+    # -- crash consistency (REP401) ------------------------------------
+
+    #: Packages whose renames must be fsync-ordered.
+    store_prefixes: tuple = field(default_factory=lambda: _tuple(
+        "repro.store",
+    ))
+
+    # -- protocol conformance (REP501) ---------------------------------
+
+    #: Modules holding a ``_FACTORIES`` algorithm registry.
+    registry_modules: tuple = field(default_factory=lambda: _tuple(
+        "repro.checksums.registry",
+    ))
+    #: Members every registered algorithm class must define.
+    protocol_methods: tuple = field(default_factory=lambda: _tuple(
+        "compute", "field", "verify",
+    ))
+    protocol_attributes: tuple = field(default_factory=lambda: _tuple(
+        "width", "name",
+    ))
+
+    # -- helpers -------------------------------------------------------
+
+    def replace(self, **overrides):
+        """A copy with ``overrides`` applied (tests use this)."""
+        return replace(self, **overrides)
+
+    def is_deterministic(self, module):
+        return _prefixed(module, self.deterministic_prefixes)
+
+    def is_cli(self, module):
+        return module in self.cli_modules
+
+    def is_pure_layer(self, module):
+        return _prefixed(module, self.pure_layer_prefixes)
+
+    def is_cold(self, module):
+        return module in self.cold_modules_exact or _prefixed(
+            module, self.cold_prefixes
+        )
+
+    def is_hot_target(self, module):
+        return _prefixed(module, self.hot_module_prefixes)
+
+    def is_store(self, module):
+        return _prefixed(module, self.store_prefixes)
+
+    def is_registry(self, module):
+        return module in self.registry_modules
+
+    def is_serializer_name(self, name):
+        return name in self.serialization_names or any(
+            name.startswith(prefix) for prefix in self.serialization_prefixes
+        )
+
+
+def _prefixed(module, prefixes):
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )

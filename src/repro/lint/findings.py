@@ -1,0 +1,79 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding is one violation of one rule at one source location.  The
+``snippet`` (the stripped source line) rides along so that baseline
+fingerprints survive pure line-number drift: inserting a docstring
+above a violation must not un-baseline it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field, fields
+
+__all__ = ["SEVERITIES", "Finding"]
+
+#: Recognised severities, strongest first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one location."""
+
+    #: Rule identifier (``"REP101"``).
+    rule: str
+    #: ``"error"`` or ``"warning"``.
+    severity: str
+    #: Path of the offending file, POSIX-style, relative to scan root.
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Human-readable description of the violation.
+    message: str
+    #: The stripped source line (fingerprint material).
+    snippet: str = ""
+    #: True once matched against the committed baseline.
+    baselined: bool = field(default=False, compare=False)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                "severity must be one of %s, got %r"
+                % (", ".join(SEVERITIES), self.severity)
+            )
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def fingerprint(self, occurrence=0):
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line number: the fingerprint is the
+        rule, the file, the source text of the offending line, and an
+        occurrence index to disambiguate identical lines in one file.
+        """
+        material = "\x1f".join(
+            [self.rule, self.path, self.snippet, str(occurrence)]
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def location(self):
+        return "%s:%d:%d" % (self.path, self.line, self.col + 1)
+
+    # -- serialization (JSON reporter round-trip) --------------------------
+
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload):
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                "unknown Finding fields: %s" % ", ".join(sorted(unknown))
+            )
+        return cls(**payload)

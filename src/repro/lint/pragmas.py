@@ -1,0 +1,75 @@
+"""``# reprolint:`` suppression pragmas.
+
+Two scopes:
+
+* ``# reprolint: disable=REP101[,REP102]`` -- trailing a code line it
+  suppresses those rules on that line; on a comment-only line it
+  suppresses them on the *next* line (so a justification can ride
+  above the code it excuses).
+* ``# reprolint: disable-file=REP103`` -- anywhere in the file,
+  suppresses the rules for the whole file.
+
+``disable=all`` suppresses every rule in the chosen scope.  Pragmas
+are parsed from raw source lines (not the AST) so they work in any
+position a comment can appear.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["PragmaIndex"]
+
+_PRAGMA_RE = re.compile(
+    # The pragma may trail a prose justification inside the same
+    # comment: ``# span order is meaningful.  reprolint: disable=REP103``.
+    r"#.*?\breprolint:\s*(?P<scope>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s-]+)"
+)
+
+#: Sentinel meaning "every rule".
+_ALL = "all"
+
+
+class PragmaIndex:
+    """Per-file index answering "is rule R suppressed at line N?"."""
+
+    def __init__(self):
+        #: rule ids disabled for the whole file (or {"all"}).
+        self.file_disables = set()
+        #: line (1-based) -> set of rule ids (or {"all"}).
+        self.line_disables = {}
+
+    @classmethod
+    def from_source(cls, source):
+        index = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            rules = {
+                token.strip().upper() if token.strip().lower() != _ALL
+                else _ALL
+                for token in match.group("rules").split(",")
+                if token.strip()
+            }
+            if match.group("scope") == "disable-file":
+                index.file_disables |= rules
+            else:
+                # A comment-only pragma shields the following line.
+                target = lineno
+                if text.lstrip().startswith("#"):
+                    target = lineno + 1
+                index.line_disables.setdefault(target, set()).update(rules)
+                # The trailing form also shields its own line even when
+                # the pragma is the only thing on it -- harmless.
+                index.line_disables.setdefault(lineno, set()).update(rules)
+        return index
+
+    def suppressed(self, rule_id, line):
+        """True if ``rule_id`` is disabled at ``line``."""
+        rule_id = rule_id.upper()
+        if _ALL in self.file_disables or rule_id in self.file_disables:
+            return True
+        at_line = self.line_disables.get(line, ())
+        return _ALL in at_line or rule_id in at_line

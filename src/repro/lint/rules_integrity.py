@@ -1,0 +1,316 @@
+"""Crash-consistency and protocol-conformance rules: REP401, REP501.
+
+REP401 guards the store's durability contract: an ``os.replace`` into
+place is only crash-safe if the file contents were fsynced *before*
+the rename and the parent directory entry is fsynced *after* it --
+otherwise a power cut can resurrect a half-written object or forget a
+fully-written one ever had a name.
+
+REP501 statically re-checks what the runtime conformance tests check
+dynamically: every algorithm registered in ``checksums.registry``
+defines the full ChecksumAlgorithm surface (compute/field/verify/
+width/name), and any literal mask agrees with the literal width --
+the exact width/modulus slip Koopman's checksum papers warn silently
+invalidates error-detection measurements.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Rule, dotted_name, register
+
+__all__ = ["FsyncOrderedRenameRule", "RegistryConformanceRule"]
+
+_RENAMES = {"os.rename", "os.replace"}
+
+
+@register
+class FsyncOrderedRenameRule(Rule):
+    """REP401: every store rename is fsync-ordered."""
+
+    id = "REP401"
+    title = "unfsynced-rename"
+    severity = "error"
+    category = "crash-consistency"
+    invariant = (
+        "Every os.rename/os.replace under repro.store is preceded by "
+        "an fsync of the file and followed by an fsync of the parent "
+        "directory, so objects survive power loss whole-or-absent."
+    )
+
+    def check(self, module, ctx):
+        if not ctx.config.is_store(module.name):
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(module, func)
+
+    def _check_function(self, module, func):
+        calls = [
+            node for node in ast.walk(func)
+            if isinstance(node, ast.Call)
+        ]
+        renames = [
+            node for node in calls
+            if (dotted_name(node.func) or "") in _RENAMES
+        ]
+        if not renames:
+            return
+        fsync_lines = [
+            node.lineno for node in calls
+            if (dotted_name(node.func) or "").endswith("os.fsync")
+            or (dotted_name(node.func) or "") == "os.fsync"
+        ]
+        dirsync_lines = [
+            node.lineno for node in calls
+            if self._is_dirsync(node)
+        ]
+        for rename in renames:
+            missing = []
+            if not any(line <= rename.lineno for line in fsync_lines):
+                missing.append(
+                    "no os.fsync of the written file before the rename"
+                )
+            if not any(line >= rename.lineno for line in dirsync_lines):
+                missing.append(
+                    "no parent-directory fsync after the rename"
+                )
+            if missing:
+                chain = dotted_name(rename.func)
+                yield self.finding(
+                    module, rename,
+                    "%s() is not crash-consistent: %s" % (
+                        chain, "; ".join(missing),
+                    ),
+                )
+
+    @staticmethod
+    def _is_dirsync(node):
+        """A call whose name marks it as a directory fsync helper."""
+        chain = dotted_name(node.func) or ""
+        leaf = chain.rsplit(".", 1)[-1].lower()
+        return "fsync" in leaf and "dir" in leaf
+
+
+@register
+class RegistryConformanceRule(Rule):
+    """REP501: registered algorithms satisfy the protocol, statically."""
+
+    id = "REP501"
+    title = "registry-protocol-conformance"
+    severity = "error"
+    category = "protocol"
+    invariant = (
+        "Every algorithm in checksums.registry statically defines "
+        "compute/field/verify/width/name, and a literal mask always "
+        "equals (1 << width) - 1."
+    )
+
+    def check(self, module, ctx):
+        if not ctx.config.is_registry(module.name):
+            return
+        factories = self._find_factories(module.tree)
+        if factories is None:
+            yield self.finding(
+                module, module.tree,
+                "registry module defines no _FACTORIES dict to check",
+            )
+            return
+        imports = self._import_map(module.tree)
+        for key_node, value_node in zip(factories.keys, factories.values):
+            entry = self._literal(key_node) or "<dynamic>"
+            class_name = self._factory_class(value_node)
+            if class_name is None:
+                yield self.finding(
+                    module, value_node,
+                    "factory for %r is not statically resolvable to a "
+                    "class; register a class or a lambda returning a "
+                    "direct constructor call" % entry,
+                    severity="warning",
+                )
+                continue
+            yield from self._check_class(
+                module, ctx, value_node, entry, class_name, imports,
+            )
+
+    # -- registry parsing --------------------------------------------------
+
+    @staticmethod
+    def _find_factories(tree):
+        names = ("_FACTORIES", "FACTORIES")
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id in names \
+                            and isinstance(node.value, ast.Dict):
+                        return node.value
+            elif isinstance(node, ast.AnnAssign):
+                # Typed form: ``_FACTORIES: Dict[str, ...] = {...}``.
+                if isinstance(node.target, ast.Name) \
+                        and node.target.id in names \
+                        and isinstance(node.value, ast.Dict):
+                    return node.value
+        return None
+
+    @staticmethod
+    def _literal(node):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    @staticmethod
+    def _factory_class(node):
+        """The class name a factory expression constructs, or None."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Lambda) and isinstance(node.body, ast.Call):
+            func = node.body.func
+            if isinstance(func, ast.Name):
+                return func.id
+        return None
+
+    @staticmethod
+    def _import_map(tree):
+        """Imported name -> defining module (from-imports only)."""
+        mapping = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    mapping[alias.asname or alias.name] = node.module
+        return mapping
+
+    # -- class resolution and member collection ----------------------------
+
+    def _check_class(self, module, ctx, node, entry, class_name, imports):
+        config = ctx.config
+        class_def, home = self._resolve_class(
+            module, ctx, class_name, imports,
+        )
+        if class_def is None:
+            if class_name in imports and ctx.project.get(
+                    imports[class_name]) is None:
+                return  # defined outside the scanned tree; not checkable
+            yield self.finding(
+                module, node,
+                "registered class %r for %r not found in the scanned "
+                "sources" % (class_name, entry),
+                severity="warning",
+            )
+            return
+        members = self._class_members(class_def, home)
+        missing = [
+            name for name in (*config.protocol_methods,
+                              *config.protocol_attributes)
+            if name not in members
+        ]
+        if missing:
+            yield self.finding(
+                module, node,
+                "algorithm %r (class %s) does not define required "
+                "protocol member(s): %s" % (
+                    entry, class_name, ", ".join(missing),
+                ),
+            )
+        yield from self._check_mask(module, node, entry, class_name, members)
+
+    def _resolve_class(self, module, ctx, class_name, imports):
+        """``(ClassDef, home ModuleInfo)`` or ``(None, None)``."""
+        # Same-module definition first (fixtures, self-registering code).
+        for candidate in module.tree.body:
+            if isinstance(candidate, ast.ClassDef) \
+                    and candidate.name == class_name:
+                return candidate, module
+        home_name = imports.get(class_name)
+        if home_name is None:
+            return None, None
+        home = ctx.project.get(home_name)
+        if home is None:
+            return None, None
+        try:
+            tree = home.tree
+        except SyntaxError:
+            return None, None
+        for candidate in tree.body:
+            if isinstance(candidate, ast.ClassDef) \
+                    and candidate.name == class_name:
+                return candidate, home
+        return None, None
+
+    def _class_members(self, class_def, home):
+        """name -> literal value (or True) for the class's members.
+
+        Includes methods, class attributes, ``self.X = ...``
+        assignments in any method, and members inherited from base
+        classes defined in the same module (``_SuffixCode`` style
+        mixins).
+        """
+        members = {}
+        for base in class_def.bases:
+            if isinstance(base, ast.Name) and home is not None:
+                for candidate in home.tree.body:
+                    if isinstance(candidate, ast.ClassDef) \
+                            and candidate.name == base.id:
+                        members.update(
+                            self._class_members(candidate, home)
+                        )
+        for node in class_def.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                members[node.name] = True
+                for stmt in ast.walk(node):
+                    if isinstance(stmt, ast.Assign):
+                        targets = stmt.targets
+                        value = stmt.value
+                    elif isinstance(stmt, ast.AnnAssign):
+                        # ``self.width: int = spec.width`` in __init__.
+                        targets = [stmt.target]
+                        value = stmt.value
+                    else:
+                        continue
+                    for target in targets:
+                        if isinstance(target, ast.Attribute) \
+                                and isinstance(target.value, ast.Name) \
+                                and target.value.id == "self":
+                            members[target.attr] = self._const(value)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        members[target.id] = self._const(node.value)
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                members[node.target.id] = self._const(node.value)
+        return members
+
+    @staticmethod
+    def _const(node):
+        """The literal int value of an expression, else True (present)."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return node.value
+        return True
+
+    @staticmethod
+    def _is_literal_int(value):
+        # ``True`` is the "present but not literal" sentinel from
+        # ``_const`` and must not be mistaken for the integer 1.
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def _check_mask(self, module, node, entry, class_name, members):
+        width = members.get("width")
+        if not self._is_literal_int(width):
+            return
+        for mask_name in ("mask", "_mask", "MASK", "_MASK"):
+            mask = members.get(mask_name)
+            if self._is_literal_int(mask) and mask != (1 << width) - 1:
+                yield self.finding(
+                    module, node,
+                    "algorithm %r (class %s): literal %s 0x%X disagrees "
+                    "with width %d (expected 0x%X) -- a width/mask slip "
+                    "silently corrupts every measurement using this "
+                    "code" % (
+                        entry, class_name, mask_name, mask, width,
+                        (1 << width) - 1,
+                    ),
+                )

@@ -272,6 +272,8 @@ def run_bench(quick=False):
     workload.update(engine_meta)
     return {
         "schema": BENCH_SCHEMA,
+        # Snapshot *provenance*, not result data: bench numbers are
+        # timings, never compared bit-for-bit.  reprolint: disable=REP102
         "created_unix": int(time.time()),
         "quick": bool(quick),
         "machine": {

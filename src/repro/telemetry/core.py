@@ -100,6 +100,7 @@ class Telemetry:
         """
         return {
             "schema": TELEMETRY_SCHEMA,
+            # Span order *is* execution order.  reprolint: disable=REP103
             "spans": [node.to_dict() for node in self._root.children.values()],
             "counters": {
                 name: self._counters[name].to_dict()

@@ -48,7 +48,7 @@ def render_markdown(snapshot):
         lines.append("")
         lines.append("| counter | total |")
         lines.append("|---|---:|")
-        for name, value in counters.items():
+        for name, value in sorted(counters.items()):
             lines.append("| %s | %d |" % (name, value))
         lines.append("")
 
@@ -58,7 +58,7 @@ def render_markdown(snapshot):
         lines.append("")
         lines.append("| gauge | value |")
         lines.append("|---|---:|")
-        for name, value in gauges.items():
+        for name, value in sorted(gauges.items()):
             lines.append("| %s | %s |" % (name, value))
         lines.append("")
 
@@ -68,7 +68,7 @@ def render_markdown(snapshot):
         lines.append("")
         lines.append("| meter | amount | seconds | rate/s |")
         lines.append("|---|---:|---:|---:|")
-        for name, entry in meters.items():
+        for name, entry in sorted(meters.items()):
             lines.append(
                 "| %s | %d | %.4f | %.1f |"
                 % (name, entry["amount"], entry["seconds"], entry["rate"])
@@ -81,7 +81,7 @@ def render_markdown(snapshot):
         lines.append("")
         lines.append("| histogram | count | mean | min | max |")
         lines.append("|---|---:|---:|---:|---:|")
-        for name, entry in histograms.items():
+        for name, entry in sorted(histograms.items()):
             count = entry["count"]
             mean = entry["sum_s"] / count if count else 0.0
             lines.append(

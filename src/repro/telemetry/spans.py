@@ -52,6 +52,9 @@ class SpanNode:
             "cpu_s": round(self.cpu, 9),
         }
         if self.children:
+            # Span order *is* execution order -- meaningful, and
+            # deterministic for a deterministic run.
+            # reprolint: disable=REP103
             entry["children"] = [c.to_dict() for c in self.children.values()]
         return entry
 
@@ -69,6 +72,7 @@ class SpanNode:
                 self.cpu,
             )
         ]
+        # Execution order, as in to_dict().  reprolint: disable=REP103
         for node in self.children.values():
             lines.extend(node.render(indent + 1))
         return lines

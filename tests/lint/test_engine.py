@@ -1,0 +1,209 @@
+"""Engine mechanics: pragmas, baseline, reporters, rule selection."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import all_rules, run_lint
+from repro.lint.reporters import (
+    findings_from_json,
+    render_json,
+    render_markdown,
+    render_text,
+)
+from tests.lint.conftest import active_rules
+
+_VIOLATION = """
+    import random
+
+    def pick(items):
+        return random.choice(items)
+"""
+
+
+class TestRuleRegistry:
+    def test_catalogue_covers_every_domain(self):
+        rules = all_rules()
+        ids = [rule.id for rule in rules]
+        assert ids == sorted(ids)
+        for expected in ("REP101", "REP102", "REP103", "REP201",
+                        "REP202", "REP301", "REP302", "REP303",
+                        "REP401", "REP501"):
+            assert expected in ids
+        for rule in rules:
+            assert rule.invariant, "%s has no invariant" % rule.id
+
+    def test_unknown_rule_id_raises(self, tree):
+        root = tree({"repro/core/a.py": "x = 1\n"})
+        with pytest.raises(KeyError):
+            run_lint([root], rules=["REP999"])
+
+
+class TestSyntaxErrors:
+    def test_broken_source_reports_rep000(self, lint):
+        result = lint({"repro/core/broken.py": "def oops(:\n"})
+        assert active_rules(result) == ["REP000"]
+        assert "syntax error" in result.active[0].message
+
+
+class TestPragmas:
+    def test_trailing_pragma_suppresses(self, lint):
+        result = lint({
+            "repro/core/sweep.py": """
+                import random
+
+                def pick(items):
+                    return random.choice(items)  # reprolint: disable=REP101
+            """,
+        }, rules=["REP101"])
+        assert result.active == []
+        assert result.suppressed == 1
+
+    def test_prose_prefixed_comment_line_pragma_suppresses(self, lint):
+        result = lint({
+            "repro/core/sweep.py": """
+                import random
+
+                def pick(items):
+                    # intentional: warm-up noise.  reprolint: disable=REP101
+                    return random.choice(items)
+            """,
+        }, rules=["REP101"])
+        assert result.active == []
+        assert result.suppressed == 1
+
+    def test_file_pragma_suppresses_everywhere(self, lint):
+        result = lint({
+            "repro/core/sweep.py": """
+                # reprolint: disable-file=REP101
+                import random
+
+                def pick(items):
+                    return random.choice(items)
+
+                def pick2(items):
+                    return random.shuffle(items)
+            """,
+        }, rules=["REP101"])
+        assert result.active == []
+        assert result.suppressed == 2
+
+    def test_pragma_for_another_rule_does_not_suppress(self, lint):
+        result = lint({
+            "repro/core/sweep.py": """
+                import random
+
+                def pick(items):
+                    return random.choice(items)  # reprolint: disable=REP103
+            """,
+        }, rules=["REP101"])
+        assert active_rules(result) == ["REP101"]
+
+
+class TestBaseline:
+    def test_round_trip_marks_findings_baselined(self, lint, tmp_path):
+        files = {"repro/core/sweep.py": _VIOLATION}
+        first = lint(files, rules=["REP101"])
+        assert first.exit_code == 1
+
+        path = tmp_path / "baseline.json"
+        write_baseline(first.findings, path)
+        fingerprints = load_baseline(path)
+        assert len(fingerprints) == 1
+
+        second = lint(files, rules=["REP101"], baseline=fingerprints)
+        assert second.exit_code == 0
+        assert [f.rule for f in second.baselined] == ["REP101"]
+
+    def test_fingerprints_survive_line_drift(self, lint, tmp_path):
+        first = lint({"repro/core/sweep.py": _VIOLATION}, rules=["REP101"])
+        path = tmp_path / "baseline.json"
+        write_baseline(first.findings, path)
+        fingerprints = load_baseline(path)
+
+        # Same code, pushed down by unrelated edits above it.  (Dedent
+        # here: mixing indented and flush lines defeats the fixture's
+        # own dedent.)
+        import textwrap
+
+        drifted = lint({
+            "repro/core/sweep.py":
+                "\n\nHEADER = 1\n" + textwrap.dedent(_VIOLATION),
+        }, rules=["REP101"], baseline=fingerprints)
+        assert drifted.exit_code == 0
+        assert len(drifted.baselined) == 1
+
+    def test_duplicate_findings_need_distinct_occurrences(self, lint,
+                                                          tmp_path):
+        files = {
+            "repro/core/sweep.py": """
+                import random
+
+                def pick(items):
+                    return random.choice(items)
+
+                def pick2(items):
+                    return random.choice(items)
+            """,
+        }
+        first = lint(files, rules=["REP101"])
+        assert len(first.active) == 2
+        path = tmp_path / "baseline.json"
+        write_baseline(first.findings, path)
+        assert len(load_baseline(path)) == 2
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": "bogus/9"}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_apply_baseline_returns_match_count(self, lint):
+        result = lint({"repro/core/sweep.py": _VIOLATION}, rules=["REP101"])
+        assert apply_baseline(result.findings, set()) == 0
+
+
+class TestReporters:
+    def _result(self, lint):
+        return lint({"repro/core/sweep.py": _VIOLATION}, rules=["REP101"])
+
+    def test_text_is_editor_clickable(self, lint):
+        result = self._result(lint)
+        text = render_text(result)
+        assert "repro/core/sweep.py:5:12 REP101 error" in text
+        assert "1 finding(s)" in text
+
+    def test_json_round_trips(self, lint):
+        result = self._result(lint)
+        payload = json.loads(render_json(result))
+        assert payload["schema"] == "repro-lint/1"
+        assert payload["summary"]["active"] == 1
+        findings = findings_from_json(render_json(result))
+        assert [f.rule for f in findings] == ["REP101"]
+        assert findings[0].path == "repro/core/sweep.py"
+
+    def test_json_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            findings_from_json(json.dumps({"schema": "nope", "findings": []}))
+
+    def test_markdown_has_findings_and_catalogue(self, lint):
+        result = self._result(lint)
+        text = render_markdown(result)
+        assert "| `repro/core/sweep.py:5:12` | REP101 |" in text
+        assert "## Rule catalogue" in text
+        # The catalogue lists the rules that *ran* (here: just REP101).
+        assert "`unseeded-randomness`" in text
+
+    def test_markdown_catalogue_covers_all_rules_when_unrestricted(
+            self, lint):
+        text = render_markdown(lint({"repro/core/ok.py": "x = 1\n"}))
+        for rule_id in ("REP101", "REP201", "REP301", "REP401", "REP501"):
+            assert rule_id in text

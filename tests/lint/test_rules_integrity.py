@@ -1,0 +1,191 @@
+"""REP401 / REP501: crash-consistency and protocol conformance."""
+
+from tests.lint.conftest import active_rules
+
+
+class TestFsyncOrderedRename:
+    def test_bare_replace_is_flagged(self, lint):
+        result = lint({
+            "repro/store/objstore.py": """
+                import os
+
+                def put(tmp, final):
+                    os.replace(tmp, final)
+            """,
+        }, rules=["REP401"])
+        assert active_rules(result) == ["REP401"]
+        message = result.active[0].message
+        assert "no os.fsync" in message
+        assert "parent-directory" in message
+
+    def test_fully_ordered_rename_is_clean(self, lint):
+        result = lint({
+            "repro/store/objstore.py": """
+                import os
+
+                def _fsync_dir(path):
+                    fd = os.open(path, os.O_RDONLY)
+                    try:
+                        os.fsync(fd)
+                    finally:
+                        os.close(fd)
+
+                def put(handle, tmp, final, parent):
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    handle.close()
+                    os.replace(tmp, final)
+                    _fsync_dir(parent)
+            """,
+        }, rules=["REP401"])
+        assert result.active == []
+
+    def test_missing_directory_fsync_is_flagged(self, lint):
+        result = lint({
+            "repro/store/objstore.py": """
+                import os
+
+                def put(handle, tmp, final):
+                    os.fsync(handle.fileno())
+                    os.replace(tmp, final)
+            """,
+        }, rules=["REP401"])
+        assert active_rules(result) == ["REP401"]
+        assert "parent-directory" in result.active[0].message
+
+    def test_renames_outside_the_store_are_exempt(self, lint):
+        result = lint({
+            "repro/experiments/out.py": """
+                import os
+
+                def finish(tmp, final):
+                    os.replace(tmp, final)
+            """,
+        }, rules=["REP401"])
+        assert result.active == []
+
+
+class TestRegistryConformance:
+    def test_missing_protocol_member_is_flagged(self, lint):
+        result = lint({
+            "repro/checksums/registry.py": """
+                class GoodSum:
+                    name = "good"
+                    width = 16
+
+                    def compute(self, data):
+                        return 0
+
+                    def field(self, data):
+                        return b"\\x00\\x00"
+
+                    def verify(self, data):
+                        return True
+
+
+                class BadSum:
+                    name = "bad"
+                    width = 16
+
+                    def compute(self, data):
+                        return 0
+
+
+                _FACTORIES = {
+                    "good": GoodSum,
+                    "bad": BadSum,
+                }
+            """,
+        }, rules=["REP501"])
+        assert active_rules(result) == ["REP501"]
+        message = result.active[0].message
+        assert "'bad'" in message
+        assert "field" in message and "verify" in message
+
+    def test_mask_width_mismatch_is_flagged(self, lint):
+        result = lint({
+            "repro/checksums/registry.py": """
+                class Slipped:
+                    name = "slipped"
+                    width = 16
+                    mask = 0xFFF
+
+                    def compute(self, data):
+                        return 0
+
+                    def field(self, data):
+                        return b"\\x00\\x00"
+
+                    def verify(self, data):
+                        return True
+
+
+                _FACTORIES = {
+                    "slipped": lambda: Slipped(),
+                }
+            """,
+        }, rules=["REP501"])
+        assert active_rules(result) == ["REP501"]
+        assert "0xFFF" in result.active[0].message
+
+    def test_mixin_members_and_init_assignments_count(self, lint):
+        result = lint({
+            "repro/checksums/registry.py": """
+                class _Suffix:
+                    def field(self, data):
+                        return b""
+
+                    def verify(self, data):
+                        return True
+
+
+                class Sum(_Suffix):
+                    def __init__(self):
+                        self.name = "sum"
+                        self.width = 16
+                        self.mask = (1 << 16) - 1
+
+                    def compute(self, data):
+                        return 0
+
+
+                _FACTORIES = {
+                    "sum": Sum,
+                }
+            """,
+        }, rules=["REP501"])
+        assert result.active == []
+
+    def test_annotated_factories_dict_is_found(self, lint):
+        result = lint({
+            "repro/checksums/registry.py": """
+                from typing import Callable, Dict
+
+                class Incomplete:
+                    name = "incomplete"
+
+                    def compute(self, data):
+                        return 0
+
+
+                _FACTORIES: Dict[str, Callable] = {
+                    "incomplete": Incomplete,
+                }
+            """,
+        }, rules=["REP501"])
+        assert active_rules(result) == ["REP501"]
+
+    def test_unresolvable_factory_is_a_warning(self, lint):
+        result = lint({
+            "repro/checksums/registry.py": """
+                def _dynamic():
+                    return object()
+
+
+                _FACTORIES = {
+                    "dynamic": _dynamic(),
+                }
+            """,
+        }, rules=["REP501"])
+        assert active_rules(result) == ["REP501"]
+        assert result.active[0].severity == "warning"

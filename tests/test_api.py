@@ -9,12 +9,40 @@ import repro.api as api
 class TestFacadeSurface:
     def test_all_is_exactly_the_contract(self):
         assert sorted(api.__all__) == [
+            "ChecksumPlacement",
+            "IndependentLoss",
+            "PacketizerConfig",
+            "RunAborted",
+            "RunHealth",
             "Telemetry",
+            "TransferReport",
+            "activate_telemetry",
+            "algorithm_names",
+            "algorithm_summaries",
             "algorithms",
+            "audit_run_store",
+            "bench_delta_table",
+            "build_filesystem",
+            "current_telemetry",
+            "deactivate_telemetry",
             "experiment_ids",
+            "generate_markdown_report",
+            "latest_bench_snapshot",
+            "named_plan",
             "open_store",
+            "plan_names",
+            "profile_names",
+            "profile_summaries",
+            "run_bench",
             "run_experiment",
+            "run_splice_experiment",
+            "simulate_file_transfer",
             "sum_file",
+            "validate_bench_snapshot",
+            "wrap_run_store",
+            "write_bench_snapshot",
+            "write_figure_svg",
+            "write_metrics",
         ]
 
     def test_every_name_resolves(self):
@@ -100,3 +128,26 @@ class TestTelemetryExport:
 
         assert api.Telemetry is Telemetry
         assert repro.Telemetry is Telemetry
+
+
+class TestSummaries:
+    def test_algorithm_summaries_cover_every_name(self):
+        summaries = api.algorithm_summaries()
+        names = [name for name, _, _ in summaries]
+        assert names == api.algorithm_names()
+        for name, width, kind in summaries:
+            assert width > 0
+            assert kind in ("checksum", "CRC")
+
+    def test_profile_summaries_cover_every_name(self):
+        summaries = api.profile_summaries()
+        assert [name for name, _ in summaries] == api.profile_names()
+
+
+class TestLazyResolution:
+    def test_lazy_names_resolve_to_their_implementations(self):
+        from repro.core.supervisor import RunAborted
+        from repro.store.audit import audit_run_store
+
+        assert api.RunAborted is RunAborted
+        assert api.audit_run_store is audit_run_store

@@ -19,6 +19,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "table99"])
 
+    def test_placement_choices_match_the_enum(self):
+        # The parser spells the choices literally so building it never
+        # imports the packetizer; this pins the equivalence.
+        from repro.api import ChecksumPlacement
+        from repro.cli import _PLACEMENT_CHOICES
+
+        assert list(_PLACEMENT_CHOICES) == [
+            p.value for p in ChecksumPlacement
+        ]
+
+    def test_importing_the_cli_stays_light(self):
+        # The warm-start contract (REP303): importing the CLI must not
+        # pull in the splice engine.
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; import repro.cli; "
+            "hot = [m for m in sys.modules "
+            "if m.startswith('repro.core.engine') "
+            "or m.startswith('repro.sim')]; "
+            "sys.exit(1 if hot else 0)"
+        )
+        proc = subprocess.run([sys.executable, "-c", code])
+        assert proc.returncode == 0
+
 
 class TestCommands:
     def test_algorithms(self, capsys):
