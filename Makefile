@@ -22,11 +22,11 @@ chaos:
 	$(PYTHON) -m repro.cli chaos --bytes 120000
 
 # Quick throughput snapshot (BENCH_<n>.json + delta table vs the
-# previous one) and the disabled-telemetry overhead guarantee (<2% of
-# hot-path wall time, asserted).
+# previous one) and the overhead guarantees: disabled telemetry (<2%)
+# and sweep journaling (<3% of hot-path wall time), both asserted.
 bench:
 	$(PYTHON) -m repro.cli bench --quick
-	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py -q -s
+	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py benchmarks/test_journal_overhead.py -q -s
 
 # The full pytest-benchmark suite (regenerates every table & figure).
 microbench:

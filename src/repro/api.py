@@ -40,6 +40,13 @@ __all__ = [
     "RunAborted",
     "RunHealth",
     "run_splice_experiment",
+    # checkpointed interruption and resume
+    "ShardJournal",
+    "SweepInterrupted",
+    "current_controller",
+    "default_journal_dir",
+    "open_journal",
+    "sweep_guard",
     # transfer simulation
     "IndependentLoss",
     "TransferReport",
@@ -73,6 +80,12 @@ _LAZY = {
     "PacketizerConfig": ("repro.protocols.packetizer", "PacketizerConfig"),
     "RunAborted": ("repro.core.supervisor", "RunAborted"),
     "RunHealth": ("repro.core.supervisor", "RunHealth"),
+    "ShardJournal": ("repro.store.journal", "ShardJournal"),
+    "SweepInterrupted": ("repro.core.checkpoint", "SweepInterrupted"),
+    "current_controller": ("repro.core.checkpoint", "current_controller"),
+    "default_journal_dir": ("repro.store.journal", "default_journal_dir"),
+    "open_journal": ("repro.store.journal", "open_journal"),
+    "sweep_guard": ("repro.core.checkpoint", "sweep_guard"),
     "Telemetry": ("repro.telemetry.core", "Telemetry"),
     "TransferReport": ("repro.sim.transfer", "TransferReport"),
     "activate_telemetry": ("repro.telemetry.core", "activate"),

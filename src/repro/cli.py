@@ -30,6 +30,14 @@ telemetry (span timings, counters, throughput meters, latency
 histograms) is collected for the run and written as JSON or markdown
 to stdout (``--metrics json``/``--metrics md``) or to a file path.
 
+``run``/``splice``/``chaos`` run under a sweep guard:
+``--shard-timeout`` arms the supervisor's per-shard timeout rung,
+``--deadline`` stops a sweep cleanly at a shard boundary once the time
+budget is spent (partial report, exit 3), SIGINT/SIGTERM stop it
+checkpointed (exit ``128 + signum``: 130/143), and — on ``run`` and
+``splice`` — ``--journal`` (default on) checkpoints completed shards
+so ``--resume`` continues an interrupted sweep bit-identically.
+
 Flags shared between subcommands (``--bytes``/``--seed``,
 ``--workers``, ``--cache``/``--cache-dir``, ``--metrics``) are defined
 once as argparse *parent* parsers -- per-subcommand defaults differ,
@@ -99,6 +107,47 @@ def _cache_parent(toggle=True):
     return parent
 
 
+def _positive_seconds(text):
+    """Argparse type: a strictly positive float number of seconds."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a number of seconds, got %r" % text
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be > 0 seconds, got %s" % text
+        )
+    return value
+
+
+def _sweep_parent(journal=True):
+    """``--shard-timeout``/``--deadline`` (+ journal/resume knobs)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--shard-timeout", type=_positive_seconds,
+                        metavar="SECONDS", default=None,
+                        help="condemn and respawn a worker pool when one "
+                             "shard exceeds this many seconds")
+    parent.add_argument("--deadline", type=_positive_seconds,
+                        metavar="SECONDS", default=None,
+                        help="stop the sweep cleanly at a shard boundary "
+                             "once this time budget is spent (partial "
+                             "report, exit 3)")
+    if journal:
+        parent.add_argument("--journal",
+                            action=argparse.BooleanOptionalAction,
+                            default=True,
+                            help="checkpoint completed shards so an "
+                                 "interrupted sweep can --resume")
+        parent.add_argument("--resume",
+                            action=argparse.BooleanOptionalAction,
+                            default=False,
+                            help="merge a fingerprint-matching sweep "
+                                 "journal before dispatching shards")
+    return parent
+
+
 def _metrics_parent():
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--metrics", metavar="DEST", default=None,
@@ -136,7 +185,7 @@ def build_parser():
     p_run = sub.add_parser(
         "run", help="regenerate a paper table or figure",
         parents=[_corpus_parent(None, None), _cache_parent(),
-                 _workers_parent(), _metrics_parent()],
+                 _workers_parent(), _metrics_parent(), _sweep_parent()],
     )
     p_run.add_argument("experiment", choices=sorted(experiment_ids()))
     p_run.add_argument("--svg", metavar="PATH", default=None,
@@ -156,7 +205,7 @@ def build_parser():
         parents=[_profile_parent("stanford-u1"), _corpus_parent(500_000, 3),
                  _cache_parent(),
                  _workers_parent(help_text="fan files out over N processes"),
-                 _metrics_parent()],
+                 _metrics_parent(), _sweep_parent()],
     )
     p_splice.add_argument("--mss", type=int, default=256)
     p_splice.add_argument("--algorithm", default="tcp",
@@ -184,7 +233,7 @@ def build_parser():
         help="run a sweep under fault injection; verify counters survive",
         parents=[_profile_parent("stanford-u1"), _corpus_parent(120_000, 3),
                  _workers_parent(2, "pool width for the chaotic pass"),
-                 _metrics_parent()],
+                 _metrics_parent(), _sweep_parent(journal=False)],
     )
     p_chaos.add_argument("--mss", type=int, default=256)
     p_chaos.add_argument("--plan", default="monkey", choices=plan_names(),
@@ -342,6 +391,8 @@ def _cmd_splice(args):
         c.missed_transport, c.miss_rate_transport))
     print("missed (CRC-32)    %d" % c.missed_crc32)
     print("effective bits     %.1f" % c.effective_bits)
+    if result.health.eventful:
+        print(result.health.render())
     return 0
 
 
@@ -592,6 +643,28 @@ def _dispatch(args):
     return handler(args) if handler else 1
 
 
+#: Commands dispatched under a sweep guard (signal + deadline control).
+_GUARDED_COMMANDS = ("run", "splice", "chaos")
+
+
+def _sweep_kwargs(args):
+    """``sweep_guard`` kwargs for a guarded command, or None."""
+    if args.command not in _GUARDED_COMMANDS:
+        return None
+    kwargs = {
+        "deadline": getattr(args, "deadline", None),
+        "shard_timeout": getattr(args, "shard_timeout", None),
+        "resume": getattr(args, "resume", False),
+    }
+    if getattr(args, "journal", False):
+        from repro.api import default_journal_dir
+
+        kwargs["journal_dir"] = default_journal_dir(
+            getattr(args, "cache_dir", None)
+        )
+    return kwargs
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     metrics_dest = getattr(args, "metrics", None)
@@ -599,16 +672,44 @@ def main(argv=None):
         from repro.api import activate_telemetry
 
         activate_telemetry()
+    controller = None
     try:
-        code = _dispatch(args)
+        guard_kwargs = _sweep_kwargs(args)
+        if guard_kwargs is not None:
+            from repro.api import sweep_guard
+
+            with sweep_guard(**guard_kwargs) as controller:
+                code = _dispatch(args)
+        else:
+            code = _dispatch(args)
+        if controller is not None and controller.deadline_fired and code == 0:
+            # The sweep stopped on --deadline: the report above merged
+            # only the completed shards; exit 3 marks it partial.
+            print(
+                "repro-checksums: deadline of %gs exceeded; the report "
+                "above is partial (completed shards only)"
+                % controller.deadline,
+                file=sys.stderr,
+            )
+            code = 3
         if metrics_dest:
             from repro.api import current_telemetry, write_metrics
 
             write_metrics(current_telemetry().snapshot(), metrics_dest)
         return code
     except Exception as exc:
-        from repro.api import RunAborted
+        from repro.api import RunAborted, SweepInterrupted
 
+        if isinstance(exc, SweepInterrupted):
+            # Stopped on an operator signal, *after* the journal flush:
+            # one line saying where, then the conventional signal exit
+            # code (130 for SIGINT, 143 for SIGTERM).
+            print(
+                "repro-checksums: %s; rerun with --resume to continue"
+                % exc,
+                file=sys.stderr,
+            )
+            return 128 + (exc.signum or 2)
         if isinstance(exc, RunAborted):
             # Every rung of the degradation ladder failed: one line, no
             # traceback — the diagnostic is the message.

@@ -1,0 +1,265 @@
+"""Signal-safe, deadline-aware sweep interruption.
+
+The paper's headline numbers come from exhaustive splice sweeps that
+run for hours at production corpus sizes — exactly the workloads that
+get preempted, Ctrl-C'd, or run under a time budget.  This module is
+the *control plane* for stopping such a sweep **at a shard boundary**
+instead of mid-shard:
+
+* :class:`SweepController` owns the stop decision.  It watches for
+  ``SIGINT``/``SIGTERM`` (handlers installed only in the main thread,
+  previous handlers restored on exit) and for an optional **deadline**
+  (seconds of ``time.monotonic`` budget).  Sweep loops poll
+  :meth:`SweepController.stop_reason` after every drained shard.
+* :class:`SweepInterrupted` is raised by a sweep that stopped on a
+  signal *after* flushing its checkpoint journal; the CLI turns it
+  into a ``checkpointed at shard k/N`` one-liner and exit code
+  ``128 + signum`` (130 for SIGINT, 143 for SIGTERM).
+* A deadline does **not** raise: the sweep merges the shards it
+  completed, marks ``degraded: deadline`` in its
+  :class:`~repro.core.supervisor.RunHealth` record (which rides into
+  report JSON and Markdown footnotes), and the CLI exits 3 for the
+  partial report.
+
+The active controller is ambient (like the telemetry registry) so the
+experiment layer does not thread it through every table function:
+:func:`sweep_guard` installs one for the duration of a CLI command and
+:func:`current_controller` hands sweeps either that controller or the
+shared never-stopping null controller.  The controller also carries
+the run-wide robustness knobs the CLI exposes (``--shard-timeout``,
+``--resume``, the journal directory) so deeply nested sweeps see them
+without signature churn.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "SweepController",
+    "SweepInterrupted",
+    "current_controller",
+    "sweep_guard",
+]
+
+#: The signals a guarded sweep converts into checkpointed shutdowns.
+_GUARDED_SIGNALS = ("SIGINT", "SIGTERM")
+
+
+class SweepInterrupted(Exception):
+    """A sweep stopped on an operator signal after checkpointing.
+
+    Raised only at shard boundaries, *after* the journal flush, so the
+    state on disk is exactly "the first ``done`` shards are recorded".
+    ``signum`` drives the CLI's exit code (``128 + signum``).
+    """
+
+    def __init__(self, reason, done=0, total=0, signum=None):
+        super().__init__(
+            "%s: checkpointed at shard %d/%d" % (reason, done, total)
+        )
+        self.reason = reason
+        self.done = done
+        self.total = total
+        self.signum = signum
+
+
+class SweepController:
+    """The stop decision for one guarded command's sweeps.
+
+    ``deadline`` is a wall-time budget in seconds (measured with the
+    monotonic clock from :meth:`install`); ``shard_timeout`` and
+    ``journal_dir``/``resume`` are ambient robustness knobs sweeps read
+    via :func:`current_controller`.
+    """
+
+    def __init__(
+        self,
+        deadline=None,
+        shard_timeout=None,
+        journal_dir=None,
+        resume=False,
+    ):
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard timeout must be > 0 seconds")
+        self.deadline = deadline
+        self.shard_timeout = shard_timeout
+        self.journal_dir = journal_dir
+        self.resume = bool(resume)
+        #: True once a sweep actually stopped on the deadline (the CLI
+        #: maps this to exit code 3: partial report).
+        self.deadline_fired = False
+        self._started = time.monotonic()
+        self._stop_signal = None
+        self._previous = {}
+
+    # -- signal handling ----------------------------------------------------
+
+    def install(self):
+        """Install SIGINT/SIGTERM handlers (main thread only).
+
+        Off the main thread (or on platforms missing a signal) this is
+        a no-op — the controller still enforces the deadline.  The
+        clock for the deadline budget restarts here.
+        """
+        self._started = time.monotonic()
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for name in _GUARDED_SIGNALS:
+            signum = getattr(signal, name, None)
+            if signum is None:  # pragma: no cover - non-POSIX platforms
+                continue
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except (ValueError, OSError):  # pragma: no cover - exotic envs
+                continue
+
+    def uninstall(self):
+        """Restore whatever handlers :meth:`install` replaced."""
+        while self._previous:
+            signum, previous = self._previous.popitem()
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _handle(self, signum, frame):
+        """First signal: request a checkpointed stop.  Second: abort."""
+        if self._stop_signal is not None:
+            raise KeyboardInterrupt
+        self._stop_signal = signum
+
+    # -- the stop decision --------------------------------------------------
+
+    @property
+    def stop_signal(self):
+        """The pending stop signal number, or None."""
+        return self._stop_signal
+
+    def request_stop(self, signum=None):
+        """Programmatic stop request (tests, embedders)."""
+        if self._stop_signal is None:
+            self._stop_signal = (
+                signum if signum is not None else getattr(signal, "SIGINT", 2)
+            )
+
+    def deadline_exceeded(self):
+        """True once the monotonic budget has been spent."""
+        if self.deadline is None:
+            return False
+        return time.monotonic() - self._started >= self.deadline
+
+    def stop_reason(self):
+        """``"signal"``, ``"deadline"``, or None — polled per shard.
+
+        A pending signal wins over an expired deadline: the operator's
+        explicit interrupt should exit with the signal's code, not be
+        reclassified as a budget overrun.
+        """
+        if self._stop_signal is not None:
+            return "signal"
+        if self.deadline_exceeded():
+            return "deadline"
+        return None
+
+    def signal_name(self):
+        """Human-readable name of the pending stop signal."""
+        if self._stop_signal is None:
+            return ""
+        try:
+            return signal.Signals(self._stop_signal).name
+        except ValueError:  # pragma: no cover - unnamed signal number
+            return "signal %d" % self._stop_signal
+
+    def interrupt(self, done, total):
+        """Raise the checkpointed-stop exception for a signal stop."""
+        raise SweepInterrupted(
+            self.signal_name() or "interrupted",
+            done=done,
+            total=total,
+            signum=self._stop_signal,
+        )
+
+    # -- provenance ---------------------------------------------------------
+
+    def provenance(self):
+        """The robustness knobs active for this run, for reports."""
+        out = {}
+        if self.shard_timeout is not None:
+            out["shard_timeout"] = self.shard_timeout
+        if self.deadline is not None:
+            out["deadline"] = self.deadline
+        if self.resume:
+            out["resume"] = True
+        return out
+
+
+class _NullController:
+    """The ambient default: never stops, carries no knobs."""
+
+    deadline = None
+    shard_timeout = None
+    journal_dir = None
+    resume = False
+    deadline_fired = False
+    stop_signal = None
+
+    def stop_reason(self):
+        return None
+
+    def deadline_exceeded(self):
+        return False
+
+    def provenance(self):
+        return {}
+
+    def signal_name(self):
+        return ""
+
+
+#: Shared never-stopping controller (so sweeps can poll unconditionally).
+NULL_CONTROLLER = _NullController()
+
+_ACTIVE = None
+
+
+def current_controller():
+    """The installed :class:`SweepController`, or the null controller."""
+    return _ACTIVE if _ACTIVE is not None else NULL_CONTROLLER
+
+
+@contextmanager
+def sweep_guard(
+    deadline=None,
+    shard_timeout=None,
+    journal_dir=None,
+    resume=False,
+    install_signals=True,
+):
+    """Install a :class:`SweepController` for the duration of a block.
+
+    The CLI wraps ``run``/``splice``/``chaos`` dispatch in this guard;
+    nested guards stack (the inner one wins while active).  Signal
+    handlers are installed only when ``install_signals`` is true and
+    the caller is the main thread, and are always restored.
+    """
+    global _ACTIVE
+    controller = SweepController(
+        deadline=deadline,
+        shard_timeout=shard_timeout,
+        journal_dir=journal_dir,
+        resume=resume,
+    )
+    if install_signals:
+        controller.install()
+    previous, _ACTIVE = _ACTIVE, controller
+    try:
+        yield controller
+    finally:
+        _ACTIVE = previous
+        controller.uninstall()

@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.core.checkpoint import current_controller
 from repro.core.engine import EngineOptions, SpliceEngine
 from repro.core.results import SpliceCounters
 from repro.core.supervisor import RunHealth, SupervisedPool
@@ -87,26 +88,60 @@ def _file_counters(args):
     return counters
 
 
-def _make_pool(workers, health, faults):
+def _make_pool(workers, health, faults, shard_timeout=None):
     """A :class:`SupervisedPool` for splice shards, optionally chaotic.
 
     With ``faults`` (a :class:`repro.faults.FaultPlan`), jobs route
     through the worker shim and each submission is paired with its
-    scheduled fault directive; the plan's suggested per-shard timeout
-    arms the supervisor's stall detection.
+    scheduled fault directive.  The supervisor's per-shard timeout rung
+    is armed by, in precedence order: the explicit ``shard_timeout``
+    argument (the CLI's ``--shard-timeout``), the ambient
+    :class:`~repro.core.checkpoint.SweepController`'s value, then the
+    fault plan's suggestion.
     """
     function = _file_counters
     prepare = None
-    timeout = None
+    timeout = shard_timeout
+    if timeout is None:
+        timeout = current_controller().shard_timeout
     if faults is not None:
         from repro.faults.injector import shim_file_counters, worker_prepare
 
         function = shim_file_counters
         prepare = worker_prepare(faults, health)
-        timeout = faults.shard_timeout
+        if timeout is None:
+            timeout = faults.shard_timeout
     return SupervisedPool(
         function, workers, health=health, prepare=prepare, timeout=timeout
     )
+
+
+def _check_stop(controller, health, telemetry, done, total, journal=None):
+    """Poll the sweep controller at a shard boundary.
+
+    Returns False to keep dispatching.  On a pending **signal** the
+    journal is flushed and :class:`~repro.core.checkpoint.SweepInterrupted`
+    is raised — the state on disk is exactly "``done`` of ``total``
+    shards checkpointed".  On an expired **deadline** the sweep is
+    marked ``degraded: deadline`` in its :class:`RunHealth` (riding
+    into report JSON/markdown footnotes) and True is returned so the
+    caller stops dispatching and merges the partial result.
+    """
+    reason = controller.stop_reason()
+    if reason is None:
+        return False
+    if journal is not None:
+        journal.flush()
+    telemetry.count("checkpoint.interrupts")
+    if reason == "signal":
+        controller.interrupt(done, total)  # raises SweepInterrupted
+    health.interrupted = "deadline"
+    health.degrade(
+        "deadline exceeded: stopped at shard %d/%d; results are partial"
+        % (done, total)
+    )
+    controller.deadline_fired = True
+    return True
 
 
 def run_splice_experiment(
@@ -118,6 +153,9 @@ def run_splice_experiment(
     store=None,
     health=None,
     faults=None,
+    journal=None,
+    resume=None,
+    shard_timeout=None,
 ):
     """Run the paper's splice simulation over ``filesystem``.
 
@@ -143,19 +181,37 @@ def run_splice_experiment(
     attached to the result); ``faults`` (a
     :class:`repro.faults.FaultPlan`) injects a deterministic fault
     schedule — used by ``repro-checksums chaos`` and the chaos tests.
+
+    ``journal`` (a :class:`repro.store.journal.ShardJournal`) makes the
+    sweep **interruptible**: every completed shard is checkpointed
+    atomically, a signal stops the run at a shard boundary with
+    :class:`~repro.core.checkpoint.SweepInterrupted`, and ``resume``
+    merges a fingerprint-matching journal so the resumed run is
+    bit-identical to an uninterrupted one.  Both default to the
+    ambient :func:`~repro.core.checkpoint.current_controller` (the
+    CLI's ``--journal``/``--resume``), as does ``shard_timeout``.
     """
     config = config or PacketizerConfig()
     options = options or EngineOptions.from_packetizer(config)
     health = health if health is not None else RunHealth()
     telemetry = _telemetry()
+    controller = current_controller()
+    if resume is None:
+        resume = controller.resume
 
     files = list(filesystem)
     if max_files is not None:
         files = files[:max_files]
 
     name = getattr(filesystem, "name", "<anonymous>")
+    if journal is None and controller.journal_dir is not None:
+        from repro.store.journal import ShardJournal, journal_path
+
+        journal = ShardJournal(
+            journal_path(controller.journal_dir, name, config)
+        )
     telemetry.gauge("experiment.workers", workers or 1)
-    if store is not None:
+    if store is not None or journal is not None:
         from repro.store.runner import run_sharded_splice
 
         with telemetry.span("experiment.sharded_run"):
@@ -163,6 +219,8 @@ def run_splice_experiment(
                 files, config, options, store,
                 workers=workers, filesystem_name=name,
                 health=health, faults=faults,
+                journal=journal, resume=resume,
+                shard_timeout=shard_timeout,
             )
         counters.sanity_check()
         return SpliceExperimentResult(
@@ -171,15 +229,22 @@ def run_splice_experiment(
         )
 
     counters = SpliceCounters()
-    pool = _make_pool(workers, health, faults)
+    pool = _make_pool(workers, health, faults, shard_timeout)
     jobs = [(file.data, config, options) for file in files]
     with telemetry.span("experiment.run"):
         last = time.perf_counter()
-        for index, part in pool.run(jobs):
-            now = time.perf_counter()
-            _account_shard(telemetry, part, len(jobs[index][0]), now - last)
-            last = now
-            counters += part
+        done = 0
+        if not _check_stop(controller, health, telemetry, done, len(jobs)):
+            for index, part in pool.run(jobs):
+                now = time.perf_counter()
+                _account_shard(telemetry, part, len(jobs[index][0]), now - last)
+                last = now
+                counters += part
+                done += 1
+                if _check_stop(
+                    controller, health, telemetry, done, len(jobs)
+                ):
+                    break
     counters.sanity_check()
     return SpliceExperimentResult(
         filesystem=name,

@@ -76,14 +76,20 @@ class RunHealth:
     evictions: int = 0
     #: faults injected by an attached :class:`repro.faults.FaultPlan`.
     faults_injected: int = 0
+    #: corpus files skipped as unreadable during ingest.
+    files_skipped: int = 0
     #: True once the run demoted itself to store-less computation.
     storeless: bool = False
+    #: why the run stopped early (``"deadline"``, a signal name such as
+    #: ``"SIGTERM"``), or ``""`` for a run that finished its sweep.
+    interrupted: str = ""
     #: human-readable notes, one per degradation decision.
     degradations: list = field(default_factory=list)
 
     _INT_FIELDS = (
         "retries", "timeouts", "broken_pools", "pool_restarts",
         "fallbacks", "store_errors", "evictions", "faults_injected",
+        "files_skipped",
     )
 
     @property
@@ -92,6 +98,7 @@ class RunHealth:
         return (
             any(getattr(self, name) for name in self._INT_FIELDS)
             or self.storeless
+            or bool(self.interrupted)
             or bool(self.degradations)
         )
 
@@ -105,6 +112,7 @@ class RunHealth:
         for name in self._INT_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.storeless = self.storeless or other.storeless
+        self.interrupted = self.interrupted or other.interrupted
         for note in other.degradations:
             self.degrade(note)
         return self
@@ -144,6 +152,8 @@ class RunHealth:
             ("store_errors", "store error", "store errors"),
             ("evictions", "eviction", "evictions"),
             ("faults_injected", "fault injected", "faults injected"),
+            ("files_skipped", "unreadable file skipped",
+             "unreadable files skipped"),
         ]
         parts = []
         for name, singular, plural in labels:
@@ -152,6 +162,8 @@ class RunHealth:
                 parts.append("%d %s" % (count, singular if count == 1 else plural))
         if self.storeless:
             parts.append("store-less mode")
+        if self.interrupted:
+            parts.append("degraded: %s" % self.interrupted)
         return ", ".join(parts) if parts else "clean"
 
     def render(self):

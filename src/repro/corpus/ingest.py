@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 
 from repro.corpus.filesystem import Filesystem, SyntheticFile
 from repro.telemetry.core import current as _telemetry
@@ -46,21 +47,42 @@ def guess_kind(name, data):
     return "binary"
 
 
-def ingest_paths(paths, limit=10_000_000, name="user-data", min_size=1):
+def ingest_paths(paths, limit=10_000_000, name="user-data", min_size=1,
+                 health=None):
     """Read files (or walk directories) into a :class:`Filesystem`.
 
-    Unreadable entries are skipped; ingestion stops once ``limit``
-    bytes have been collected.  Walk order is sorted for determinism.
+    A live volume misbehaves in ways a synthetic corpus never does:
+    files vanish between the directory walk and the ``open``, walks hit
+    permission-denied subtrees, reads fail mid-stream.  None of that
+    aborts an ingest — every unreadable entry (and every directory the
+    walk could not enter) is skipped, counted, and summarized in **one**
+    aggregated :class:`RuntimeWarning` at the end, and when ``health``
+    (a :class:`repro.core.supervisor.RunHealth`) is supplied the skip
+    count and a degradation note ride into the run's report footnotes.
+    Ingestion stops once ``limit`` bytes have been collected; walk
+    order is sorted for determinism.
     """
     telemetry = _telemetry()
     fs = Filesystem(name)
     total = 0
+    skipped = []
+
+    def note_skip(path, exc):
+        skipped.append((str(path), exc.__class__.__name__))
+        telemetry.count("corpus.ingest_skipped")
+
     t0 = time.perf_counter()
     with telemetry.span("corpus.ingest"):
         for path in paths:
             candidates = []
             if os.path.isdir(path):
-                for root, dirs, names in os.walk(path):
+                walk = os.walk(
+                    path,
+                    onerror=lambda exc: note_skip(
+                        getattr(exc, "filename", None) or path, exc
+                    ),
+                )
+                for root, dirs, names in walk:
                     dirs.sort()
                     candidates.extend(
                         os.path.join(root, n) for n in sorted(names)
@@ -73,8 +95,8 @@ def ingest_paths(paths, limit=10_000_000, name="user-data", min_size=1):
                 try:
                     with open(candidate, "rb") as handle:
                         data = handle.read(limit - total)
-                except OSError:
-                    telemetry.count("corpus.ingest_skipped")
+                except OSError as exc:
+                    note_skip(candidate, exc)
                     continue
                 if len(data) < min_size:
                     continue
@@ -86,4 +108,26 @@ def ingest_paths(paths, limit=10_000_000, name="user-data", min_size=1):
             if total >= limit:
                 break
     telemetry.meter("corpus.ingest_bytes", total, time.perf_counter() - t0)
+    if skipped:
+        _report_skips(skipped, health)
     return fs
+
+
+def _report_skips(skipped, health):
+    """One aggregated warning (plus the RunHealth record) per ingest."""
+    preview = ", ".join(
+        "%s (%s)" % entry for entry in skipped[:3]
+    )
+    if len(skipped) > 3:
+        preview += ", ... and %d more" % (len(skipped) - 3)
+    warnings.warn(
+        "corpus ingest skipped %d unreadable entr%s: %s"
+        % (len(skipped), "y" if len(skipped) == 1 else "ies", preview),
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    if health is not None:
+        health.files_skipped += len(skipped)
+        health.degrade(
+            "ingest skipped %d unreadable file(s)" % len(skipped)
+        )

@@ -132,6 +132,7 @@ def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs
             telemetry = _telemetry()
             if telemetry.enabled and report.metrics is None:
                 report.metrics = telemetry.snapshot()
+            _attach_provenance(report)
             return report
 
     function = resolve(experiment_id)
@@ -174,4 +175,19 @@ def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs
     telemetry = _telemetry()
     if telemetry.enabled and report.metrics is None:
         report.metrics = telemetry.snapshot()
+    _attach_provenance(report)
     return report
+
+
+def _attach_provenance(report):
+    """Record the ambient run-shaping knobs on ``report`` (post-cache).
+
+    Like ``metrics``, provenance describes the *invocation* rather than
+    the result, so it is attached only after the cache put — persisted
+    reports stay knob-free and replay identically under any flags.
+    """
+    from repro.core.checkpoint import current_controller
+
+    provenance = current_controller().provenance()
+    if provenance and report.provenance is None:
+        report.provenance = provenance

@@ -30,6 +30,11 @@ class ExperimentReport:
     #: persisted to the result cache — cached reports replay without
     #: stale timings.
     metrics: dict = None
+    #: run-shaping knobs of the generating invocation (see
+    #: :meth:`repro.core.checkpoint.SweepController.provenance`:
+    #: shard timeout, deadline, resume).  Attached after the cache
+    #: put, like ``metrics``, so cached entries stay invocation-free.
+    provenance: dict = None
 
     def __str__(self):
         return "%s -- %s\n\n%s" % (self.experiment_id, self.title, self.text)
@@ -56,6 +61,8 @@ class ExperimentReport:
             payload["health"] = self.health
         if self.metrics is not None:
             payload["metrics"] = self.metrics
+        if self.provenance is not None:
+            payload["provenance"] = self.provenance
         return json.dumps(payload, sort_keys=True)
 
     @classmethod
@@ -74,4 +81,5 @@ class ExperimentReport:
             data=payload.get("data", {}),
             health=payload.get("health"),
             metrics=payload.get("metrics"),
+            provenance=payload.get("provenance"),
         )

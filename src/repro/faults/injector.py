@@ -22,6 +22,7 @@ from __future__ import annotations
 import errno
 import multiprocessing
 import os
+import signal
 import time
 
 from repro.store.objstore import frame_object, unframe_object
@@ -179,6 +180,17 @@ def apply_directive(directive):
         os._exit(13)  # a pool worker dying without cleanup
     if kind == "kill":
         raise SimulatedCrash("simulated kill at a shard boundary")
+    if kind in ("sigint", "sigterm"):
+        # Deliver the real signal to this process, then compute the
+        # shard normally: under a sequential sweep the parent's
+        # SweepController handler absorbs it and the run stops —
+        # checkpointed — at the next shard boundary.  (In a pool
+        # worker the default handler kills the worker instead; the
+        # supervisor's ladder treats that as an ordinary crash.)
+        signum = getattr(signal, kind.upper(), None)
+        if signum is not None:  # pragma: no branch - POSIX always has both
+            os.kill(os.getpid(), signum)
+        return
     if kind == "raise":
         raise FaultInjected("injected worker exception")
     if kind == "stall":

@@ -45,8 +45,14 @@ KIND_TO_OP = {
     "enoent": "delete",   # concurrent eviction won the race
 }
 
-#: Worker fault kinds the injector's shim understands.
-WORKER_KINDS = ("crash", "raise", "stall", "kill")
+#: Worker fault kinds the injector's shim understands.  The ``sigint``
+#: and ``sigterm`` kinds deliver the named signal to the executing
+#: process and then *run the shard normally* — under a sequential
+#: sweep the parent's :class:`repro.core.checkpoint.SweepController`
+#: handler catches it and the sweep stops, checkpointed, at the next
+#: shard boundary (the deterministic interrupt used by the resume
+#: tests).
+WORKER_KINDS = ("crash", "raise", "stall", "kill", "sigint", "sigterm")
 
 
 @dataclass(frozen=True)

@@ -99,11 +99,18 @@ class LintConfig:
         "repro", "repro.core",
     ))
 
-    # -- crash consistency (REP401) ------------------------------------
+    # -- crash consistency (REP401/REP402) -----------------------------
 
     #: Packages whose renames must be fsync-ordered.
     store_prefixes: tuple = field(default_factory=lambda: _tuple(
         "repro.store",
+    ))
+
+    #: Checkpoint-journal modules: every filesystem write must route
+    #: through the store's atomic-write helper (REP402) so a kill
+    #: between shards can never tear a checkpoint.
+    journal_prefixes: tuple = field(default_factory=lambda: _tuple(
+        "repro.store.journal",
     ))
 
     # -- protocol conformance (REP501) ---------------------------------
@@ -145,6 +152,9 @@ class LintConfig:
 
     def is_store(self, module):
         return _prefixed(module, self.store_prefixes)
+
+    def is_journal(self, module):
+        return _prefixed(module, self.journal_prefixes)
 
     def is_registry(self, module):
         return module in self.registry_modules

@@ -1,10 +1,17 @@
-"""Crash-consistency and protocol-conformance rules: REP401, REP501.
+"""Crash-consistency and protocol-conformance rules: REP401/402, REP501.
 
 REP401 guards the store's durability contract: an ``os.replace`` into
 place is only crash-safe if the file contents were fsynced *before*
 the rename and the parent directory entry is fsynced *after* it --
 otherwise a power cut can resurrect a half-written object or forget a
 fully-written one ever had a name.
+
+REP402 guards the checkpoint journal's torn-write contract: journal
+modules exist so an interrupted sweep can resume from its last shard
+boundary, which only holds if *every* write they perform is the
+all-or-nothing ``atomic_write`` discipline -- one raw ``open(...,
+"wb")`` or ``Path.write_bytes`` and a kill mid-write leaves a torn
+checkpoint that silently discards hours of completed shards.
 
 REP501 statically re-checks what the runtime conformance tests check
 dynamically: every algorithm registered in ``checksums.registry``
@@ -20,7 +27,11 @@ import ast
 
 from repro.lint.engine import Rule, dotted_name, register
 
-__all__ = ["FsyncOrderedRenameRule", "RegistryConformanceRule"]
+__all__ = [
+    "FsyncOrderedRenameRule",
+    "JournalAtomicWriteRule",
+    "RegistryConformanceRule",
+]
 
 _RENAMES = {"os.rename", "os.replace"}
 
@@ -92,6 +103,102 @@ class FsyncOrderedRenameRule(Rule):
         chain = dotted_name(node.func) or ""
         leaf = chain.rsplit(".", 1)[-1].lower()
         return "fsync" in leaf and "dir" in leaf
+
+
+#: Call chains that mutate the filesystem directly (REP402).
+_RAW_WRITE_CALLS = {"os.write", "os.rename", "os.replace", "os.truncate"}
+
+#: Attribute leaves that write through a file/path object (REP402).
+_RAW_WRITE_ATTRS = {"write_bytes", "write_text"}
+
+#: ``open()`` mode characters that imply mutation (REP402).
+_WRITE_MODE_CHARS = set("wax+")
+
+
+@register
+class JournalAtomicWriteRule(Rule):
+    """REP402: journal modules write only through the atomic helper."""
+
+    id = "REP402"
+    title = "unjournaled-checkpoint-write"
+    severity = "error"
+    category = "crash-consistency"
+    invariant = (
+        "Every filesystem write in a checkpoint-journal module routes "
+        "through the store's atomic_write helper (write, fsync, "
+        "rename, directory fsync), so an interrupt can tear a "
+        "checkpoint file in no kill window."
+    )
+
+    def check(self, module, ctx):
+        if not ctx.config.is_journal(module.name):
+            return
+        yield from self._scan(module, module.tree.body, exempt=False)
+
+    def _scan(self, module, body, exempt):
+        """Walk statements, tracking whether an atomic helper encloses us.
+
+        A function whose name marks it as the atomic-write discipline
+        itself (``atomic_write``, ``_atomic_replace``, ...) is the one
+        place raw write APIs are legitimate -- everything else in a
+        journal module must call the helper instead of reimplementing
+        (or worse, skipping) it.
+        """
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._scan(
+                    module, node.body,
+                    exempt or "atomic" in node.name.lower(),
+                )
+                continue
+            if isinstance(node, ast.ClassDef):
+                yield from self._scan(module, node.body, exempt)
+                continue
+            if exempt:
+                continue
+            for call in ast.walk(node):
+                if isinstance(call, ast.Call):
+                    message = self._raw_write(call)
+                    if message:
+                        yield self.finding(module, call, message)
+
+    def _raw_write(self, call):
+        """Why ``call`` is a raw (non-atomic) write, or None."""
+        chain = dotted_name(call.func) or ""
+        leaf = chain.rsplit(".", 1)[-1]
+        if chain in _RAW_WRITE_CALLS:
+            return (
+                "%s() bypasses the atomic_write discipline; a kill "
+                "mid-call tears the checkpoint" % chain
+            )
+        if leaf in _RAW_WRITE_ATTRS:
+            return (
+                ".%s() writes the checkpoint in place; route the bytes "
+                "through atomic_write so readers see old-or-new, never "
+                "torn" % leaf
+            )
+        if leaf == "open":
+            mode = self._open_mode(call)
+            if mode is not None and set(mode) & _WRITE_MODE_CHARS:
+                return (
+                    "open(..., %r) writes the checkpoint in place; "
+                    "route the bytes through atomic_write instead" % mode
+                )
+        return None
+
+    @staticmethod
+    def _open_mode(call):
+        """The literal mode string of an ``open`` call, or None."""
+        node = None
+        if len(call.args) >= 2:
+            node = call.args[1]
+        else:
+            for keyword in call.keywords:
+                if keyword.arg == "mode":
+                    node = keyword.value
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
 
 
 @register

@@ -1,0 +1,241 @@
+"""Crash-safe shard journal: per-sweep checkpoints for mid-sweep resume.
+
+The artifact store already caches *shards* (keyed by file content +
+configuration) and *manifests* (completion state), but both require a
+``RunStore`` — a plain ``repro-checksums splice`` run had nothing on
+disk, so an interrupt lost every completed shard.  The journal closes
+that gap: one small integrity-trailed JSON file per in-flight sweep,
+atomically rewritten (write → fsync → rename, the objstore's
+:func:`~repro.store.objstore.atomic_write` discipline) after every
+drained shard, holding the sweep **fingerprint** and each completed
+shard's :class:`~repro.core.results.SpliceCounters`.
+
+Contract:
+
+* the fingerprint is the sweep's :func:`~repro.store.runner.run_key_for`
+  identity — a digest over the corpus content, the packetizer/engine
+  configuration, and the result schema.  ``--resume`` loads the journal
+  **only** when the stored fingerprint matches the sweep about to run;
+  a mismatch (changed corpus, config, or algorithm set) discards the
+  journal with one warning — stale checkpoints are never merged;
+* records are written through :func:`~repro.store.objstore.atomic_write`
+  (statically enforced by reprolint REP402), so a kill between shards
+  leaves either the previous checkpoint or the new one, never a torn
+  file — and the CRC trailer catches any bit rot on top;
+* a journal whose frame or JSON fails to parse degrades to "no
+  journal" (the sweep restarts cleanly), mirroring the manifest
+  store's any-defect-is-a-miss posture;
+* :meth:`ShardJournal.complete` deletes the file, so a journal on disk
+  always means "this sweep was interrupted here".
+
+Resuming merges journaled counters into the same deterministic
+first-seen-key order the sharded runner uses, so a resumed sweep is
+bit-identical to an uninterrupted one, at any ``--workers`` width.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import warnings
+from pathlib import Path
+
+from repro.store.keys import SCHEMA_VERSION
+from repro.store.objstore import (
+    DEFAULT_ALGORITHM,
+    IntegrityError,
+    atomic_write,
+    default_root,
+    frame_object,
+    unframe_object,
+)
+from repro.telemetry.core import current as _telemetry
+
+__all__ = ["ShardJournal", "default_journal_dir", "journal_path", "open_journal"]
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def default_journal_dir(root=None):
+    """The journal directory under a store root (``<root>/journal``)."""
+    base = Path(root) if root is not None else default_root()
+    return base / "journal"
+
+
+def _slug(text, limit=80):
+    """A filesystem-safe slug of a sweep label (never dot-leading)."""
+    slug = _SLUG_RE.sub("-", str(text)).strip("-.") or "sweep"
+    return slug[:limit]
+
+
+def journal_path(journal_dir, filesystem_name, config):
+    """The stable journal path of one sweep *label*.
+
+    Named by the coarse identity (corpus label, algorithm, placement)
+    rather than the full fingerprint, so rerunning the "same" sweep
+    over changed bytes or options finds the stale journal and lets the
+    fingerprint check discard it loudly instead of silently starting a
+    second file.
+    """
+    placement = getattr(getattr(config, "placement", None), "value", "na")
+    label = "%s-%s-%s" % (
+        filesystem_name, getattr(config, "algorithm", "na"), placement,
+    )
+    return Path(journal_dir) / (_slug(label) + ".journal")
+
+
+def open_journal(root=None, filesystem_name="sweep", config=None):
+    """A :class:`ShardJournal` under ``<root>/journal`` for one sweep."""
+    return ShardJournal(
+        journal_path(default_journal_dir(root), filesystem_name, config)
+    )
+
+
+class ShardJournal:
+    """One sweep's checkpoint file: fingerprint + completed counters."""
+
+    #: Bump when the journal payload layout changes; old journals are
+    #: then discarded as stale rather than misread.
+    SCHEMA = SCHEMA_VERSION
+
+    def __init__(self, path, algorithm=DEFAULT_ALGORITHM):
+        self.path = Path(path)
+        self.algorithm = algorithm
+        self._fingerprint = None
+        self._label = ""
+        self._total = 0
+        self._entries = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open_run(self, fingerprint, label="", total=0, resume=False):
+        """Bind the journal to one sweep; return the resumable counters.
+
+        With ``resume``, a stored journal whose fingerprint matches
+        ``fingerprint`` yields its ``{shard_key: SpliceCounters}`` map;
+        a mismatched or defective journal is discarded with a warning
+        and an empty map is returned.  Without ``resume`` the journal
+        always starts empty (the first :meth:`record` overwrites any
+        leftover file).
+        """
+        from repro.core.results import SpliceCounters
+
+        self._fingerprint = fingerprint
+        self._label = label
+        self._total = total
+        self._entries = {}
+        if not resume:
+            return {}
+        payload = self._read_payload()
+        if payload is None:
+            return {}
+        if payload.get("fingerprint") != fingerprint:
+            _telemetry().count("checkpoint.stale_journals")
+            warnings.warn(
+                "stale sweep journal %s: fingerprint mismatch (the corpus, "
+                "configuration, or algorithm set changed since it was "
+                "written); discarding it and restarting the sweep"
+                % self.path,
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.discard()
+            return {}
+        entries = {}
+        try:
+            for key in sorted(payload.get("entries", {})):
+                entries[key] = SpliceCounters.from_dict(
+                    payload["entries"][key]
+                )
+        except (TypeError, ValueError):
+            warnings.warn(
+                "defective sweep journal %s: entries failed to parse; "
+                "discarding it and restarting the sweep" % self.path,
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.discard()
+            return {}
+        self._entries = dict(entries)
+        return entries
+
+    def record(self, shard_key, counters):
+        """Checkpoint one completed shard (atomic full rewrite)."""
+        self._entries[shard_key] = counters
+        self.flush()
+
+    def flush(self):
+        """Persist the current checkpoint state atomically."""
+        telemetry = _telemetry()
+        with telemetry.span("journal.flush"):
+            atomic_write(self.path, frame_object(
+                self._payload_bytes(), self.algorithm
+            ))
+        telemetry.count("checkpoint.journal_writes")
+
+    def complete(self):
+        """The sweep finished: a journal on disk means 'interrupted'."""
+        self.discard()
+
+    def discard(self):
+        """Remove the journal file (idempotent)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def done(self):
+        """Shards checkpointed so far (loaded + recorded)."""
+        return len(self._entries)
+
+    @property
+    def total(self):
+        """Total unique shards of the bound sweep."""
+        return self._total
+
+    def exists(self):
+        return self.path.is_file()
+
+    # -- wire format --------------------------------------------------------
+
+    def _payload_bytes(self):
+        payload = {
+            "schema": self.SCHEMA,
+            "fingerprint": self._fingerprint,
+            "label": self._label,
+            "total": self._total,
+            "entries": {
+                key: self._entries[key].to_dict()
+                for key in sorted(self._entries)
+            },
+        }
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def _read_payload(self):
+        """The stored payload dict, or None (missing/defective).
+
+        Any defect — unreadable file, failed integrity trailer,
+        undecodable or unparsable JSON, schema drift — degrades to
+        "no journal" and removes the defective file best-effort.
+        """
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            raw, _ = unframe_object(blob)
+            payload = json.loads(raw.decode("utf-8"))
+        except (IntegrityError, UnicodeDecodeError, ValueError):
+            self.discard()
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != self.SCHEMA:
+            self.discard()
+            return None
+        return payload

@@ -39,6 +39,7 @@ __all__ = [
     "DEFAULT_ALGORITHM",
     "IntegrityError",
     "ObjectStore",
+    "atomic_write",
     "default_root",
 ]
 
@@ -89,6 +90,37 @@ def _fsync_dir(path):
 def _is_object_name(name):
     """True for fan-out object filenames (hex, no temp suffix)."""
     return len(name) >= 6 and not name.endswith(".tmp") and set(name) <= _HEX_DIGITS
+
+
+def atomic_write(path, blob):
+    """The store's atomic-write discipline, reusable outside the store.
+
+    A temp file in the destination directory is populated, flushed,
+    and fsynced, then ``os.replace``-d into place, and the parent
+    directory entry is fsynced so a power cut can neither resurrect a
+    half-written file nor forget a fully-written one ever had a name.
+    Readers therefore observe the old bytes or the new bytes, never a
+    mixture.  The sweep checkpoint journal routes every write through
+    this helper (enforced statically by reprolint REP402).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # Crash durability: the rename itself lives in the directory
+    # entry, so fsync the parent too — otherwise a power cut can
+    # forget a fully-fsynced object ever had a name.
+    _fsync_dir(path.parent)
 
 
 def frame_object(payload, algorithm_name=DEFAULT_ALGORITHM):
@@ -188,26 +220,9 @@ class ObjectStore:
         telemetry.observe("store.put_seconds", time.perf_counter() - t0)
         return key
 
-    @staticmethod
-    def _atomic_write(path, blob):
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        # Crash durability: the rename itself lives in the directory
-        # entry, so fsync the parent too — otherwise a power cut can
-        # forget a fully-fsynced object ever had a name.
-        _fsync_dir(path.parent)
+    #: Kept as a method for wrappers (the fault injector tears writes
+    #: through it); the discipline itself is :func:`atomic_write`.
+    _atomic_write = staticmethod(atomic_write)
 
     # -- read -------------------------------------------------------------
 

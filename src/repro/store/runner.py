@@ -189,6 +189,9 @@ def run_sharded_splice(
     filesystem_name="<anonymous>",
     health=None,
     faults=None,
+    journal=None,
+    resume=False,
+    shard_timeout=None,
 ):
     """Merge per-file splice counters, reusing every intact cached shard.
 
@@ -199,13 +202,26 @@ def run_sharded_splice(
     recomputed.  ``health`` accumulates the supervision record;
     ``faults`` threads a deterministic fault plan into the pool's
     worker shim (the store side is injected by wrapping ``store``).
+
+    ``store`` may be None when only a ``journal`` (a
+    :class:`repro.store.journal.ShardJournal`) is in play: the journal
+    checkpoints every drained shard atomically, ``resume`` merges a
+    fingerprint-matching journal's counters before dispatch, and the
+    ambient :class:`~repro.core.checkpoint.SweepController` is polled
+    at every shard boundary so a signal or an expired ``--deadline``
+    stops the sweep cleanly — checkpointed, never torn.  The resumed
+    merge follows the same deterministic first-seen key order, so a
+    resumed run is bit-identical to an uninterrupted one at any
+    ``workers`` width.
     """
     # Import here: core.experiment lazily imports this module, so the
     # pool construction is shared without a load-time cycle.
-    from repro.core.experiment import _account_shard, _make_pool
+    from repro.core.checkpoint import current_controller
+    from repro.core.experiment import _account_shard, _check_stop, _make_pool
 
     health = health if health is not None else RunHealth()
     telemetry = _telemetry()
+    controller = current_controller()
     guard = _StoreGuard(store, health)
 
     shard_keys = [
@@ -213,6 +229,14 @@ def run_sharded_splice(
         for file in files
     ]
     run_key = run_key_for(filesystem_name, shard_keys)
+    unique_keys = list(dict.fromkeys(shard_keys))
+    journal_entries = {}
+    if journal is not None:
+        with telemetry.span("journal.open"):
+            journal_entries = journal.open_run(
+                run_key, label=filesystem_name,
+                total=len(unique_keys), resume=resume,
+            )
     manifest = guard.load_manifest(run_key)
     if manifest is None:
         manifest = RunManifest(
@@ -227,15 +251,23 @@ def run_sharded_splice(
     # recomputed below (the cache evicts corrupt frames itself).  The
     # iteration order is the deterministic first-seen file order — with
     # fault injection active, store faults must replay identically.
+    # Journaled counters fill in what the shard cache cannot serve;
+    # fingerprint validation upstream guarantees they belong here.
     loaded = {}
+    resumed = 0
     with telemetry.span("store.shard_load"):
-        for key in dict.fromkeys(shard_keys):
+        for key in unique_keys:
             counters = guard.get_shard(key)
+            if counters is None and key in journal_entries:
+                counters = journal_entries[key]
+                resumed += 1
             if counters is not None:
                 loaded[key] = counters
                 manifest.mark_done(key)
             else:
                 manifest.mark_pending(key)
+    if resumed:
+        telemetry.count("checkpoint.resumed_shards", resumed)
 
     missing = [
         (index, key)
@@ -253,23 +285,38 @@ def run_sharded_splice(
     telemetry.count("store.shard_hits", len(loaded))
     telemetry.count("store.shard_misses", len(unique_missing))
 
-    pool = _make_pool(workers, health, faults)
-    with telemetry.span("store.shard_compute"):
-        last = time.perf_counter()
-        for index, counters in pool.run([job for _, job in jobs]):
-            now = time.perf_counter()
-            _account_shard(
-                telemetry, counters, len(jobs[index][1][0]), now - last
-            )
-            last = now
-            _store_shard(guard, manifest, loaded, jobs[index][0], counters)
+    pool = _make_pool(workers, health, faults, shard_timeout)
+    total = len(unique_keys)
+    stopped = _check_stop(
+        controller, health, telemetry, len(loaded), total, journal
+    )
+    if not stopped:
+        with telemetry.span("store.shard_compute"):
+            last = time.perf_counter()
+            for index, counters in pool.run([job for _, job in jobs]):
+                now = time.perf_counter()
+                _account_shard(
+                    telemetry, counters, len(jobs[index][1][0]), now - last
+                )
+                last = now
+                _store_shard(guard, manifest, loaded, jobs[index][0], counters)
+                if journal is not None:
+                    journal.record(jobs[index][0], counters)
+                stopped = _check_stop(
+                    controller, health, telemetry, len(loaded), total, journal
+                )
+                if stopped:
+                    break
 
     if not jobs:  # pure resume/hit: still persist the refreshed manifest
         guard.save_manifest(manifest)
+    if journal is not None and not stopped:
+        journal.complete()  # a journal on disk always means "interrupted"
 
     merged = SpliceCounters()
     for key in shard_keys:
-        merged += loaded[key]
+        if key in loaded:  # on a deadline stop the merge is partial
+            merged += loaded[key]
     return merged
 
 

@@ -10,6 +10,21 @@ from repro.corpus.generators import generate
 from repro.protocols.packetizer import PacketizerConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_root(tmp_path_factory, monkeypatch):
+    """Point the artifact store (and sweep journals) at a tmp root.
+
+    CLI runs journal sweeps by default; without this, in-process
+    ``main([...])`` calls in tests would write checkpoints under the
+    real ``~/.cache/repro-checksums``.  Tests that pin the env-var
+    behaviour override the variable themselves.
+    """
+    monkeypatch.setenv(
+        "REPRO_CHECKSUMS_CACHE",
+        str(tmp_path_factory.mktemp("cache-root")),
+    )
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

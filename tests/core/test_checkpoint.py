@@ -1,0 +1,212 @@
+"""The sweep controller: signals, deadlines, and checkpointed stops."""
+
+from __future__ import annotations
+
+import signal
+import time
+
+import pytest
+
+from repro.core.checkpoint import (
+    NULL_CONTROLLER,
+    SweepController,
+    SweepInterrupted,
+    current_controller,
+    sweep_guard,
+)
+from repro.core.experiment import run_splice_experiment
+from repro.faults.plan import FaultPlan
+from repro.protocols.packetizer import PacketizerConfig
+from repro.store.journal import ShardJournal, journal_path
+from tests.conftest import make_filesystem
+
+KINDS = [
+    ("english", 6_000), ("gmon", 5_000),
+    ("c-source", 6_000), ("zero-heavy", 5_000),
+]
+
+
+@pytest.fixture
+def fs():
+    return make_filesystem(KINDS, seed=23, name="stopbox")
+
+
+@pytest.fixture
+def config():
+    return PacketizerConfig()
+
+
+class TestController:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="deadline"):
+            SweepController(deadline=0)
+        with pytest.raises(ValueError, match="shard timeout"):
+            SweepController(shard_timeout=-1)
+
+    def test_no_stop_by_default(self):
+        controller = SweepController()
+        assert controller.stop_reason() is None
+        assert not controller.deadline_exceeded()
+
+    def test_request_stop_wins_and_sticks(self):
+        controller = SweepController()
+        controller.request_stop(signal.SIGTERM)
+        controller.request_stop(signal.SIGINT)  # first request wins
+        assert controller.stop_reason() == "signal"
+        assert controller.signal_name() == "SIGTERM"
+        with pytest.raises(SweepInterrupted) as excinfo:
+            controller.interrupt(3, 7)
+        exc = excinfo.value
+        assert exc.signum == signal.SIGTERM
+        assert "checkpointed at shard 3/7" in str(exc)
+
+    def test_deadline_expires_on_the_monotonic_clock(self):
+        controller = SweepController(deadline=0.01)
+        assert controller.stop_reason() is None or True  # may race; poll
+        time.sleep(0.02)
+        assert controller.deadline_exceeded()
+        assert controller.stop_reason() == "deadline"
+
+    def test_signal_outranks_deadline(self):
+        controller = SweepController(deadline=0.001)
+        time.sleep(0.005)
+        controller.request_stop()
+        assert controller.stop_reason() == "signal"
+
+    def test_provenance_lists_only_set_knobs(self):
+        assert SweepController().provenance() == {}
+        assert SweepController(
+            deadline=5, shard_timeout=2, resume=True
+        ).provenance() == {"deadline": 5, "shard_timeout": 2, "resume": True}
+        assert NULL_CONTROLLER.provenance() == {}
+
+
+class TestGuard:
+    def test_guard_installs_and_restores_the_controller(self):
+        assert current_controller() is NULL_CONTROLLER
+        with sweep_guard(shard_timeout=2.5) as controller:
+            assert current_controller() is controller
+            assert current_controller().shard_timeout == 2.5
+        assert current_controller() is NULL_CONTROLLER
+
+    def test_nested_guards_stack(self):
+        with sweep_guard() as outer:
+            with sweep_guard(deadline=9) as inner:
+                assert current_controller() is inner
+            assert current_controller() is outer
+
+    def test_signal_handlers_are_restored(self):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        with sweep_guard():
+            assert signal.getsignal(signal.SIGINT) != before_int
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
+
+    def test_install_signals_false_leaves_handlers_alone(self):
+        before = signal.getsignal(signal.SIGINT)
+        with sweep_guard(install_signals=False):
+            assert signal.getsignal(signal.SIGINT) is before
+
+    def test_real_signal_sets_the_stop_flag(self):
+        import os
+
+        with sweep_guard() as controller:
+            os.kill(os.getpid(), signal.SIGINT)
+            # The handler ran synchronously in this (main) thread.
+            assert controller.stop_signal == signal.SIGINT
+            assert controller.stop_reason() == "signal"
+
+
+class TestSweepIntegration:
+    """The interrupt/checkpoint/resume loop, in-process and deterministic.
+
+    The ``sigint`` fault directive delivers a real SIGINT to the
+    (sequential) sweep right before shard 1 computes; the installed
+    handler converts it to a stop request, the shard finishes, and the
+    sweep raises :class:`SweepInterrupted` at the boundary — after
+    flushing the journal.  A resumed run completes bit-identically.
+    """
+
+    def test_sigint_checkpoints_then_resume_is_bit_identical(
+        self, tmp_path, fs, config
+    ):
+        clean = run_splice_experiment(fs, config).counters
+        path = journal_path(tmp_path, fs.name, config)
+        plan = FaultPlan(0, worker_script={1: "sigint"})
+
+        with sweep_guard() as controller:
+            with pytest.raises(SweepInterrupted) as excinfo:
+                run_splice_experiment(
+                    fs, config, faults=plan, journal=ShardJournal(path)
+                )
+        assert excinfo.value.signum == signal.SIGINT
+        assert excinfo.value.done == 2  # shards 0 and 1 checkpointed
+        assert excinfo.value.total == len(KINDS)
+        assert controller.signal_name() == "SIGINT"
+        assert path.is_file()  # the journal survived the interrupt
+
+        resumed = run_splice_experiment(
+            fs, config, journal=ShardJournal(path), resume=True
+        )
+        assert resumed.counters == clean
+        assert not resumed.health.eventful  # resume is not a degradation
+        assert not path.is_file()  # completion deletes the journal
+
+    def test_sigterm_maps_to_its_own_signum(self, tmp_path, fs, config):
+        path = journal_path(tmp_path, fs.name, config)
+        plan = FaultPlan(0, worker_script={0: "sigterm"})
+        with sweep_guard():
+            with pytest.raises(SweepInterrupted) as excinfo:
+                run_splice_experiment(
+                    fs, config, faults=plan, journal=ShardJournal(path)
+                )
+        assert excinfo.value.signum == signal.SIGTERM
+        assert "SIGTERM" in str(excinfo.value)
+
+    def test_deadline_returns_partial_degraded_result(self, fs, config):
+        with sweep_guard(deadline=0.000_1, install_signals=False) as ctl:
+            time.sleep(0.002)
+            result = run_splice_experiment(fs, config)
+        assert ctl.deadline_fired
+        assert result.health.interrupted == "deadline"
+        assert result.health.eventful
+        assert any(
+            "deadline exceeded" in note
+            for note in result.health.degradations
+        )
+        assert result.counters.total == 0  # stopped before shard 0
+
+    def test_ambient_journal_dir_and_resume_flow(self, tmp_path, fs, config):
+        clean = run_splice_experiment(fs, config).counters
+        plan = FaultPlan(0, worker_script={1: "sigint"})
+        with sweep_guard(journal_dir=tmp_path):
+            with pytest.raises(SweepInterrupted):
+                run_splice_experiment(fs, config, faults=plan)
+        path = journal_path(tmp_path, fs.name, config)
+        assert path.is_file()
+        with sweep_guard(journal_dir=tmp_path, resume=True):
+            resumed = run_splice_experiment(fs, config)
+        assert resumed.counters == clean
+        assert not path.is_file()
+
+    def test_stale_journal_is_discarded_on_config_change(
+        self, tmp_path, fs, config
+    ):
+        plan = FaultPlan(0, worker_script={1: "sigint"})
+        with sweep_guard(journal_dir=tmp_path):
+            with pytest.raises(SweepInterrupted):
+                run_splice_experiment(fs, config, faults=plan)
+        # Same label coordinates, different engine options -> different
+        # fingerprint -> the journal is discarded loudly, not merged.
+        changed = PacketizerConfig(mss=512)
+        same_label_path = journal_path(tmp_path, fs.name, config)
+        changed_path = journal_path(tmp_path, fs.name, changed)
+        if same_label_path == changed_path:
+            with sweep_guard(journal_dir=tmp_path, resume=True):
+                with pytest.warns(RuntimeWarning, match="stale"):
+                    run_splice_experiment(fs, changed)
+        else:  # label differs: the stale journal is simply not found
+            with sweep_guard(journal_dir=tmp_path, resume=True):
+                run_splice_experiment(fs, changed)
+            assert same_label_path.is_file()

@@ -1,7 +1,11 @@
 """Tests for ingesting real files from disk."""
 
+import builtins
 import os
 
+import pytest
+
+from repro.core.supervisor import RunHealth
 from repro.corpus.generators import generate
 from repro.corpus.ingest import guess_kind, ingest_paths
 
@@ -48,7 +52,10 @@ class TestIngestPaths:
 
     def test_unreadable_skipped(self, tmp_path):
         (tmp_path / "ok").write_bytes(b"fine")
-        fs = ingest_paths([str(tmp_path / "ok"), str(tmp_path / "missing")])
+        with pytest.warns(RuntimeWarning, match="skipped 1 unreadable"):
+            fs = ingest_paths(
+                [str(tmp_path / "ok"), str(tmp_path / "missing")]
+            )
         assert len(fs) == 1
 
     def test_empty_files_skipped(self, tmp_path):
@@ -64,3 +71,76 @@ class TestIngestPaths:
         fs = ingest_paths([str(tmp_path)])
         counters = run_splice_experiment(fs).counters
         assert counters.total > 0
+
+
+class TestIngestHardening:
+    """Unreadable entries never abort an ingest; they are counted."""
+
+    def test_vanished_mid_walk_files_are_skipped(self, tmp_path, monkeypatch):
+        for name in ("a", "b", "c"):
+            (tmp_path / name).write_bytes(b"x" * 64)
+        real_open = builtins.open
+
+        def flaky_open(path, *args, **kwargs):
+            # "b" vanishes between the walk and the open.
+            if str(path).endswith("b"):
+                raise FileNotFoundError(2, "vanished mid-walk", str(path))
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", flaky_open)
+        health = RunHealth()
+        with pytest.warns(RuntimeWarning, match="skipped 1 unreadable"):
+            fs = ingest_paths([str(tmp_path)], health=health)
+        assert len(fs) == 2
+        assert health.files_skipped == 1
+        assert any("unreadable" in note for note in health.degradations)
+
+    def test_permission_denied_files_are_skipped(self, tmp_path, monkeypatch):
+        for name in ("a", "b"):
+            (tmp_path / name).write_bytes(b"x" * 64)
+        real_open = builtins.open
+
+        def denied_open(path, *args, **kwargs):
+            if str(path).endswith("a"):
+                raise PermissionError(13, "denied", str(path))
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", denied_open)
+        with pytest.warns(RuntimeWarning, match="PermissionError"):
+            fs = ingest_paths([str(tmp_path)])
+        assert len(fs) == 1
+
+    def test_one_aggregated_warning_for_many_skips(self, tmp_path):
+        (tmp_path / "ok").write_bytes(b"fine")
+        missing = [str(tmp_path / ("gone%d" % i)) for i in range(5)]
+        with pytest.warns(RuntimeWarning) as records:
+            fs = ingest_paths([str(tmp_path / "ok"), *missing])
+        ours = [
+            r for r in records
+            if "unreadable" in str(r.message)
+        ]
+        assert len(ours) == 1
+        assert "skipped 5 unreadable" in str(ours[0].message)
+        assert "and 2 more" in str(ours[0].message)
+        assert len(fs) == 1
+
+    def test_unwalkable_directory_is_counted(self, tmp_path):
+        health = RunHealth()
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            fs = ingest_paths(
+                [str(tmp_path / "no-such-dir") + os.sep], health=health
+            )
+        # A nonexistent path is not a directory, so it goes down the
+        # file branch and is skipped there; either way it is counted.
+        assert len(fs) == 0
+        assert health.files_skipped == 1
+
+    def test_clean_ingest_stays_warning_free(self, tmp_path, recwarn):
+        (tmp_path / "ok").write_bytes(b"fine")
+        health = RunHealth()
+        fs = ingest_paths([str(tmp_path)], health=health)
+        assert len(fs) == 1
+        assert health.files_skipped == 0
+        assert not health.eventful
+        assert [w for w in recwarn if issubclass(
+            w.category, RuntimeWarning)] == []

@@ -1,0 +1,168 @@
+"""Interrupt/resume chaos: a killed sweep loses time, never shards.
+
+Two layers of assurance:
+
+* a **property test** interrupts a sequential sweep at *every* shard
+  boundary in turn (the ``sigterm`` fault directive delivers a real
+  signal under an installed :func:`sweep_guard`), then resumes at
+  ``--workers 1`` and ``--workers 4`` — every resumed run must be
+  bit-identical (JSON and all) to the uninterrupted sweep;
+* a **subprocess test** SIGTERMs a real ``repro-checksums splice``
+  mid-run, asserts the conventional exit code 143 and the
+  ``checkpointed at shard k/N`` diagnostic, then re-runs with
+  ``--resume`` and compares stdout byte-for-byte with an uninterrupted
+  invocation.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.checkpoint import SweepInterrupted, sweep_guard
+from repro.core.experiment import run_splice_experiment
+from repro.faults.plan import FaultPlan
+from repro.protocols.packetizer import PacketizerConfig
+from repro.store.journal import ShardJournal, journal_path
+from tests.conftest import make_filesystem
+
+pytestmark = pytest.mark.chaos
+
+KINDS = [
+    ("english", 6_000), ("gmon", 5_000),
+    ("c-source", 6_000), ("zero-heavy", 5_000),
+]
+N_SHARDS = len(KINDS)
+
+
+@pytest.fixture
+def fs():
+    return make_filesystem(KINDS, seed=31, name="interruptbox")
+
+
+@pytest.fixture
+def config():
+    return PacketizerConfig()
+
+
+@pytest.fixture
+def clean(fs, config):
+    return run_splice_experiment(fs, config).counters
+
+
+@pytest.mark.parametrize("boundary", range(N_SHARDS))
+@pytest.mark.parametrize("resume_workers", [None, 4])
+def test_sigterm_at_every_boundary_then_resume_bit_identical(
+    tmp_path, fs, config, clean, boundary, resume_workers
+):
+    path = journal_path(tmp_path, fs.name, config)
+    plan = FaultPlan(0, worker_script={boundary: "sigterm"})
+
+    with sweep_guard():
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_splice_experiment(
+                fs, config, faults=plan, journal=ShardJournal(path)
+            )
+    # The interrupted shard itself completes before the stop lands.
+    assert excinfo.value.done == boundary + 1
+    assert excinfo.value.total == N_SHARDS
+    assert path.is_file()
+
+    resumed = run_splice_experiment(
+        fs, config, workers=resume_workers,
+        journal=ShardJournal(path), resume=True,
+    )
+    # Bit-identical: dataclass equality AND canonical JSON.
+    assert resumed.counters == clean
+    assert resumed.counters.to_json() == clean.to_json()
+    assert not resumed.health.eventful
+    assert not path.is_file()
+
+
+def test_double_interrupt_still_converges(tmp_path, fs, config, clean):
+    """Interrupt, resume, interrupt again later, resume again."""
+    path = journal_path(tmp_path, fs.name, config)
+    for boundary in (0, 2):
+        plan = FaultPlan(0, worker_script={boundary: "sigterm"})
+        with sweep_guard(resume=True):
+            with pytest.raises(SweepInterrupted):
+                run_splice_experiment(
+                    fs, config, faults=plan,
+                    journal=ShardJournal(path), resume=True,
+                )
+        assert path.is_file()
+    resumed = run_splice_experiment(
+        fs, config, journal=ShardJournal(path), resume=True
+    )
+    assert resumed.counters == clean
+
+
+# ---------------------------------------------------------------------------
+# the real thing: SIGTERM a subprocess sweep, resume it
+# ---------------------------------------------------------------------------
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SPLICE_ARGS = [
+    "splice", "--profile", "stanford-u1", "--bytes", "600000",
+    "--seed", "5", "--mss", "256",
+]
+
+
+def _run_cli(args, cache_root, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CHECKSUMS_CACHE"] = str(cache_root)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env, cwd=str(REPO_ROOT),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        **kwargs,
+    )
+
+
+@pytest.mark.slow
+def test_cli_sigterm_checkpoint_and_resume_stdout_identical(tmp_path):
+    cache_root = tmp_path / "cache"
+    journal_dir = cache_root / "journal"
+
+    # Uninterrupted reference run.
+    reference = _run_cli(_SPLICE_ARGS, cache_root)
+    ref_out, ref_err = reference.communicate(timeout=300)
+    assert reference.returncode == 0, ref_err.decode()
+
+    # Interrupted run: wait for the journal to gain entries, then TERM.
+    victim = _run_cli(_SPLICE_ARGS, cache_root)
+    deadline = time.monotonic() + 120
+    journal_file = None
+    while time.monotonic() < deadline and victim.poll() is None:
+        files = list(journal_dir.glob("*.journal"))
+        if files and files[0].stat().st_size > 200:
+            journal_file = files[0]
+            break
+        time.sleep(0.01)
+    if victim.poll() is not None or journal_file is None:
+        victim.kill()
+        victim.communicate()
+        pytest.skip("sweep finished before it could be interrupted")
+    victim.send_signal(signal.SIGTERM)
+    out, err = victim.communicate(timeout=300)
+    if victim.returncode == 0:
+        pytest.skip("SIGTERM landed after the final shard boundary")
+    assert victim.returncode == 143, err.decode()
+    assert "checkpointed at shard" in err.decode()
+    assert "--resume" in err.decode()
+    assert journal_file.is_file()  # the checkpoint survived the exit
+
+    # Resume: byte-identical stdout, journal consumed.
+    resumed = _run_cli([*_SPLICE_ARGS, "--resume"], cache_root)
+    res_out, res_err = resumed.communicate(timeout=300)
+    assert resumed.returncode == 0, res_err.decode()
+    assert res_out == ref_out
+    assert not journal_file.is_file()

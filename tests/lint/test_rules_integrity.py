@@ -1,4 +1,4 @@
-"""REP401 / REP501: crash-consistency and protocol conformance."""
+"""REP401 / REP402 / REP501: crash-consistency and protocol conformance."""
 
 from tests.lint.conftest import active_rules
 
@@ -62,6 +62,94 @@ class TestFsyncOrderedRename:
                     os.replace(tmp, final)
             """,
         }, rules=["REP401"])
+        assert result.active == []
+
+
+class TestJournalAtomicWrite:
+    def test_raw_open_write_is_flagged(self, lint):
+        result = lint({
+            "repro/store/journal.py": """
+                def checkpoint(path, blob):
+                    with open(path, "wb") as handle:
+                        handle.write(blob)
+            """,
+        }, rules=["REP402"])
+        assert active_rules(result) == ["REP402"]
+        assert "atomic_write" in result.active[0].message
+
+    def test_write_bytes_and_replace_are_flagged(self, lint):
+        result = lint({
+            "repro/store/journal.py": """
+                import os
+
+                def checkpoint(path, tmp, blob):
+                    path.write_bytes(blob)
+                    os.replace(tmp, path)
+            """,
+        }, rules=["REP402"])
+        assert active_rules(result) == ["REP402", "REP402"]
+        assert "write_bytes" in result.active[0].message
+        assert "os.replace" in result.active[1].message
+
+    def test_atomic_helper_route_is_clean(self, lint):
+        result = lint({
+            "repro/store/journal.py": """
+                from repro.store.objstore import atomic_write
+
+                def checkpoint(path, blob):
+                    atomic_write(path, blob)
+
+                def load(path):
+                    return path.read_bytes()
+            """,
+        }, rules=["REP402"])
+        assert result.active == []
+
+    def test_raw_writes_inside_the_atomic_helper_are_exempt(self, lint):
+        result = lint({
+            "repro/store/journal.py": """
+                import os
+
+                def _atomic_write(path, blob):
+                    tmp = str(path) + ".tmp"
+                    with open(tmp, "wb") as handle:
+                        handle.write(blob)
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, path)
+
+                def checkpoint(path, blob):
+                    _atomic_write(path, blob)
+            """,
+        }, rules=["REP402"])
+        assert result.active == []
+
+    def test_modules_outside_the_journal_are_exempt(self, lint):
+        result = lint({
+            "repro/store/cache.py": """
+                def save(path, blob):
+                    path.write_bytes(blob)
+            """,
+        }, rules=["REP402"])
+        assert result.active == []
+
+    def test_pragma_suppresses(self, lint):
+        result = lint({
+            "repro/store/journal.py": """
+                def debug_dump(path, blob):
+                    # scratch dump, not a checkpoint.  reprolint: disable=REP402
+                    path.write_bytes(blob)
+            """,
+        }, rules=["REP402"])
+        assert result.active == []
+
+    def test_read_only_opens_are_clean(self, lint):
+        result = lint({
+            "repro/store/journal.py": """
+                def load(path):
+                    with open(path, "rb") as handle:
+                        return handle.read()
+            """,
+        }, rules=["REP402"])
         assert result.active == []
 
 

@@ -100,6 +100,10 @@ _SEEDED = {
         "def run():\n"
         "    return SpliceEngine\n"
     ),
+    "repro/store/journal.py": (
+        "def checkpoint(path, blob):\n"
+        "    path.write_bytes(blob)\n"  # REP402
+    ),
     "repro/checksums/registry.py": (
         "class BadSum:\n"
         "    name = 'bad'\n"
@@ -117,7 +121,7 @@ _SEEDED = {
 
 _EXPECTED_RULES = {
     "REP101", "REP102", "REP103", "REP201", "REP202",
-    "REP301", "REP302", "REP303", "REP401", "REP501",
+    "REP301", "REP302", "REP303", "REP401", "REP402", "REP501",
 }
 
 

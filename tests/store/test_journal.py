@@ -1,0 +1,182 @@
+"""The sweep checkpoint journal: atomic, fingerprinted, self-checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import SpliceCounters
+from repro.store.journal import (
+    ShardJournal,
+    default_journal_dir,
+    journal_path,
+    open_journal,
+)
+from repro.store.objstore import frame_object
+
+
+def counters(total=10, missed=1):
+    c = SpliceCounters()
+    c.files = 1
+    c.packets = 4
+    c.total = total
+    c.caught_by_header = total - missed
+    c.missed_transport = missed
+    return c
+
+
+class TestLifecycle:
+    def test_round_trip(self, tmp_path):
+        journal = ShardJournal(tmp_path / "sweep.journal")
+        assert journal.open_run("fp-1", label="box", total=2) == {}
+        journal.record("shard-a", counters(10))
+        journal.record("shard-b", counters(20))
+        assert journal.exists()
+        assert journal.done == 2 and journal.total == 2
+
+        fresh = ShardJournal(tmp_path / "sweep.journal")
+        entries = fresh.open_run("fp-1", label="box", total=2, resume=True)
+        assert sorted(entries) == ["shard-a", "shard-b"]
+        assert entries["shard-a"] == counters(10)
+        assert entries["shard-b"] == counters(20)
+
+    def test_without_resume_the_journal_starts_empty(self, tmp_path):
+        journal = ShardJournal(tmp_path / "sweep.journal")
+        journal.open_run("fp-1")
+        journal.record("shard-a", counters())
+        fresh = ShardJournal(tmp_path / "sweep.journal")
+        assert fresh.open_run("fp-1", resume=False) == {}
+
+    def test_complete_deletes_the_file(self, tmp_path):
+        journal = ShardJournal(tmp_path / "sweep.journal")
+        journal.open_run("fp-1")
+        journal.record("shard-a", counters())
+        assert journal.exists()
+        journal.complete()
+        assert not journal.exists()
+        journal.discard()  # idempotent
+
+    def test_entries_survive_interleaved_flushes(self, tmp_path):
+        journal = ShardJournal(tmp_path / "sweep.journal")
+        journal.open_run("fp-1")
+        for index in range(5):
+            journal.record("shard-%d" % index, counters(index + 1))
+            # Every record is a full atomic rewrite: a fresh reader at
+            # any point sees exactly the shards recorded so far.
+            reader = ShardJournal(tmp_path / "sweep.journal")
+            entries = reader.open_run("fp-1", resume=True)
+            assert len(entries) == index + 1
+
+
+class TestFingerprint:
+    def test_mismatch_discards_with_warning(self, tmp_path):
+        journal = ShardJournal(tmp_path / "sweep.journal")
+        journal.open_run("fp-old")
+        journal.record("shard-a", counters())
+
+        fresh = ShardJournal(tmp_path / "sweep.journal")
+        with pytest.warns(RuntimeWarning, match="stale sweep journal"):
+            entries = fresh.open_run("fp-new", resume=True)
+        assert entries == {}
+        # Stale checkpoints are never merged *and* never linger.
+        assert not fresh.exists()
+
+    def test_matching_fingerprint_resumes_silently(self, tmp_path, recwarn):
+        journal = ShardJournal(tmp_path / "sweep.journal")
+        journal.open_run("fp-1")
+        journal.record("shard-a", counters())
+        fresh = ShardJournal(tmp_path / "sweep.journal")
+        assert fresh.open_run("fp-1", resume=True)
+        assert [w for w in recwarn if issubclass(
+            w.category, RuntimeWarning)] == []
+
+
+class TestDefects:
+    """Any defect degrades to 'no journal'; the sweep restarts cleanly."""
+
+    def _stored(self, tmp_path):
+        journal = ShardJournal(tmp_path / "sweep.journal")
+        journal.open_run("fp-1")
+        journal.record("shard-a", counters())
+        return journal.path
+
+    def test_torn_file_degrades_to_no_journal(self, tmp_path):
+        path = self._stored(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        fresh = ShardJournal(path)
+        assert fresh.open_run("fp-1", resume=True) == {}
+        assert not path.is_file()  # defective file removed
+
+    def test_bit_rot_degrades_to_no_journal(self, tmp_path):
+        path = self._stored(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 3] ^= 0x40
+        path.write_bytes(bytes(blob))
+        fresh = ShardJournal(path)
+        assert fresh.open_run("fp-1", resume=True) == {}
+
+    def test_valid_frame_with_garbage_json_degrades(self, tmp_path):
+        path = self._stored(tmp_path)
+        path.write_bytes(frame_object(b"not json at all"))
+        fresh = ShardJournal(path)
+        assert fresh.open_run("fp-1", resume=True) == {}
+
+    def test_schema_drift_degrades(self, tmp_path):
+        path = self._stored(tmp_path)
+        payload = b'{"schema":"repro-prehistoric/0","fingerprint":"fp-1"}'
+        path.write_bytes(frame_object(payload))
+        fresh = ShardJournal(path)
+        assert fresh.open_run("fp-1", resume=True) == {}
+
+    def test_unparsable_entries_degrade_with_warning(self, tmp_path):
+        import json
+
+        path = self._stored(tmp_path)
+        journal = ShardJournal(path)
+        payload = json.dumps({
+            "schema": journal.SCHEMA,
+            "fingerprint": "fp-1",
+            "label": "",
+            "total": 1,
+            "entries": {"shard-a": {"no_such_counter": 1}},
+        }).encode("utf-8")
+        path.write_bytes(frame_object(payload))
+        with pytest.warns(RuntimeWarning, match="defective sweep journal"):
+            assert journal.open_run("fp-1", resume=True) == {}
+
+    def test_missing_file_is_simply_empty(self, tmp_path):
+        journal = ShardJournal(tmp_path / "never-written.journal")
+        assert journal.open_run("fp-1", resume=True) == {}
+
+
+class TestPaths:
+    def test_default_dir_is_under_the_store_root(self, tmp_path):
+        assert default_journal_dir(tmp_path) == tmp_path / "journal"
+
+    def test_journal_path_is_a_stable_slug(self, tmp_path):
+        from repro.protocols.packetizer import PacketizerConfig
+
+        config = PacketizerConfig()
+        a = journal_path(tmp_path, "stanford-u1", config)
+        b = journal_path(tmp_path, "stanford-u1", config)
+        assert a == b
+        assert a.suffix == ".journal"
+        assert a.parent == tmp_path
+
+    def test_hostile_labels_are_slugged(self, tmp_path):
+        from repro.protocols.packetizer import PacketizerConfig
+
+        path = journal_path(
+            tmp_path, "../../etc/passwd fs", PacketizerConfig()
+        )
+        # The label can never escape the journal directory or produce
+        # a hidden/dot-leading filename.
+        assert path.resolve().parent == tmp_path.resolve()
+        assert "/" not in path.name
+        assert not path.name.startswith(".")
+
+    def test_open_journal_builds_under_root(self, tmp_path):
+        from repro.protocols.packetizer import PacketizerConfig
+
+        journal = open_journal(tmp_path, "box", PacketizerConfig())
+        assert journal.path.parent == tmp_path / "journal"

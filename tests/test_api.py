@@ -14,6 +14,8 @@ class TestFacadeSurface:
             "PacketizerConfig",
             "RunAborted",
             "RunHealth",
+            "ShardJournal",
+            "SweepInterrupted",
             "Telemetry",
             "TransferReport",
             "activate_telemetry",
@@ -23,12 +25,15 @@ class TestFacadeSurface:
             "audit_run_store",
             "bench_delta_table",
             "build_filesystem",
+            "current_controller",
             "current_telemetry",
             "deactivate_telemetry",
+            "default_journal_dir",
             "experiment_ids",
             "generate_markdown_report",
             "latest_bench_snapshot",
             "named_plan",
+            "open_journal",
             "open_store",
             "plan_names",
             "profile_names",
@@ -38,6 +43,7 @@ class TestFacadeSurface:
             "run_splice_experiment",
             "simulate_file_transfer",
             "sum_file",
+            "sweep_guard",
             "validate_bench_snapshot",
             "wrap_run_store",
             "write_bench_snapshot",

@@ -35,7 +35,9 @@ class TestMetricsFlag:
         assert snapshot["counters"]["splice.splices"] > 0
         assert "splice.splices_rate" in snapshot["meters"]
         names = [entry["name"] for entry in snapshot["spans"]]
-        assert "experiment.run" in names
+        # Journaled by default, the CLI sweep takes the sharded path;
+        # ``--no-journal`` would surface plain ``experiment.run``.
+        assert "experiment.sharded_run" in names
 
     def test_run_emits_markdown_to_stdout(self, capsys):
         # table1 exercises the instrumented splice engine; distribution
