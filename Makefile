@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench microbench report figures quicktest chaos cache-stats cache-audit lint clean
+.PHONY: install test bench microbench report figures quicktest chaos cache-stats cache-audit store-check lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,13 @@ cache-stats:
 
 cache-audit:
 	$(PYTHON) -m repro.cli cache audit
+
+# Backend conformance + scrubber: the store suite across local,
+# memory, HTTP, multiplexed, and striped backends, the byte-identical
+# sweep transparency checks, and the scrub/repair chaos tests.
+store-check:
+	$(PYTHON) -m pytest tests/store/test_backends.py tests/store/test_scrub.py \
+		tests/store/test_backends_sweep.py tests/faults/test_remote_faults.py -q
 
 # Static analysis: the domain-aware reprolint rules always run; ruff
 # and mypy run only when installed (CI installs them; the hermetic dev

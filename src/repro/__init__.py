@@ -79,6 +79,7 @@ _FACADE_EXPORTS = (
     "generate_markdown_report",
     "latest_bench_snapshot",
     "named_plan",
+    "open_backend",
     "open_journal",
     "open_store",
     "plan_names",
@@ -87,6 +88,8 @@ _FACADE_EXPORTS = (
     "run_bench",
     "run_experiment",
     "run_splice_experiment",
+    "scrub_run_store",
+    "serve_store",
     "simulate_file_transfer",
     "sum_file",
     "sweep_guard",

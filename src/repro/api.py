@@ -51,8 +51,11 @@ __all__ = [
     "IndependentLoss",
     "TransferReport",
     "simulate_file_transfer",
-    # store maintenance
+    # store backends, network service, maintenance
     "audit_run_store",
+    "open_backend",
+    "scrub_run_store",
+    "serve_store",
     # fault injection / chaos
     "named_plan",
     "plan_names",
@@ -98,7 +101,10 @@ _LAZY = {
         "repro.experiments.markdown", "generate_markdown_report"),
     "latest_bench_snapshot": ("repro.telemetry.bench", "latest_snapshot"),
     "named_plan": ("repro.faults.plan", "named_plan"),
+    "open_backend": ("repro.store.backends", "open_backend"),
     "plan_names": ("repro.faults.plan", "plan_names"),
+    "scrub_run_store": ("repro.store.scrub", "scrub_run_store"),
+    "serve_store": ("repro.store.api.server", "serve_store"),
     "run_bench": ("repro.telemetry.bench", "run_bench"),
     "run_splice_experiment": (
         "repro.core.experiment", "run_splice_experiment"),
@@ -191,18 +197,26 @@ def sum_file(path, algorithm="internet"):
         return engine.compute(handle.read())
 
 
-def open_store(root=None, algorithm=None):
+def open_store(root=None, algorithm=None, url=None):
     """A :class:`~repro.store.runner.RunStore` rooted at ``root``.
 
     ``root`` defaults to ``$REPRO_CHECKSUMS_CACHE`` or
     ``~/.cache/repro-checksums``; ``algorithm`` names the integrity-
-    trailer check code (default CRC-32/AAL5).  Pass the result as
-    ``cache=``/``store=`` to :func:`run_experiment`.
+    trailer check code (default CRC-32/AAL5).  ``url`` instead selects
+    a backend by ``--store-url`` spec (``file://``, ``memory://``,
+    ``http://``, comma-separated replicas for a resilient multiplexer,
+    ``stripe:`` for striping — see :mod:`repro.store.backends`).  Pass
+    the result as ``cache=``/``store=`` to :func:`run_experiment`.
     """
     from repro.store.objstore import DEFAULT_ALGORITHM
     from repro.store.runner import RunStore
 
-    return RunStore(root, algorithm or DEFAULT_ALGORITHM)
+    algorithm = algorithm or DEFAULT_ALGORITHM
+    if url is not None:
+        from repro.store.backends import open_store_url
+
+        return RunStore(algorithm=algorithm, backend=open_store_url(url))
+    return RunStore(root, algorithm)
 
 
 def __getattr__(name):

@@ -43,6 +43,11 @@ KIND_TO_OP = {
     "erofs": "put",       # OSError(EROFS): filesystem went read-only
     "torn": "put",        # persist only a prefix of the frame
     "enoent": "delete",   # concurrent eviction won the race
+    # Remote-backend faults (a networked replica misbehaving):
+    "connreset": "get",   # connection reset mid-transfer
+    "conntimeout": "get", # request exceeded its deadline
+    "slowread": "get",    # the bytes arrive, but late (latency spike)
+    "stale": "get",       # replica serves an old (still-verifying) frame
 }
 
 #: Worker fault kinds the injector's shim understands.  The ``sigint``
@@ -86,6 +91,7 @@ class FaultPlan:
         max_faults=256,
         max_faulty_attempts=1,
         stall_seconds=1.5,
+        slow_seconds=0.05,
         shard_timeout=None,
         name="custom",
     ):
@@ -97,6 +103,8 @@ class FaultPlan:
         self.max_faults = max_faults
         self.max_faulty_attempts = max_faulty_attempts
         self.stall_seconds = stall_seconds
+        #: delay injected by the ``slowread`` kind (latency, not loss).
+        self.slow_seconds = slow_seconds
         #: suggested SupervisedPool per-shard timeout (set by plans
         #: that inject stalls; None disables the timeout rung).
         self.shard_timeout = shard_timeout
@@ -200,6 +208,7 @@ class FaultPlan:
             max_faults=self.max_faults,
             max_faulty_attempts=self.max_faulty_attempts,
             stall_seconds=self.stall_seconds,
+            slow_seconds=self.slow_seconds,
             shard_timeout=self.shard_timeout,
             name=self.name,
         )
@@ -237,6 +246,14 @@ NAMED_PLANS = {
         worker_rates={"crash": 0.15, "raise": 0.20, "stall": 0.05},
         stall_seconds=1.5,
         shard_timeout=0.5,
+    ),
+    # A remote replica misbehaving: resets, timeouts, latency spikes,
+    # stale serves.  Point it at one replica of a multiplexer and the
+    # sweep degrades to the healthy one, bit-identically.
+    "flaky-network": dict(
+        store_rates={"connreset": 0.20, "conntimeout": 0.10,
+                     "slowread": 0.15, "stale": 0.05},
+        slow_seconds=0.02,
     ),
     # Everything at once (the default chaos diet).
     "monkey": dict(

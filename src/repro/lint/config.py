@@ -113,6 +113,25 @@ class LintConfig:
         "repro.store.journal",
     ))
 
+    # -- verified store reads (REP403) ---------------------------------
+
+    #: Class-name suffixes held to the verified-read contract: their
+    #: payload-returning ``get*`` methods must verify the integrity
+    #: trailer (or delegate to a method that does).
+    verified_read_class_suffixes: tuple = field(default_factory=lambda: _tuple(
+        "Backend", "Store", "Cache", "Client",
+    ))
+    #: Method-name markers exempting a ``get*`` method: it returns raw
+    #: trailer-carrying frames by design (verification happens at the
+    #: caller's unframe boundary).
+    verified_read_exempt_markers: tuple = field(default_factory=lambda: _tuple(
+        "frame", "raw",
+    ))
+    #: Call-name markers recognized as trailer verification.
+    verify_helper_markers: tuple = field(default_factory=lambda: _tuple(
+        "verify", "unframe",
+    ))
+
     # -- protocol conformance (REP501) ---------------------------------
 
     #: Modules holding a ``_FACTORIES`` algorithm registry.
@@ -155,6 +174,9 @@ class LintConfig:
 
     def is_journal(self, module):
         return _prefixed(module, self.journal_prefixes)
+
+    def is_verified_read_class(self, class_name):
+        return class_name.endswith(self.verified_read_class_suffixes)
 
     def is_registry(self, module):
         return module in self.registry_modules

@@ -13,6 +13,16 @@ all-or-nothing ``atomic_write`` discipline -- one raw ``open(...,
 "wb")`` or ``Path.write_bytes`` and a kill mid-write leaves a torn
 checkpoint that silently discards hours of completed shards.
 
+REP403 guards the store's verified-read contract: the backend split
+moved frame storage behind an interface, and every *payload-returning*
+``get`` method on a store-layer class must re-verify the integrity
+trailer (or delegate to a method that does) before handing bytes out
+-- a backend that returns raw stored bytes from a payload path
+silently reintroduces the undetected-corruption failure mode the whole
+subsystem exists to prevent.  Methods whose names mark them as
+frame-level (``get_frame``) are the deliberate exception: they return
+trailer-carrying bytes for the caller's own unframe boundary.
+
 REP501 statically re-checks what the runtime conformance tests check
 dynamically: every algorithm registered in ``checksums.registry``
 defines the full ChecksumAlgorithm surface (compute/field/verify/
@@ -31,6 +41,7 @@ __all__ = [
     "FsyncOrderedRenameRule",
     "JournalAtomicWriteRule",
     "RegistryConformanceRule",
+    "VerifiedReadRule",
 ]
 
 _RENAMES = {"os.rename", "os.replace"}
@@ -199,6 +210,80 @@ class JournalAtomicWriteRule(Rule):
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
             return node.value
         return None
+
+
+@register
+class VerifiedReadRule(Rule):
+    """REP403: store read paths verify the integrity trailer."""
+
+    id = "REP403"
+    title = "unverified-store-read"
+    severity = "error"
+    category = "crash-consistency"
+    invariant = (
+        "Every payload-returning get method on a store-layer class "
+        "(suffix Backend/Store/Cache/Client under repro.store) calls "
+        "an unframe/verify helper or delegates to a get method that "
+        "does, so raw stored bytes never leave the store unverified."
+    )
+
+    def check(self, module, ctx):
+        if not ctx.config.is_store(module.name):
+            return
+        for class_def in ast.walk(module.tree):
+            if not isinstance(class_def, ast.ClassDef):
+                continue
+            if not ctx.config.is_verified_read_class(class_def.name):
+                continue
+            for func in class_def.body:
+                if not isinstance(func, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                if not self._is_payload_get(ctx.config, func.name):
+                    continue
+                if not self._verifies(ctx.config, func):
+                    yield self.finding(
+                        module, func,
+                        "%s.%s() returns stored bytes without verifying "
+                        "the integrity trailer: call unframe_object/"
+                        "verify_frame (or delegate to a get method that "
+                        "does), or mark the method frame-level by naming "
+                        "it *_frame" % (class_def.name, func.name),
+                    )
+
+    @staticmethod
+    def _is_payload_get(config, name):
+        """True for public payload-returning get methods.
+
+        Underscore-prefixed hooks are reached only through the counted
+        public methods, and names carrying an exempt marker
+        (``get_frame``) return trailer-carrying bytes by design.
+        """
+        if name.startswith("_"):
+            return False
+        if name != "get" and not name.startswith("get_"):
+            return False
+        lowered = name.lower()
+        return not any(
+            marker in lowered
+            for marker in config.verified_read_exempt_markers
+        )
+
+    def _verifies(self, config, func):
+        """True if ``func`` verifies, or delegates to a checked getter."""
+        for call in ast.walk(func):
+            if not isinstance(call, ast.Call):
+                continue
+            chain = dotted_name(call.func) or ""
+            leaf = chain.rsplit(".", 1)[-1].lower()
+            if any(marker in leaf for marker in config.verify_helper_markers):
+                return True
+            if self._is_payload_get(config, leaf):
+                # Delegation to another payload get method -- that
+                # callee is itself held to this rule (get_frame and
+                # friends deliberately do NOT count).
+                return True
+        return False
 
 
 @register

@@ -1,0 +1,20 @@
+"""HTTP remote access to the artifact store.
+
+A deliberately small, stdlib-only pair:
+
+* :mod:`repro.store.api.client` — :class:`StoreClient`, the blocking
+  HTTP client the :class:`repro.store.backends.remote.HTTPBackend`
+  rides on;
+* :mod:`repro.store.api.server` — a threading HTTP server exposing any
+  backend (a pathsliced local directory by default) under the
+  ``repro-store/1`` protocol, verifying CRC trailers on every PUT and
+  GET so corrupt frames can neither enter nor leave the store
+  unnoticed.
+
+Both ends speak *frames* (payload + integrity trailer); see
+:mod:`repro.store.framing`.
+"""
+
+from repro.store.api.client import RemoteStoreError, StoreClient
+
+__all__ = ["RemoteStoreError", "StoreClient"]

@@ -1,0 +1,183 @@
+"""Blocking stdlib HTTP client for the ``repro-store/1`` protocol.
+
+One persistent ``http.client.HTTPConnection`` per client; a dropped
+connection is re-established and the request retried exactly once
+(every protocol operation is idempotent, so the retry is safe).
+Failures surface as:
+
+* ``KeyError`` — the object does not exist (HTTP 404);
+* :class:`repro.store.framing.IntegrityError` — the *server* refused
+  to serve or accept a frame whose CRC trailer does not verify
+  (HTTP 409/400 with an ``integrity`` error body);
+* :class:`RemoteStoreError` (an ``OSError``) — transport failures and
+  unexpected statuses, so the store degradation ladder and the
+  resilient multiplexer treat a dead server like any failing disk.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from urllib.parse import urlsplit
+
+from repro.store.framing import IntegrityError
+
+__all__ = ["API_PREFIX", "PROTOCOL", "RemoteStoreError", "StoreClient"]
+
+#: Protocol identity returned by ``GET /v1/ping``.
+PROTOCOL = "repro-store/1"
+
+#: Every route lives under this prefix.
+API_PREFIX = "/v1"
+
+#: Statuses the protocol maps to ``IntegrityError`` (corrupt frames).
+_INTEGRITY_STATUSES = (400, 409)
+
+
+class RemoteStoreError(OSError):
+    """Transport failure or unexpected status from the remote store."""
+
+
+class StoreClient:
+    """One connection to one remote store; thread-compatible, not shared."""
+
+    def __init__(self, url, timeout=10.0):
+        parts = urlsplit(url)
+        if parts.scheme not in ("http",):
+            raise ValueError("unsupported store URL scheme %r" % parts.scheme)
+        if not parts.hostname:
+            raise ValueError("store URL %r has no host" % url)
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self.url = "http://%s:%d" % (self.host, self.port)
+        self._connection = None
+
+    # -- transport ----------------------------------------------------------
+
+    def _connect(self):
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self):
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def _request(self, method, path, body=None):
+        """``(status, headers, body_bytes)``; one reconnect retry."""
+        last = None
+        for _ in range(2):  # the request, then one retry on a fresh socket
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body)
+                response = connection.getresponse()
+                payload = response.read()
+                return response.status, response.headers, payload
+            except (http.client.HTTPException, ConnectionError,
+                    socket.timeout, OSError) as exc:
+                self.close()
+                last = exc
+        raise RemoteStoreError(
+            "remote store %s unreachable: %s" % (self.url, last)
+        ) from last
+
+    @staticmethod
+    def _error_reason(payload):
+        try:
+            return json.loads(payload.decode("utf-8")).get("reason", "")
+        except (UnicodeDecodeError, ValueError):
+            return payload[:200].decode("utf-8", "replace")
+
+    def _raise_for(self, method, path, status, payload):
+        reason = self._error_reason(payload)
+        if status in _INTEGRITY_STATUSES:
+            raise IntegrityError(
+                "remote store rejected %s %s: %s" % (method, path, reason)
+            )
+        raise RemoteStoreError(
+            "remote store %s: unexpected %d for %s %s: %s"
+            % (self.url, status, method, path, reason)
+        )
+
+    # -- protocol operations ------------------------------------------------
+
+    def _object_path(self, namespace, key):
+        return "%s/ns/%s/objects/%s" % (API_PREFIX, namespace, key)
+
+    def ping(self):
+        """The server's identity dict; raises if it is not a repro store."""
+        status, _, payload = self._request("GET", API_PREFIX + "/ping")
+        if status != 200:
+            self._raise_for("GET", "/ping", status, payload)
+        try:
+            identity = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise RemoteStoreError(
+                "remote store %s: unparseable ping response" % self.url
+            ) from exc
+        if identity.get("protocol") != PROTOCOL:
+            raise RemoteStoreError(
+                "remote store %s speaks %r, expected %r"
+                % (self.url, identity.get("protocol"), PROTOCOL)
+            )
+        return identity
+
+    def get_frame(self, namespace, key):
+        """The stored frame; ``KeyError`` when absent."""
+        path = self._object_path(namespace, key)
+        status, _, payload = self._request("GET", path)
+        if status == 200:
+            return payload
+        if status == 404:
+            raise KeyError(key)
+        self._raise_for("GET", path, status, payload)
+
+    def put_frame(self, namespace, key, frame):
+        """Upload one frame; the server verifies its trailer first."""
+        path = self._object_path(namespace, key)
+        status, _, payload = self._request("PUT", path, body=bytes(frame))
+        if status in (200, 201):
+            return True
+        self._raise_for("PUT", path, status, payload)
+
+    def head(self, namespace, key):
+        """Stored frame size, or None when absent."""
+        path = self._object_path(namespace, key)
+        status, headers, payload = self._request("HEAD", path)
+        if status == 200:
+            return int(headers.get("Content-Length", 0))
+        if status == 404:
+            return None
+        self._raise_for("HEAD", path, status, payload)
+
+    def delete(self, namespace, key):
+        """Remove one object; True iff this call removed it."""
+        path = self._object_path(namespace, key)
+        status, _, payload = self._request("DELETE", path)
+        if status == 200:
+            try:
+                return bool(json.loads(payload.decode("utf-8")).get("deleted"))
+            except (UnicodeDecodeError, ValueError):
+                return False
+        self._raise_for("DELETE", path, status, payload)
+
+    def keys(self, namespace):
+        """Every key in ``namespace``, sorted by the server."""
+        path = "%s/ns/%s/keys" % (API_PREFIX, namespace)
+        status, _, payload = self._request("GET", path)
+        if status != 200:
+            self._raise_for("GET", path, status, payload)
+        return list(json.loads(payload.decode("utf-8")).get("keys", []))
+
+    def stats(self, namespace):
+        """The server-side stats dict for ``namespace``."""
+        path = "%s/ns/%s/stats" % (API_PREFIX, namespace)
+        status, _, payload = self._request("GET", path)
+        if status != 200:
+            self._raise_for("GET", path, status, payload)
+        return json.loads(payload.decode("utf-8"))

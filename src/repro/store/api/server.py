@@ -1,0 +1,275 @@
+"""Threading HTTP server exposing a store backend (``repro-store/1``).
+
+Stdlib only.  Routes, all under ``/v1``:
+
+=========  ====================================  =========================
+method     path                                  meaning
+=========  ====================================  =========================
+GET        ``/ping``                             identity + protocol
+GET/HEAD   ``/ns/<ns>/objects/<key>``            fetch one frame
+PUT        ``/ns/<ns>/objects/<key>``            store one frame
+DELETE     ``/ns/<ns>/objects/<key>``            remove one object
+GET        ``/ns/<ns>/keys``                     sorted key listing
+GET        ``/ns/<ns>/stats``                    object/byte counts
+=========  ====================================  =========================
+
+CRC trailers are verified on **both ends of both transfers**: a PUT
+whose frame fails its trailer is refused with 400 (corruption cannot
+*enter* the store), and a GET whose stored frame fails re-verification
+is refused with 409 (corruption cannot *leave* the store unnoticed —
+the client maps 409 to ``IntegrityError``, evicts, and recomputes;
+the scrubber repairs the damage from a healthy replica).
+
+Run standalone with ``python -m repro.store.api.server --root DIR``
+(the ``repro-checksums store serve`` subcommand is the same entry
+point behind the CLI facade).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.store.framing import IntegrityError, verify_frame
+
+__all__ = ["StoreHTTPServer", "StoreRequestHandler", "main", "serve_store"]
+
+PROTOCOL = "repro-store/1"
+
+#: Upload cap: one frame may not exceed this many bytes (413 beyond).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_NS_RE = re.compile(r"^[a-z][a-z0-9_-]{0,63}$")
+_KEY_RE = re.compile(r"^[0-9a-f]{6,128}$")
+
+_OBJECT_PATH = re.compile(r"^/v1/ns/([^/]+)/objects/([^/]+)$")
+_LISTING_PATH = re.compile(r"^/v1/ns/([^/]+)/(keys|stats)$")
+
+
+class StoreHTTPServer(ThreadingHTTPServer):
+    """One backend served over HTTP; namespaces derived via ``sub()``."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, backend, verbose=False):
+        self.backend = backend
+        self.verbose = verbose
+        self._spaces = {}
+        self._spaces_lock = threading.Lock()
+        super().__init__(address, StoreRequestHandler)
+
+    def space(self, namespace):
+        """The per-namespace backend (one instance per namespace)."""
+        with self._spaces_lock:
+            space = self._spaces.get(namespace)
+            if space is None:
+                space = self._spaces[namespace] = self.backend.sub(namespace)
+            return space
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Route dispatch for the ``repro-store/1`` protocol."""
+
+    server_version = "repro-store/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status, payload):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status, reason):
+        self._send_json(status, {"error": True, "reason": reason})
+
+    def _object_route(self):
+        """``(backend, key)`` for an object path, or None (replied)."""
+        match = _OBJECT_PATH.match(self.path)
+        if not match:
+            self._send_error_json(404, "no such route: %s" % self.path)
+            return None
+        namespace, key = match.group(1), match.group(2)
+        if not _NS_RE.match(namespace):
+            self._send_error_json(400, "invalid namespace %r" % namespace)
+            return None
+        if not _KEY_RE.match(key):
+            self._send_error_json(400, "invalid object key %r" % key)
+            return None
+        return self.server.space(namespace), key
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self):
+        if self.path == "/v1/ping":
+            self._send_json(200, {
+                "service": "repro-store",
+                "protocol": PROTOCOL,
+                "backend": self.server.backend.describe(),
+            })
+            return
+        listing = _LISTING_PATH.match(self.path)
+        if listing:
+            self._do_listing(listing.group(1), listing.group(2))
+            return
+        route = self._object_route()
+        if route is None:
+            return
+        backend, key = route
+        try:
+            frame = backend.get_frame(key)
+        except KeyError:
+            self._send_error_json(404, "no object %s" % key)
+            return
+        except OSError as exc:
+            self._send_error_json(500, "backend read failed: %s" % exc)
+            return
+        try:
+            # Outbound verification: never serve a frame whose trailer
+            # fails — the reader would just re-detect it; 409 lets the
+            # client evict/recompute and the scrubber repair instead.
+            verify_frame(frame)
+        except IntegrityError as exc:
+            self._send_error_json(409, "stored frame corrupt: %s" % exc)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(frame)))
+        self.end_headers()
+        self.wfile.write(frame)
+
+    def _do_listing(self, namespace, what):
+        if not _NS_RE.match(namespace):
+            self._send_error_json(400, "invalid namespace %r" % namespace)
+            return
+        backend = self.server.space(namespace)
+        try:
+            if what == "keys":
+                self._send_json(200, {"keys": list(backend.keys())})
+            else:
+                self._send_json(200, backend.stats())
+        except OSError as exc:  # pragma: no cover - backend I/O failure
+            self._send_error_json(500, "backend walk failed: %s" % exc)
+
+    def do_HEAD(self):
+        route = self._object_route()
+        if route is None:
+            return
+        backend, key = route
+        try:
+            size = backend.size(key)
+        except KeyError:
+            self._send_error_json(404, "no object %s" % key)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(size))
+        self.end_headers()
+
+    def do_PUT(self):
+        route = self._object_route()
+        if route is None:
+            return
+        backend, key = route
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(400, "unparseable Content-Length")
+            return
+        if length > MAX_FRAME_BYTES:
+            self._send_error_json(413, "frame exceeds %d bytes" % MAX_FRAME_BYTES)
+            return
+        frame = self.rfile.read(length)
+        try:
+            # Inbound verification: a frame that cannot prove its own
+            # integrity never reaches the disk.
+            verify_frame(frame)
+        except IntegrityError as exc:
+            self._send_error_json(400, "refused corrupt frame: %s" % exc)
+            return
+        try:
+            backend.put_frame(key, frame)
+        except OSError as exc:
+            self._send_error_json(507, "backend write failed: %s" % exc)
+            return
+        self._send_json(201, {"stored": True, "bytes": len(frame)})
+
+    def do_DELETE(self):
+        route = self._object_route()
+        if route is None:
+            return
+        backend, key = route
+        try:
+            deleted = backend.delete(key)
+        except OSError as exc:
+            self._send_error_json(500, "backend delete failed: %s" % exc)
+            return
+        self._send_json(200, {"deleted": bool(deleted)})
+
+
+def serve_store(root=None, backend=None, host="127.0.0.1", port=0,
+                verbose=False):
+    """Build a :class:`StoreHTTPServer` (not yet serving).
+
+    ``backend`` wins over ``root``; with neither, the default local
+    store root is served.  ``port=0`` binds an ephemeral port —
+    inspect ``server.url`` afterwards.  Call ``serve_forever()`` (or
+    drive it from a thread in tests).
+    """
+    if backend is None:
+        from repro.store.backends.local import LocalBackend
+        from repro.store.objstore import default_root
+
+        backend = LocalBackend(root if root is not None else default_root())
+    return StoreHTTPServer((host, port), backend, verbose=verbose)
+
+
+def main(argv=None):
+    """``python -m repro.store.api.server``: serve a store root forever."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-store-server",
+        description="Serve a repro-checksums artifact store over HTTP",
+    )
+    parser.add_argument("--root", default=None,
+                        help="store root directory (default: "
+                             "$REPRO_CHECKSUMS_CACHE or ~/.cache/"
+                             "repro-checksums)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8970)
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each request to stderr")
+    args = parser.parse_args(argv)
+    server = serve_store(root=args.root, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    print("repro-store %s serving %s" % (
+        server.url, server.backend.describe()), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - operator stop
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""In-memory backend: dict-of-frames, for tests and scratch runs.
+
+``memory://`` URLs resolve here.  A *named* region
+(``memory://shared``) maps to a process-wide registry, so two
+``open_backend`` calls with the same name share storage — the cheap
+way to build multi-replica multiplexers and scrub fixtures without
+touching the filesystem.  ``memory://`` with no name is always a
+fresh, private region.
+"""
+
+from __future__ import annotations
+
+from repro.store.backends.base import Backend
+
+__all__ = ["MemoryBackend", "named_region", "reset_regions"]
+
+
+class _Region:
+    """Shared storage: ``namespace -> {key -> frame}``."""
+
+    def __init__(self, name=""):
+        self.name = name
+        self.spaces = {}
+
+    def space(self, namespace):
+        return self.spaces.setdefault(namespace, {})
+
+
+#: Process-wide named regions (``memory://<name>``).
+_REGIONS = {}
+
+
+def named_region(name):
+    """The process-wide region ``name`` (created on first use)."""
+    region = _REGIONS.get(name)
+    if region is None:
+        region = _REGIONS[name] = _Region(name)
+    return region
+
+
+def reset_regions():
+    """Drop every named region (test isolation)."""
+    _REGIONS.clear()
+
+
+class MemoryBackend(Backend):
+    """Frames in a dict; namespaces share one region."""
+
+    kind = "memory"
+
+    def __init__(self, region=None, namespace="default"):
+        super().__init__()
+        self._region = region if region is not None else _Region()
+        self.namespace = namespace
+        self._frames = self._region.space(namespace)
+
+    def describe(self):
+        label = self._region.name or "<anonymous>"
+        return "memory://%s/%s" % (label, self.namespace)
+
+    def sub(self, namespace):
+        return MemoryBackend(self._region, namespace)
+
+    # -- hooks --------------------------------------------------------------
+
+    def _get_frame(self, key):
+        return self._frames[key]
+
+    def _put_frame(self, key, frame):
+        self._frames[key] = frame
+
+    def _delete(self, key):
+        return self._frames.pop(key, None) is not None
+
+    def _contains(self, key):
+        return key in self._frames
+
+    def _keys(self):
+        return iter(sorted(self._frames))
+
+    def _size(self, key):
+        return len(self._frames[key])

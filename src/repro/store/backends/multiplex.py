@@ -1,0 +1,263 @@
+"""Multiplexer and filter backends: replicas, striping, read-only.
+
+Mirrors the swh-objstorage multiplexer design with the paper's own
+twist — the integrity trailer *is* the replica-selection signal:
+
+* :class:`MultiplexBackend` — N replicas; writes go through to all of
+  them, reads come from the first replica that serves a frame whose
+  CRC trailer verifies.  A replica that errors (dead server, failing
+  disk) or serves a corrupt frame is skipped with **one warning per
+  replica** into the attached :class:`~repro.core.supervisor.RunHealth`
+  — the sweep degrades to the healthy replicas and its results stay
+  bit-identical;
+* :class:`StripingBackend` — N children, each key owned by exactly one
+  (hash striping), so a big artifact tree can spread over several
+  roots while walks still see the union;
+* :class:`ReadOnlyBackend` — a filter refusing writes and deletes with
+  :class:`~repro.store.backends.base.ReadOnlyError` (an ``OSError``,
+  so resilient layers and the store guard degrade instead of dying).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.store.backends.base import Backend, ReadOnlyError
+from repro.store.framing import IntegrityError, verify_frame
+
+__all__ = ["MultiplexBackend", "ReadOnlyBackend", "StripingBackend"]
+
+
+class _Composite(Backend):
+    """Shared plumbing for backends built out of child backends."""
+
+    def __init__(self, backends, health=None):
+        super().__init__()
+        if not backends:
+            raise ValueError("%s needs at least one child backend"
+                             % type(self).__name__)
+        self._children = list(backends)
+        self.health = health
+        self._warned = set()
+
+    @property
+    def children(self):
+        return tuple(self._children)
+
+    def attach_health(self, health):
+        """Route degradation warnings into a run's health record."""
+        self.health = health
+        for child in self._children:
+            if hasattr(child, "attach_health"):
+                child.attach_health(health)
+
+    def _warn(self, child, op, exc):
+        """One warning per failing replica, into RunHealth and stderr."""
+        self._record("errors")
+        label = child.describe()
+        note = "replica %s failing (%s during %s)" % (
+            label, type(exc).__name__, op,
+        )
+        if label in self._warned:
+            return
+        self._warned.add(label)
+        if self.health is not None:
+            self.health.degrade(note)
+        warnings.warn(
+            "store multiplexer: %s; continuing on the remaining "
+            "replica(s) — results are unaffected" % note,
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def close(self):
+        for child in self._children:
+            child.close()
+
+
+class MultiplexBackend(_Composite):
+    """Resilient N-replica multiplexer (read any verified, write all)."""
+
+    kind = "multiplex"
+
+    def describe(self):
+        return "multiplex(%s)" % ", ".join(
+            child.describe() for child in self._children
+        )
+
+    def sub(self, namespace):
+        derived = MultiplexBackend(
+            [child.sub(namespace) for child in self._children],
+            health=self.health,
+        )
+        return derived
+
+    # -- hooks --------------------------------------------------------------
+
+    def _get_frame(self, key):
+        last_error = None
+        missing = 0
+        for child in self._children:
+            try:
+                frame = child.get_frame(key)
+                verify_frame(frame)  # skip replicas serving rotten bytes
+                return frame
+            except KeyError:
+                missing += 1
+            except (OSError, IntegrityError) as exc:
+                self._warn(child, "get", exc)
+                last_error = exc
+        if missing or last_error is None:
+            # At least one replica affirmed absence (or there was
+            # nothing to ask): a miss, so the caller recomputes.
+            raise KeyError(key)
+        raise last_error  # every replica errored: the store is down
+
+    def _put_frame(self, key, frame):
+        stored = 0
+        last_error = None
+        for child in self._children:
+            try:
+                child.put_frame(key, frame)
+                stored += 1
+            except OSError as exc:
+                self._warn(child, "put", exc)
+                last_error = exc
+        if not stored and last_error is not None:
+            raise last_error
+
+    def _delete(self, key):
+        deleted = False
+        for child in self._children:
+            try:
+                deleted = child.delete(key) or deleted
+            except OSError as exc:
+                self._warn(child, "delete", exc)
+        return deleted
+
+    def _contains(self, key):
+        for child in self._children:
+            try:
+                if child.contains(key):
+                    return True
+            except OSError as exc:
+                self._warn(child, "contains", exc)
+        return False
+
+    def _keys(self):
+        union = set()
+        for child in self._children:
+            try:
+                union.update(child.keys())
+            except OSError as exc:
+                self._warn(child, "keys", exc)
+        return iter(sorted(union))
+
+    def _size(self, key):
+        for child in self._children:
+            try:
+                return child.size(key)
+            except KeyError:
+                continue
+            except OSError as exc:
+                self._warn(child, "size", exc)
+        raise KeyError(key)
+
+
+class StripingBackend(_Composite):
+    """Each key lives on exactly one child (deterministic hash stripe)."""
+
+    kind = "striping"
+
+    def describe(self):
+        return "stripe(%s)" % ", ".join(
+            child.describe() for child in self._children
+        )
+
+    def sub(self, namespace):
+        return StripingBackend(
+            [child.sub(namespace) for child in self._children],
+            health=self.health,
+        )
+
+    def _owner(self, key):
+        # Keys are hex, uniformly distributed (digests), so a prefix
+        # slice stripes evenly and deterministically.
+        return self._children[int(key[:8], 16) % len(self._children)]
+
+    # -- hooks --------------------------------------------------------------
+
+    def _get_frame(self, key):
+        return self._owner(key).get_frame(key)
+
+    def _put_frame(self, key, frame):
+        self._owner(key).put_frame(key, frame)
+
+    def _delete(self, key):
+        return self._owner(key).delete(key)
+
+    def _contains(self, key):
+        return self._owner(key).contains(key)
+
+    def _keys(self):
+        union = set()
+        for child in self._children:
+            union.update(child.keys())
+        return iter(sorted(union))
+
+    def _size(self, key):
+        return self._owner(key).size(key)
+
+
+class ReadOnlyBackend(Backend):
+    """Filter: reads delegate, writes and deletes are refused."""
+
+    kind = "readonly"
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+
+    @property
+    def children(self):
+        return (self.inner,)
+
+    def attach_health(self, health):
+        if hasattr(self.inner, "attach_health"):
+            self.inner.attach_health(health)
+
+    def describe(self):
+        return "readonly(%s)" % self.inner.describe()
+
+    def sub(self, namespace):
+        return ReadOnlyBackend(self.inner.sub(namespace))
+
+    def close(self):
+        self.inner.close()
+
+    # Writes are refused before any counting happens.
+    def put_frame(self, key, frame, overwrite=True):
+        raise ReadOnlyError(
+            "backend %s is read-only (refusing put of %s)"
+            % (self.describe(), key)
+        )
+
+    def delete(self, key):
+        raise ReadOnlyError(
+            "backend %s is read-only (refusing delete of %s)"
+            % (self.describe(), key)
+        )
+
+    # -- hooks --------------------------------------------------------------
+
+    def _get_frame(self, key):
+        return self.inner.get_frame(key)
+
+    def _contains(self, key):
+        return self.inner.contains(key)
+
+    def _keys(self):
+        return iter(self.inner.keys())
+
+    def _size(self, key):
+        return self.inner.size(key)

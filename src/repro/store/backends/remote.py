@@ -1,0 +1,89 @@
+"""HTTP remote backend: frames served by ``repro.store.api.server``.
+
+A thin :class:`~repro.store.backends.base.Backend` over
+:class:`repro.store.api.client.StoreClient`.  CRC trailers are
+verified on *both* ends of both transfers: the server refuses corrupt
+frames on PUT and refuses to serve corrupt frames on GET, and this
+backend re-verifies every frame it receives, so a bit flipped on the
+wire (or by a lying proxy) is caught exactly like a bit flipped on
+disk.  Transport failures surface as ``OSError`` — the degradation
+ladder and the resilient multiplexer treat a dead server like a
+failing disk.
+"""
+
+from __future__ import annotations
+
+from repro.store.api.client import StoreClient
+from repro.store.backends.base import Backend
+from repro.store.framing import IntegrityError, verify_frame
+
+__all__ = ["HTTPBackend"]
+
+
+class HTTPBackend(Backend):
+    """Frames stored on a remote ``repro-store/1`` server."""
+
+    kind = "http"
+
+    def __init__(self, url, namespace="default", timeout=10.0, client=None):
+        super().__init__()
+        self.client = client if client is not None else StoreClient(
+            url, timeout=timeout
+        )
+        self.namespace = namespace
+
+    def describe(self):
+        return "%s/ns/%s" % (self.client.url, self.namespace)
+
+    def sub(self, namespace):
+        # Namespaces share one connection; store I/O is parent-side
+        # single-threaded, so serializing requests on it is free.
+        return HTTPBackend(None, namespace=namespace, client=self.client)
+
+    def close(self):
+        self.client.close()
+
+    def ping(self):
+        """Proxy to :meth:`StoreClient.ping` (connection smoke check)."""
+        return self.client.ping()
+
+    # -- hooks --------------------------------------------------------------
+
+    def _get_frame(self, key):
+        try:
+            frame = self.client.get_frame(self.namespace, key)
+            # Client-side half of the both-ends contract: re-verify the
+            # trailer after the wire hop (the server refusing to serve
+            # a rotted frame arrives as IntegrityError from the client).
+            verify_frame(frame)
+        except IntegrityError:
+            self._record("errors")
+            raise
+        return frame
+
+    def _put_frame(self, key, frame):
+        self.client.put_frame(self.namespace, key, frame)
+
+    def _delete(self, key):
+        return self.client.delete(self.namespace, key)
+
+    def _contains(self, key):
+        return self.client.head(self.namespace, key) is not None
+
+    def _keys(self):
+        return iter(sorted(self.client.keys(self.namespace)))
+
+    def _size(self, key):
+        size = self.client.head(self.namespace, key)
+        if size is None:
+            raise KeyError(key)
+        return size
+
+    def stats(self):
+        """Server-side stats (one roundtrip instead of N HEADs)."""
+        stats = self.client.stats(self.namespace)
+        return {
+            "backend": self.describe(),
+            "objects": int(stats.get("objects", 0)),
+            "bytes": int(stats.get("bytes", 0)),
+        }

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk object store with self-checking objects.
+"""Content-addressed object store with self-checking objects.
 
 Every stored object carries an **integrity trailer** computed with one
 of the check codes the paper studies (CRC-32/AAL5 by default, any
@@ -6,33 +6,47 @@ of the check codes the paper studies (CRC-32/AAL5 by default, any
 dogfoods its own subject matter: a flipped bit in a cached artifact is
 caught the same way a corrupted AAL5 frame would be.
 
-Layout (mirroring the content-addressed pattern of object storages
-like Software Heritage's):
-
-* objects live under a two-level fan-out, ``root/ab/cd/abcd...``,
-  named by the 64-hex-digit address;
-* writes are atomic: a temp file in the same directory tree is
-  populated, fsynced, then ``os.replace``-d into place — readers never
-  observe a half-written object;
-* the on-disk frame is ``payload || value || name || name_len(1) ||
-  value_len(1) || magic(4)`` so the trailer parses backwards from the
-  end of the file without a header seek.
+Since the backend split, :class:`ObjectStore` is the *framing* layer:
+it turns payloads into integrity-trailed frames (and back, verifying)
+and delegates frame storage to a
+:class:`~repro.store.backends.base.Backend` — the pathsliced local
+directory by default (``root/ab/cd/abcd...``, atomic fsync-disciplined
+writes, exactly the original on-disk layout), or any backend from
+:func:`repro.store.backends.open_backend`: in-memory, HTTP remote, a
+resilient multiplexer over replicas, a striped fan-out.
 
 Addresses are either the SHA-256 of the payload (:meth:`ObjectStore.put`
 — true content addressing) or a caller-chosen hex key
 (:meth:`ObjectStore.put_keyed` — used by the result cache, whose keys
 are digests of experiment *parameters* rather than of the payload).
+
+The frame format and the atomic-write discipline now live in
+:mod:`repro.store.framing` and :mod:`repro.store.backends.local`;
+their names are re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import tempfile
 import time
 from pathlib import Path
 
 from repro.checksums.registry import get_algorithm
+from repro.store.backends.local import (  # noqa: F401 - re-exports
+    LocalBackend,
+    _fsync_dir,
+    _is_object_name,
+    atomic_write,
+)
+from repro.store.framing import (  # noqa: F401 - re-exports
+    DEFAULT_ALGORITHM,
+    FRAME_MAGIC,
+    IntegrityError,
+    frame_object,
+    unframe_object,
+    verify_frame,
+)
 from repro.telemetry.core import current as _telemetry
 
 __all__ = [
@@ -46,15 +60,7 @@ __all__ = [
 #: Environment variable overriding the default store root.
 ROOT_ENV_VAR = "REPRO_CHECKSUMS_CACHE"
 
-#: The integrity-trailer algorithm used unless the caller picks another.
-DEFAULT_ALGORITHM = "crc32-aal5"
-
-_MAGIC = b"RCS1"
-_HEX_DIGITS = set("0123456789abcdef")
-
-
-class IntegrityError(Exception):
-    """A stored object failed its integrity trailer (or is malformed)."""
+_MAGIC = FRAME_MAGIC
 
 
 def default_root():
@@ -65,118 +71,17 @@ def default_root():
     return Path.home() / ".cache" / "repro-checksums"
 
 
-def _fsync_dir(path):
-    """Best-effort fsync of a directory (making renames durable).
-
-    Platforms without ``O_DIRECTORY`` (or filesystems refusing
-    directory fsync) degrade silently — the write is still atomic,
-    just not guaranteed durable across power loss.
-    """
-    flags = getattr(os, "O_DIRECTORY", None)
-    if flags is None:  # pragma: no cover - non-POSIX platforms
-        return
-    try:
-        fd = os.open(path, os.O_RDONLY | flags)
-    except OSError:  # pragma: no cover - directory vanished / no perms
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - fs refuses directory fsync
-        pass
-    finally:
-        os.close(fd)
-
-
-def _is_object_name(name):
-    """True for fan-out object filenames (hex, no temp suffix)."""
-    return len(name) >= 6 and not name.endswith(".tmp") and set(name) <= _HEX_DIGITS
-
-
-def atomic_write(path, blob):
-    """The store's atomic-write discipline, reusable outside the store.
-
-    A temp file in the destination directory is populated, flushed,
-    and fsynced, then ``os.replace``-d into place, and the parent
-    directory entry is fsynced so a power cut can neither resurrect a
-    half-written file nor forget a fully-written one ever had a name.
-    Readers therefore observe the old bytes or the new bytes, never a
-    mixture.  The sweep checkpoint journal routes every write through
-    this helper (enforced statically by reprolint REP402).
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-    # Crash durability: the rename itself lives in the directory
-    # entry, so fsync the parent too — otherwise a power cut can
-    # forget a fully-fsynced object ever had a name.
-    _fsync_dir(path.parent)
-
-
-def frame_object(payload, algorithm_name=DEFAULT_ALGORITHM):
-    """Append the integrity trailer to ``payload``."""
-    algorithm = get_algorithm(algorithm_name)
-    width = (algorithm.width + 7) // 8
-    value = algorithm.compute(payload).to_bytes(width, "big")
-    name = algorithm_name.encode("ascii")
-    if not 1 <= len(name) <= 255 or not 1 <= width <= 255:
-        raise ValueError("trailer fields out of range for %r" % algorithm_name)
-    return b"".join(
-        [payload, value, name, bytes([len(name)]), bytes([width]), _MAGIC]
-    )
-
-
-def unframe_object(blob, verify=True):
-    """Split a stored frame into ``(payload, algorithm_name)``.
-
-    Raises :class:`IntegrityError` if the frame is malformed or (with
-    ``verify``) the recomputed check value disagrees with the trailer.
-    """
-    if len(blob) < len(_MAGIC) + 2 or blob[-4:] != _MAGIC:
-        raise IntegrityError("missing or damaged trailer magic")
-    value_len = blob[-5]
-    name_len = blob[-6]
-    end = len(blob) - 6
-    if name_len < 1 or value_len < 1 or end < name_len + value_len:
-        raise IntegrityError("trailer lengths out of range")
-    name_bytes = blob[end - name_len : end]
-    value = blob[end - name_len - value_len : end - name_len]
-    payload = blob[: end - name_len - value_len]
-    try:
-        algorithm_name = name_bytes.decode("ascii")
-        algorithm = get_algorithm(algorithm_name)
-    except (UnicodeDecodeError, KeyError) as exc:
-        raise IntegrityError("unreadable trailer algorithm: %s" % exc) from exc
-    if verify:
-        width = (algorithm.width + 7) // 8
-        if width != value_len:
-            raise IntegrityError(
-                "trailer width %d != %d for %s" % (value_len, width, algorithm_name)
-            )
-        expected = algorithm.compute(payload).to_bytes(width, "big")
-        if expected != value:
-            raise IntegrityError(
-                "integrity trailer mismatch (%s): stored %s, computed %s"
-                % (algorithm_name, value.hex(), expected.hex())
-            )
-    return payload, algorithm_name
-
-
 class ObjectStore:
-    """A sharded, integrity-trailed, atomic-write object store."""
+    """Integrity-trailed payload storage over a pluggable frame backend."""
 
-    def __init__(self, root=None, algorithm=DEFAULT_ALGORITHM):
-        self.root = Path(root) if root is not None else default_root()
+    def __init__(self, root=None, algorithm=DEFAULT_ALGORITHM, backend=None):
+        if backend is None:
+            backend = LocalBackend(
+                Path(root) if root is not None else default_root()
+            )
+        self.backend = backend
+        #: Filesystem root when the backend has one (local), else None.
+        self.root = getattr(backend, "root", None)
         self.algorithm = algorithm
         get_algorithm(algorithm)  # fail fast on unknown names
 
@@ -188,11 +93,13 @@ class ObjectStore:
         return hashlib.sha256(payload).hexdigest()
 
     def path_for(self, digest):
-        """On-disk path of ``digest`` (two-level fan-out)."""
-        digest = digest.lower()
-        if len(digest) < 6 or set(digest) - _HEX_DIGITS:
-            raise ValueError("addresses must be hex strings, got %r" % digest)
-        return self.root / digest[:2] / digest[2:4] / digest
+        """On-disk path of ``digest`` (local-backed stores only)."""
+        path_for = getattr(self.backend, "path_for", None)
+        if path_for is None:
+            raise TypeError(
+                "backend %s has no filesystem paths" % self.backend.describe()
+            )
+        return path_for(digest)
 
     # -- write ------------------------------------------------------------
 
@@ -211,10 +118,11 @@ class ObjectStore:
         """
         telemetry = _telemetry()
         t0 = time.perf_counter()
-        path = self.path_for(key)
-        if not overwrite and path.exists():
+        if not overwrite and self.backend.contains(key):
             return key
-        self._atomic_write(path, frame_object(bytes(payload), self.algorithm))
+        self.backend.put_frame(
+            key, frame_object(bytes(payload), self.algorithm)
+        )
         telemetry.count("store.puts")
         telemetry.meter("store.put_bytes", len(payload))
         telemetry.observe("store.put_seconds", time.perf_counter() - t0)
@@ -234,36 +142,30 @@ class ObjectStore:
         """
         telemetry = _telemetry()
         t0 = time.perf_counter()
-        path = self.path_for(digest)
-        try:
-            blob = path.read_bytes()
-        except FileNotFoundError:
-            raise KeyError(digest) from None
+        blob = self.backend.get_frame(digest)
         payload, _ = unframe_object(blob, verify=verify)
         telemetry.count("store.gets")
         telemetry.meter("store.get_bytes", len(payload))
         telemetry.observe("store.get_seconds", time.perf_counter() - t0)
         return payload
 
+    def get_frame(self, digest):
+        """The raw stored frame (trailer included); ``KeyError`` if absent.
+
+        For integrity tooling (audit, scrub) that needs the trailer
+        bytes themselves; payload readers use :meth:`get`.
+        """
+        return self.backend.get_frame(digest)
+
     def __contains__(self, digest):
-        return self.path_for(digest).exists()
+        return self.backend.contains(digest)
 
     def __iter__(self):
         return self.digests()
 
     def digests(self):
         """Iterate over every stored address (sorted for determinism)."""
-        if not self.root.is_dir():
-            return
-        for first in sorted(self.root.iterdir()):
-            if not first.is_dir() or len(first.name) != 2:
-                continue
-            for second in sorted(first.iterdir()):
-                if not second.is_dir():
-                    continue
-                for path in sorted(second.iterdir()):
-                    if path.is_file() and _is_object_name(path.name):
-                        yield path.name
+        return iter(self.backend.keys())
 
     def __len__(self):
         return sum(1 for _ in self.digests())
@@ -275,33 +177,36 @@ class ObjectStore:
 
         Idempotent under concurrent eviction: when two processes race
         to evict the same corrupt shard, the loser observes the object
-        already gone (``FileNotFoundError`` — including a fan-out
-        directory component removed underneath it) and reports False
-        instead of raising.
+        already gone and reports False instead of raising.
         """
-        path = self.path_for(digest)
-        try:
-            path.unlink()
-        except FileNotFoundError:
-            return False
-        return True
+        return self.backend.delete(digest)
 
     def clear(self):
-        """Delete every object (leaves the directory tree in place)."""
+        """Delete every object (leaves any directory tree in place)."""
         removed = 0
         for digest in list(self.digests()):
             removed += bool(self.delete(digest))
         return removed
 
     def total_bytes(self):
-        """Total on-disk bytes of stored frames."""
-        return sum(self.path_for(d).stat().st_size for d in self.digests())
+        """Total stored bytes of frames."""
+        total = 0
+        for digest in self.digests():
+            try:
+                total += self.backend.size(digest)
+            except KeyError:  # pragma: no cover - concurrent eviction
+                continue
+        return total
 
     def stats(self):
         """Object count and byte totals for status displays."""
-        count = 0
-        size = 0
-        for digest in self.digests():
-            count += 1
-            size += self.path_for(digest).stat().st_size
-        return {"root": str(self.root), "objects": count, "bytes": size}
+        stats = self.backend.stats()
+        return {
+            "root": stats.get("backend", self.backend.describe()),
+            "objects": stats.get("objects", 0),
+            "bytes": stats.get("bytes", 0),
+        }
+
+    def counters(self):
+        """Per-backend operation counters (hit/miss/byte accounting)."""
+        return self.backend.counters.as_dict()

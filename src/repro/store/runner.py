@@ -42,6 +42,7 @@ from repro.telemetry.core import current as _telemetry
 from repro.store.cache import ResultCache
 from repro.store.keys import SCHEMA_VERSION, digest_key, shard_key
 from repro.store.manifest import ManifestStore, RunManifest
+from repro.store.backends.local import LocalBackend
 from repro.store.objstore import DEFAULT_ALGORITHM, ObjectStore, default_root
 
 __all__ = ["RunStore", "run_key_for", "run_sharded_splice"]
@@ -64,15 +65,33 @@ class RunStore:
     cache audit`` can verify the whole tree uniformly.
     """
 
-    def __init__(self, root=None, algorithm=DEFAULT_ALGORITHM):
-        self.root = Path(root) if root is not None else default_root()
+    def __init__(self, root=None, algorithm=DEFAULT_ALGORITHM, backend=None):
+        if backend is None:
+            root = Path(root) if root is not None else default_root()
+            backend = LocalBackend(root)
+        self.backend = backend
+        #: Filesystem root when local-backed, else None (use describe()).
+        self.root = getattr(backend, "root", None)
         self.algorithm = algorithm
-        self.objects = ObjectStore(self.root / "objects", algorithm)
-        self.results = ResultCache(ObjectStore(self.root / "results", algorithm))
-        self.shards = ResultCache(ObjectStore(self.root / "shards", algorithm))
-        self.manifests = ManifestStore(
-            ObjectStore(self.root / "manifests", algorithm)
-        )
+
+        def namespace(name):
+            return ObjectStore(algorithm=algorithm, backend=backend.sub(name))
+
+        self.objects = namespace("objects")
+        self.results = ResultCache(namespace("results"))
+        self.shards = ResultCache(namespace("shards"))
+        self.manifests = ManifestStore(namespace("manifests"))
+
+    def describe(self):
+        """Human-readable identity of the backing store."""
+        return self.backend.describe()
+
+    def attach_health(self, health):
+        """Route backend degradation warnings into a run's health record."""
+        for _, store in self.namespaces:
+            backend = store.backend
+            if hasattr(backend, "attach_health"):
+                backend.attach_health(health)
 
     @property
     def namespaces(self):
@@ -86,14 +105,50 @@ class RunStore:
 
     def stats(self):
         """Per-namespace object counts and byte totals."""
-        out = {"root": str(self.root)}
+        out = {"root": str(self.root) if self.root is not None
+                       else self.describe()}
         for name, store in self.namespaces:
             out[name] = store.stats()
+        return out
+
+    def backend_stats(self):
+        """Per-namespace backend operation counters (hits/misses/bytes).
+
+        The instrumentation behind ``repro-checksums cache stats``:
+        every namespace reports its backend kind, identity, and the
+        :class:`~repro.store.backends.base.BackendCounters` accumulated
+        over this process's lifetime.
+        """
+        out = {}
+        for name, store in self.namespaces:
+            backend = store.backend
+            entry = {
+                "kind": backend.kind,
+                "backend": backend.describe(),
+                "counters": backend.counters.as_dict(),
+            }
+            children = getattr(backend, "children", ())
+            if children:
+                entry["children"] = [
+                    {
+                        "kind": child.kind,
+                        "backend": child.describe(),
+                        "counters": child.counters.as_dict(),
+                    }
+                    for child in children
+                ]
+            out[name] = entry
         return out
 
     def clear(self):
         """Delete every stored object across all namespaces."""
         return sum(store.clear() for _, store in self.namespaces)
+
+    def close(self):
+        """Release backend resources (HTTP connections); idempotent."""
+        self.backend.close()
+        for _, store in self.namespaces:
+            store.backend.close()
 
 
 def run_key_for(filesystem_name, shard_keys):
@@ -120,6 +175,10 @@ class _StoreGuard:
         self.store = store
         self.health = health
         self.active = store is not None
+        if self.active and hasattr(store, "attach_health"):
+            # Resilient multiplexer backends report replica failures
+            # into the same health record as the ladder itself.
+            store.attach_health(health)
 
     def _attempt(self, what, call, default=None):
         if not self.active:

@@ -1,0 +1,258 @@
+"""Background CRC scrubber: re-verify, quarantine, repair.
+
+The paper's premise is that real data rots — and a cache that sits on
+disk for weeks *will* accumulate flipped bits.  The scrubber is the
+daemon-shaped answer (``repro-checksums store scrub``): walk every
+object a backend holds, re-run its integrity trailer, and act on what
+fails:
+
+* a frame whose trailer verifies is **ok** — nothing happens;
+* a corrupt frame is **quarantined** (its raw bytes are salvaged into
+  a quarantine directory when the backend exposes them, so a failure
+  analyst can study what the CRC caught) and evicted from the replica;
+* when the backend is a multiplexer and another replica still holds a
+  verifying copy, the evicted object is **repaired** — rewritten from
+  the healthy frame — so the next sweep pays nothing;
+* a corrupt object with no healthy copy anywhere is **unrepairable**:
+  it stays evicted and the cache recomputes it on demand (corruption
+  costs time, never correctness).
+
+Missing replicas of an object that exists elsewhere are backfilled the
+same way, so a scrub pass doubles as replica anti-entropy.  Every
+action is mirrored into telemetry as ``scrub.*`` counters, reported
+per backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.store.framing import IntegrityError, verify_frame
+from repro.telemetry.core import current as _telemetry
+
+__all__ = ["ScrubFinding", "ScrubReport", "scrub_backend", "scrub_run_store"]
+
+
+@dataclass
+class ScrubFinding:
+    """One defective (or healed) object on one replica."""
+
+    namespace: str
+    replica: str
+    key: str
+    reason: str
+    #: ``repaired`` | ``quarantined`` | ``unrepairable`` | ``backfilled``
+    action: str
+
+
+@dataclass
+class ScrubReport:
+    """Aggregate outcome of one scrub pass."""
+
+    scanned: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    repaired: int = 0
+    quarantined: int = 0
+    backfilled: int = 0
+    unrepairable: int = 0
+    findings: list = field(default_factory=list)
+    #: ``replica describe() -> {"scanned", "corrupt", "repaired"}``
+    per_replica: dict = field(default_factory=dict)
+
+    @property
+    def clean(self):
+        """True when every scanned frame verified on every replica."""
+        return self.corrupt == 0 and self.unrepairable == 0
+
+    def merge(self, other):
+        for name in ("scanned", "ok", "corrupt", "repaired",
+                     "quarantined", "backfilled", "unrepairable"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.findings.extend(other.findings)
+        for replica, counts in other.per_replica.items():
+            mine = self.per_replica.setdefault(
+                replica, {"scanned": 0, "corrupt": 0, "repaired": 0}
+            )
+            for key, value in counts.items():
+                mine[key] = mine.get(key, 0) + value
+        return self
+
+    def _replica(self, label):
+        return self.per_replica.setdefault(
+            label, {"scanned": 0, "corrupt": 0, "repaired": 0}
+        )
+
+    def render(self):
+        lines = [
+            "objects scanned    %d" % self.scanned,
+            "verified ok        %d" % self.ok,
+            "corrupt            %d" % self.corrupt,
+            "repaired           %d" % self.repaired,
+            "backfilled         %d" % self.backfilled,
+            "quarantined        %d" % self.quarantined,
+            "unrepairable       %d" % self.unrepairable,
+        ]
+        for replica in sorted(self.per_replica):
+            counts = self.per_replica[replica]
+            lines.append(
+                "  replica %s: scanned %d, corrupt %d, repaired %d"
+                % (replica, counts["scanned"], counts["corrupt"],
+                   counts["repaired"])
+            )
+        for finding in self.findings:
+            lines.append(
+                "  %s %s/%s on %s: %s"
+                % (finding.action.upper(), finding.namespace,
+                   finding.key[:16], finding.replica, finding.reason)
+            )
+        return "\n".join(lines)
+
+
+def _replicas(backend):
+    """The independently scrubbable stores behind ``backend``.
+
+    A multiplexer is scrubbed replica-by-replica (that is where the
+    healthy copies for repair live); every other backend — including a
+    striping composite, whose children hold disjoint keys — is
+    scrubbed as a single unit.
+    """
+    if backend.kind == "multiplex":
+        return list(backend.children)
+    return [backend]
+
+
+def _read_frame(replica, key):
+    """``(status, frame_or_None, reason)`` for one replica's copy."""
+    try:
+        frame = replica.get_frame(key)
+    except KeyError:
+        return "missing", None, "absent"
+    except IntegrityError as exc:
+        # A verifying backend (HTTP remote) refuses to serve the
+        # corrupt bytes; the defect is proven even without them.
+        return "corrupt", None, str(exc)
+    except OSError as exc:
+        return "error", None, str(exc)
+    try:
+        verify_frame(frame)
+    except IntegrityError as exc:
+        return "corrupt", frame, str(exc)
+    return "ok", frame, ""
+
+
+def _salvage(quarantine, namespace, replica_index, key, frame):
+    """Preserve a corrupt frame's bytes for post-mortem analysis."""
+    if quarantine is None or frame is None:
+        return False
+    from pathlib import Path
+
+    from repro.store.backends.local import atomic_write
+
+    path = (
+        Path(quarantine) / namespace / ("replica-%d" % replica_index) / key
+    )
+    try:
+        atomic_write(path, frame)
+    except OSError:  # pragma: no cover - quarantine device failing
+        return False
+    return True
+
+
+def scrub_backend(backend, namespace="default", repair=True, quarantine=None,
+                  backfill=True):
+    """One scrub pass over ``backend``; returns a :class:`ScrubReport`.
+
+    ``repair`` rewrites corrupt/evicted objects from a healthy replica
+    when the backend is a multiplexer; ``backfill`` additionally fills
+    replicas that are merely missing an object others hold;
+    ``quarantine`` (a directory path) salvages corrupt bytes before
+    eviction.
+    """
+    telemetry = _telemetry()
+    report = ScrubReport()
+    replicas = _replicas(backend)
+
+    keys = set()
+    for replica in replicas:
+        try:
+            keys.update(replica.keys())
+        except OSError:  # a dead replica cannot contribute keys
+            continue
+
+    for key in sorted(keys):
+        report.scanned += 1
+        telemetry.count("scrub.scanned")
+        states = []
+        healthy = None
+        for index, replica in enumerate(replicas):
+            status, frame, reason = _read_frame(replica, key)
+            states.append((index, replica, status, frame, reason))
+            if status == "ok" and healthy is None:
+                healthy = frame
+            if status in ("ok", "corrupt"):
+                report._replica(replica.describe())["scanned"] += 1
+
+        object_corrupt = False
+        for index, replica, status, frame, reason in states:
+            label = replica.describe()
+            if status == "corrupt":
+                object_corrupt = True
+                report.corrupt += 1
+                report._replica(label)["corrupt"] += 1
+                telemetry.count("scrub.corrupt")
+                if _salvage(quarantine, namespace, index, key, frame):
+                    report.quarantined += 1
+                    telemetry.count("scrub.quarantined")
+                    report.findings.append(ScrubFinding(
+                        namespace, label, key, reason, "quarantined"
+                    ))
+                try:
+                    replica.delete(key)
+                except OSError:  # pragma: no cover - replica going away
+                    pass
+                if repair and healthy is not None:
+                    try:
+                        replica.put_frame(key, healthy)
+                        report.repaired += 1
+                        report._replica(label)["repaired"] += 1
+                        telemetry.count("scrub.repaired")
+                        report.findings.append(ScrubFinding(
+                            namespace, label, key, reason, "repaired"
+                        ))
+                        continue
+                    except OSError:  # pragma: no cover - replica read-only
+                        pass
+                report.unrepairable += 1
+                telemetry.count("scrub.unrepairable")
+                report.findings.append(ScrubFinding(
+                    namespace, label, key, reason, "unrepairable"
+                ))
+            elif status == "missing" and backfill and healthy is not None \
+                    and len(replicas) > 1:
+                try:
+                    replica.put_frame(key, healthy)
+                except OSError:
+                    continue
+                report.backfilled += 1
+                telemetry.count("scrub.backfilled")
+                report.findings.append(ScrubFinding(
+                    namespace, label, key, "absent replica copy", "backfilled"
+                ))
+        if not object_corrupt and healthy is not None:
+            report.ok += 1
+    return report
+
+
+def scrub_run_store(run_store, repair=True, quarantine=None, backfill=True):
+    """Scrub every namespace of a :class:`repro.store.runner.RunStore`."""
+    report = ScrubReport()
+    for name, store in run_store.namespaces:
+        report.merge(scrub_backend(
+            store.backend,
+            namespace=name,
+            repair=repair,
+            quarantine=quarantine,
+            backfill=backfill,
+        ))
+    return report

@@ -1,0 +1,165 @@
+"""Remote-backend faults: flaky networks cost time, never correctness.
+
+Unit coverage for the remote fault kinds (connection resets, timeouts,
+latency spikes, stale replicas) on :class:`FaultyBackend`, plus the
+satellite chaos test: a two-replica multiplexer with one replica
+wrapped in the ``flaky-network`` plan finishes the sweep bit-identical
+to a clean run while RunHealth records the degradation.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+
+import pytest
+
+from repro.core.experiment import run_splice_experiment
+from repro.core.supervisor import RunHealth
+from repro.faults.injector import FaultyBackend
+from repro.faults.plan import KIND_TO_OP, FaultPlan, named_plan
+from repro.protocols.packetizer import PacketizerConfig
+from repro.store.backends.local import LocalBackend
+from repro.store.backends.memory import MemoryBackend
+from repro.store.backends.multiplex import MultiplexBackend
+from repro.store.framing import frame_object, unframe_object
+from repro.store.runner import RunStore
+from tests.conftest import make_filesystem
+
+
+def stored(backend, payload=b"remote fault payload"):
+    key = hashlib.sha256(payload).hexdigest()
+    backend.put_frame(key, frame_object(payload))
+    return key
+
+
+def always(kind):
+    """A plan that injects ``kind`` on every eligible operation."""
+    return FaultPlan(0, store_rates={kind: 1.0}, max_faults=1000)
+
+
+class TestRemoteFaultKinds:
+    def test_new_kinds_are_read_side(self):
+        for kind in ("connreset", "conntimeout", "slowread", "stale"):
+            assert KIND_TO_OP[kind] == "get"
+
+    def test_connreset_raises_connection_reset(self):
+        inner = MemoryBackend()
+        key = stored(inner)
+        faulty = FaultyBackend(inner, always("connreset"))
+        with pytest.raises(ConnectionResetError):
+            faulty.get_frame(key)
+        # The wrapped replica still holds the intact frame.
+        payload, _ = unframe_object(inner.get_frame(key))
+        assert payload == b"remote fault payload"
+
+    def test_conntimeout_raises_oserror(self):
+        inner = MemoryBackend()
+        key = stored(inner)
+        faulty = FaultyBackend(inner, always("conntimeout"))
+        with pytest.raises(OSError) as excinfo:
+            faulty.get_frame(key)
+        assert excinfo.value.errno == errno.ETIMEDOUT
+
+    def test_slowread_is_late_but_correct(self):
+        inner = MemoryBackend()
+        key = stored(inner)
+        plan = FaultPlan(0, store_rates={"slowread": 1.0}, slow_seconds=0.001)
+        faulty = FaultyBackend(inner, plan)
+        assert faulty.get_frame(key) == inner.get_frame(key)
+
+    def test_stale_serves_the_first_stored_frame(self):
+        inner = MemoryBackend()
+        key = "feed" * 8
+        old = frame_object(b"version one")
+        new = frame_object(b"version two")
+        faulty = FaultyBackend(inner, always("stale"))
+        faulty.put_frame(key, old)
+        faulty.put_frame(key, new)
+        assert inner.get_frame(key) == new
+        served = faulty.get_frame(key)
+        assert served == old
+        payload, _ = unframe_object(served)  # stale, but it verifies
+        assert payload == b"version one"
+
+    def test_inflight_corruption_leaves_the_replica_intact(self):
+        for kind in ("bitflip", "truncate"):
+            inner = MemoryBackend()
+            key = stored(inner)
+            faulty = FaultyBackend(inner, always(kind))
+            assert faulty.get_frame(key) != inner.get_frame(key)
+            payload, _ = unframe_object(inner.get_frame(key))
+            assert payload == b"remote fault payload"
+
+    def test_injections_count_into_health(self):
+        inner = MemoryBackend()
+        key = stored(inner)
+        health = RunHealth()
+        faulty = FaultyBackend(inner, always("connreset"), health)
+        with pytest.raises(ConnectionResetError):
+            faulty.get_frame(key)
+        assert health.faults_injected == 1
+
+    def test_sub_shares_the_plan(self):
+        faulty = FaultyBackend(MemoryBackend(), always("connreset"))
+        child = faulty.sub("objects")
+        assert isinstance(child, FaultyBackend)
+        assert child.plan is faulty.plan
+
+    def test_flaky_network_plan_replays_deterministically(self):
+        plan = named_plan("flaky-network", seed=7)
+        assert plan.preview() == named_plan("flaky-network", seed=7).preview()
+        assert plan.preview() != named_plan("flaky-network", seed=8).preview()
+
+
+class TestFlakyReplicaChaos:
+    """Satellite acceptance: the sweep degrades, the results don't."""
+
+    KINDS = [("english", 6_000), ("c-source", 6_000), ("zero-heavy", 5_000)]
+
+    @pytest.fixture
+    def fs(self):
+        return make_filesystem(self.KINDS, seed=11, name="netbox")
+
+    @pytest.fixture
+    def config(self):
+        return PacketizerConfig()
+
+    def test_sweep_degrades_to_the_healthy_replica(
+        self, tmp_path, fs, config
+    ):
+        clean = run_splice_experiment(
+            fs, config, store=RunStore(tmp_path / "clean")
+        ).counters
+
+        plan = named_plan("flaky-network", seed=5)
+        health = RunHealth()
+        flaky = FaultyBackend(LocalBackend(tmp_path / "flaky"), plan)
+        mux = MultiplexBackend([flaky, LocalBackend(tmp_path / "steady")])
+        store = RunStore(backend=mux)
+        store.attach_health(health)
+
+        with pytest.warns(RuntimeWarning, match="replica"):
+            result = run_splice_experiment(
+                fs, config, store=store, faults=plan, health=health
+            )
+        assert result.counters == clean
+        assert len(plan.log) > 0, "the flaky-network plan must inject"
+        assert health.faults_injected > 0
+        assert health.degradations, "the multiplexer reported the replica"
+
+    def test_same_seed_injects_identically(self, tmp_path, fs, config):
+        outputs = []
+        for label in ("a", "b"):
+            plan = named_plan("flaky-network", seed=5)
+            flaky = FaultyBackend(
+                LocalBackend(tmp_path / label / "flaky"), plan
+            )
+            mux = MultiplexBackend(
+                [flaky, LocalBackend(tmp_path / label / "steady")]
+            )
+            result = run_splice_experiment(
+                fs, config, store=RunStore(backend=mux), faults=plan
+            )
+            outputs.append((result.counters, plan.fingerprint()))
+        assert outputs[0] == outputs[1]

@@ -1,4 +1,5 @@
-"""REP401 / REP402 / REP501: crash-consistency and protocol conformance."""
+"""REP401 / REP402 / REP403 / REP501: crash-consistency and protocol
+conformance."""
 
 from tests.lint.conftest import active_rules
 
@@ -150,6 +151,90 @@ class TestJournalAtomicWrite:
                         return handle.read()
             """,
         }, rules=["REP402"])
+        assert result.active == []
+
+
+class TestVerifiedStoreReads:
+    def test_raw_byte_return_is_flagged(self, lint):
+        result = lint({
+            "repro/store/backends/remote.py": """
+                class WireBackend:
+                    def get(self, key):
+                        return self._frames[key]
+            """,
+        }, rules=["REP403"])
+        assert active_rules(result) == ["REP403"]
+        message = result.active[0].message
+        assert "WireBackend.get" in message
+        assert "verify" in message
+
+    def test_verifying_getter_is_clean(self, lint):
+        result = lint({
+            "repro/store/backends/remote.py": """
+                from repro.store.framing import unframe_object
+
+                class WireBackend:
+                    def get(self, key):
+                        payload, _ = unframe_object(self._frames[key])
+                        return payload
+            """,
+        }, rules=["REP403"])
+        assert result.active == []
+
+    def test_delegating_getter_is_clean(self, lint):
+        result = lint({
+            "repro/store/cache.py": """
+                class ResultCache:
+                    def get_bytes(self, key):
+                        return self.store.get(key)
+
+                    def get_json(self, key):
+                        return self.get_bytes(key)
+            """,
+        }, rules=["REP403"])
+        assert result.active == []
+
+    def test_frame_named_getters_are_exempt(self, lint):
+        result = lint({
+            "repro/store/backends/local.py": """
+                class LocalBackend:
+                    def get_frame(self, key):
+                        return self._path(key).read_bytes()
+
+                    def get_raw_bytes(self, key):
+                        return self._path(key).read_bytes()
+            """,
+        }, rules=["REP403"])
+        assert result.active == []
+
+    def test_unsuffixed_classes_are_exempt(self, lint):
+        result = lint({
+            "repro/store/runner.py": """
+                class _StoreGuard:
+                    def get_shard(self, key):
+                        return self.shards[key]
+            """,
+        }, rules=["REP403"])
+        assert result.active == []
+
+    def test_modules_outside_the_store_are_exempt(self, lint):
+        result = lint({
+            "repro/faults/injector.py": """
+                class FaultyObjectStore:
+                    def get(self, key):
+                        return self.inner._frames[key]
+            """,
+        }, rules=["REP403"])
+        assert result.active == []
+
+    def test_pragma_suppresses(self, lint):
+        result = lint({
+            "repro/store/backends/scratch.py": """
+                class ScratchStore:
+                    def get(self, key):  # reprolint: disable=REP403
+                        return self._frames[key]
+            """,
+        }, rules=["REP403"])
         assert result.active == []
 
 

@@ -104,6 +104,11 @@ _SEEDED = {
         "def checkpoint(path, blob):\n"
         "    path.write_bytes(blob)\n"  # REP402
     ),
+    "repro/store/backends/bad.py": (
+        "class RottenBackend:\n"
+        "    def get(self, key):\n"
+        "        return self._frames[key]\n"  # REP403
+    ),
     "repro/checksums/registry.py": (
         "class BadSum:\n"
         "    name = 'bad'\n"
@@ -121,7 +126,8 @@ _SEEDED = {
 
 _EXPECTED_RULES = {
     "REP101", "REP102", "REP103", "REP201", "REP202",
-    "REP301", "REP302", "REP303", "REP401", "REP402", "REP501",
+    "REP301", "REP302", "REP303", "REP401", "REP402",
+    "REP403", "REP501",
 }
 
 

@@ -1,0 +1,90 @@
+"""Acceptance: sweeps are backend-transparent, bit for bit.
+
+The same cached sweep is driven through a local store, an HTTP remote
+store, and a two-replica multiplexer — at ``--workers 1`` and
+``--workers 4`` — and every run must print byte-identical results.
+The storage topology may change where the bytes live; it must never
+change what the experiment reports.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.store.backends.local import LocalBackend
+from repro.store.api.server import serve_store
+
+SWEEP = ["run", "table5", "--bytes", "60000", "--seed", "2"]
+
+
+@pytest.fixture
+def http_store(tmp_path):
+    root = tmp_path / "served"
+    server = serve_store(backend=LocalBackend(root), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.url, root
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def run_sweep(capsys, workers, *store_args):
+    argv = SWEEP + ["--workers", str(workers), *store_args]
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+class TestBackendTransparency:
+    def test_http_and_multiplex_match_local(
+        self, tmp_path, capsys, http_store, workers
+    ):
+        url, _ = http_store
+        local = run_sweep(
+            capsys, workers, "--cache", "--cache-dir", str(tmp_path / "local")
+        )
+        over_http = run_sweep(capsys, workers, "--store-url", url)
+        replicated = run_sweep(
+            capsys, workers,
+            "--store-url", "%s,%s" % (tmp_path / "r0", tmp_path / "r1"),
+        )
+        assert over_http == local
+        assert replicated == local
+
+
+class TestWarmRemoteRuns:
+    def test_second_http_run_is_byte_identical(self, capsys, http_store):
+        url, root = http_store
+        cold = run_sweep(capsys, 1, "--store-url", url)
+        warm = run_sweep(capsys, 1, "--store-url", url)
+        assert warm == cold
+        assert any(root.iterdir()), "the server-side root was populated"
+
+    def test_multiplexed_run_populates_both_replicas(self, tmp_path, capsys):
+        spec = "%s,%s" % (tmp_path / "r0", tmp_path / "r1")
+        run_sweep(capsys, 1, "--store-url", spec)
+        first = sorted(
+            p.name for p in (tmp_path / "r0").rglob("*") if p.is_file()
+        )
+        second = sorted(
+            p.name for p in (tmp_path / "r1").rglob("*") if p.is_file()
+        )
+        assert first and first == second
+
+    def test_warm_run_survives_a_rotted_replica(self, tmp_path, capsys):
+        spec = "%s,%s" % (tmp_path / "r0", tmp_path / "r1")
+        cold = run_sweep(capsys, 1, "--store-url", spec)
+        for path in (tmp_path / "r0").rglob("*"):
+            if path.is_file():
+                blob = bytearray(path.read_bytes())
+                blob[len(blob) // 2] ^= 0x08
+                path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning):
+            degraded = run_sweep(capsys, 1, "--store-url", spec)
+        assert degraded == cold

@@ -1,0 +1,195 @@
+"""The CRC scrubber: detect seeded rot, quarantine, repair, backfill.
+
+The acceptance chaos test lives here: seed bitflip/truncate corruption
+across *every* object of one replica of a two-replica multiplexer and
+assert the scrubber detects 100% of it, repairs everything from the
+healthy replica, and that a follow-up scrub comes back clean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.cli import main
+from repro.store.backends.local import LocalBackend
+from repro.store.backends.multiplex import MultiplexBackend
+from repro.store.framing import frame_object
+from repro.store.runner import RunStore
+from repro.store.scrub import scrub_backend, scrub_run_store
+
+
+def put_objects(backend, count, tag=b"scrub"):
+    keys = []
+    for i in range(count):
+        payload = tag + b"-%d" % i
+        key = hashlib.sha256(payload).hexdigest()
+        backend.put_frame(key, frame_object(payload))
+        keys.append(key)
+    return keys
+
+
+def corrupt_replica(replica, keys):
+    """Bit-flip even objects, truncate odd ones; returns count seeded."""
+    for i, key in enumerate(sorted(keys)):
+        path = replica.path_for(key)
+        blob = bytearray(path.read_bytes())
+        if i % 2 == 0:
+            blob[len(blob) // 2] ^= 0x04
+            path.write_bytes(bytes(blob))
+        else:
+            path.write_bytes(bytes(blob[:-5]))
+    return len(keys)
+
+
+class TestScrubClean:
+    def test_clean_store_reports_clean(self, tmp_path):
+        backend = LocalBackend(tmp_path / "clean")
+        keys = put_objects(backend, 5)
+        report = scrub_backend(backend)
+        assert report.clean
+        assert report.scanned == len(keys)
+        assert report.ok == len(keys)
+        assert report.corrupt == 0
+        assert report.findings == []
+
+
+class TestScrubChaos:
+    """The acceptance criterion: 100% detection, 100% repair."""
+
+    def test_detects_and_repairs_all_seeded_corruption(self, tmp_path):
+        first = LocalBackend(tmp_path / "r0")
+        second = LocalBackend(tmp_path / "r1")
+        mux = MultiplexBackend([first, second])
+        keys = put_objects(mux, 12)
+        seeded = corrupt_replica(first, keys)
+
+        report = scrub_backend(mux)
+        assert report.corrupt == seeded, "every seeded defect is detected"
+        assert report.repaired == seeded, "every defect heals from the twin"
+        assert report.unrepairable == 0
+
+        # The multiplexer serves every object bit-identically again...
+        for key in keys:
+            frame = mux.get_frame(key)
+            assert first.get_frame(key) == frame == second.get_frame(key)
+        # ...and a follow-up scrub proves the heal stuck.
+        assert scrub_backend(mux).clean
+
+    def test_findings_carry_replica_and_action(self, tmp_path):
+        first = LocalBackend(tmp_path / "r0")
+        second = LocalBackend(tmp_path / "r1")
+        mux = MultiplexBackend([first, second])
+        keys = put_objects(mux, 2)
+        corrupt_replica(first, keys)
+        report = scrub_backend(mux, namespace="objects")
+        repaired = [f for f in report.findings if f.action == "repaired"]
+        assert len(repaired) == 2
+        assert all(f.namespace == "objects" for f in repaired)
+        assert all(str(first.root) in f.replica for f in repaired)
+        assert report.per_replica[first.describe()]["corrupt"] == 2
+        assert report.per_replica[second.describe()]["corrupt"] == 0
+
+    def test_quarantine_salvages_the_corrupt_bytes(self, tmp_path):
+        first = LocalBackend(tmp_path / "r0")
+        second = LocalBackend(tmp_path / "r1")
+        mux = MultiplexBackend([first, second])
+        keys = put_objects(mux, 3)
+        corrupt_replica(first, keys)
+        quarantine = tmp_path / "quarantine"
+        report = scrub_backend(mux, quarantine=quarantine)
+        assert report.quarantined == 3
+        salvaged = sorted(p.name for p in
+                          (quarantine / "default" / "replica-0").iterdir())
+        assert salvaged == sorted(keys)
+
+    def test_unrepairable_without_a_healthy_twin(self, tmp_path):
+        solo = LocalBackend(tmp_path / "solo")
+        keys = put_objects(solo, 4)
+        corrupt_replica(solo, keys)
+        report = scrub_backend(solo)
+        assert report.corrupt == 4
+        assert report.repaired == 0
+        assert report.unrepairable == 4
+        assert not report.clean
+        # Corrupt objects are evicted: the cache recomputes on demand.
+        for key in keys:
+            assert not solo.contains(key)
+
+    def test_backfill_is_replica_anti_entropy(self, tmp_path):
+        first = LocalBackend(tmp_path / "r0")
+        second = LocalBackend(tmp_path / "r1")
+        keys = put_objects(first, 6)
+        report = scrub_backend(MultiplexBackend([first, second]))
+        assert report.backfilled == 6
+        for key in keys:
+            assert second.get_frame(key) == first.get_frame(key)
+        assert scrub_backend(MultiplexBackend([first, second])).backfilled == 0
+
+    def test_no_repair_mode_only_evicts(self, tmp_path):
+        first = LocalBackend(tmp_path / "r0")
+        second = LocalBackend(tmp_path / "r1")
+        mux = MultiplexBackend([first, second])
+        keys = put_objects(mux, 2)
+        corrupt_replica(first, keys)
+        report = scrub_backend(mux, repair=False, backfill=False)
+        assert report.corrupt == 2
+        assert report.repaired == 0
+        assert report.unrepairable == 2
+        for key in keys:
+            assert not first.contains(key)
+            assert second.contains(key)
+
+
+class TestScrubRunStore:
+    def test_merges_every_namespace(self, tmp_path):
+        mux = MultiplexBackend([
+            LocalBackend(tmp_path / "r0"), LocalBackend(tmp_path / "r1"),
+        ])
+        store = RunStore(backend=mux)
+        store.results.put_json("cafe01" * 4 + "beef" * 4, {"v": 1})
+        store.objects.put(b"an object payload")
+        report = scrub_run_store(store)
+        assert report.clean
+        assert report.scanned >= 2
+
+    def test_report_renders_human_lines(self, tmp_path):
+        backend = LocalBackend(tmp_path / "r")
+        put_objects(backend, 1)
+        text = scrub_backend(backend).render()
+        assert "objects scanned    1" in text
+        assert "verified ok        1" in text
+
+
+class TestScrubCLI:
+    def test_scrub_command_repairs_and_exits_zero(self, tmp_path, capsys):
+        first = LocalBackend(tmp_path / "r0")
+        second = LocalBackend(tmp_path / "r1")
+        mux = MultiplexBackend([first, second])
+        store = RunStore(backend=mux)
+        store.objects.put(b"cli payload one")
+        store.objects.put(b"cli payload two")
+        corrupt_replica(first.sub("objects"),
+                        list(first.sub("objects").keys()))
+        spec = "%s,%s" % (tmp_path / "r0", tmp_path / "r1")
+        code = main(["store", "scrub", "--store-url", spec])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "corrupt            2" in out
+        assert "repaired           2" in out
+        code = main(["store", "scrub", "--store-url", spec])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corrupt            0" in out
+
+    def test_scrub_exits_nonzero_on_unrepairable(self, tmp_path, capsys):
+        solo = LocalBackend(tmp_path / "solo")
+        store = RunStore(backend=solo)
+        store.objects.put(b"doomed payload")
+        corrupt_replica(solo.sub("objects"),
+                        list(solo.sub("objects").keys()))
+        code = main(["store", "scrub", "--store-url", str(tmp_path / "solo")])
+        out = capsys.readouterr().out
+        assert code == 1, out
+        assert "unrepairable       1" in out

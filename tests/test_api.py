@@ -33,6 +33,7 @@ class TestFacadeSurface:
             "generate_markdown_report",
             "latest_bench_snapshot",
             "named_plan",
+            "open_backend",
             "open_journal",
             "open_store",
             "plan_names",
@@ -41,6 +42,8 @@ class TestFacadeSurface:
             "run_bench",
             "run_experiment",
             "run_splice_experiment",
+            "scrub_run_store",
+            "serve_store",
             "simulate_file_transfer",
             "sum_file",
             "sweep_guard",

@@ -134,6 +134,20 @@ class TestCacheCommands:
         args = build_parser().parse_args(["run", "table1"])
         assert args.cache is False
 
+    def test_store_url_specs_parse(self):
+        parser = build_parser()
+        for spec in ("/tmp/cache", "file:///tmp/cache", "memory://shared",
+                     "http://localhost:8970", "a,b", "stripe:a,b",
+                     "readonly+/shared/ref,http://localhost:8970"):
+            args = parser.parse_args(["run", "table1", "--store-url", spec])
+            assert args.store_url == spec
+
+    def test_store_url_rejects_bad_specs_at_parse_time(self):
+        parser = build_parser()
+        for spec in ("ftp://nope", "a,,b", "stripe:", "a,gopher://x"):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["run", "table1", "--store-url", spec])
+
     def test_run_cached_twice_is_byte_identical(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "store")
         argv = ["run", "table5", "--bytes", "60000", "--seed", "2",
