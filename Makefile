@@ -22,11 +22,12 @@ chaos:
 	$(PYTHON) -m repro.cli chaos --bytes 120000
 
 # Quick throughput snapshot (BENCH_<n>.json + delta table vs the
-# previous one) and the overhead guarantees: disabled telemetry (<2%)
-# and sweep journaling (<3% of hot-path wall time), both asserted.
+# previous one) and the overhead guarantees: disabled telemetry (<2%),
+# sweep journaling (<3%) and the store resilience layer (<2% of
+# hot-path wall time), all asserted.
 bench:
 	$(PYTHON) -m repro.cli bench --quick
-	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py benchmarks/test_journal_overhead.py -q -s
+	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py benchmarks/test_journal_overhead.py benchmarks/test_resilience_overhead.py -q -s
 
 # The full pytest-benchmark suite (regenerates every table & figure).
 microbench:
@@ -43,12 +44,16 @@ cache-stats:
 cache-audit:
 	$(PYTHON) -m repro.cli cache audit
 
-# Backend conformance + scrubber: the store suite across local,
-# memory, HTTP, multiplexed, and striped backends, the byte-identical
-# sweep transparency checks, and the scrub/repair chaos tests.
+# Backend conformance + scrubber + resilience: the store suite across
+# local, memory, HTTP, multiplexed, and striped backends, the
+# byte-identical sweep transparency checks, the scrub/repair chaos
+# tests, and the self-healing layer (retry policy, circuit breakers,
+# hedged reads, the degraded-mode write spool).
 store-check:
 	$(PYTHON) -m pytest tests/store/test_backends.py tests/store/test_scrub.py \
-		tests/store/test_backends_sweep.py tests/faults/test_remote_faults.py -q
+		tests/store/test_backends_sweep.py tests/faults/test_remote_faults.py \
+		tests/store/test_resilience.py tests/store/test_spool.py \
+		tests/faults/test_resilience_chaos.py -q
 
 # Static analysis: the domain-aware reprolint rules always run; ruff
 # and mypy run only when installed (CI installs them; the hermetic dev

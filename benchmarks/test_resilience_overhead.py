@@ -1,0 +1,139 @@
+"""The clean-path overhead guarantee of the resilience layer.
+
+The self-healing contract (docs/architecture.md, "Resilience"): with
+every replica healthy, the breaker/hedge/spool machinery a resilient
+multiplexer adds to each store operation — one controller tick, one
+breaker lookup, one admission check, one outcome record — costs
+**under 2% of the sweep's wall time** on a compute-dominated corpus.
+Two measurements back the number:
+
+* the *honest* one asserts it: the measured per-operation cost of the
+  full breaker bookkeeping times the number of store operations a real
+  cached sweep performs, over the measured store-less sweep time;
+* the *end-to-end* one prints the observed delta between a resilient
+  and a bare-multiplexer sweep over the same corpus, as a sanity
+  cross-check (not asserted — wall-clock deltas of a few ms flake on
+  loaded machines).
+
+Not part of the tier-1 suite (``testpaths = ["tests"]``); run with
+``pytest benchmarks/test_resilience_overhead.py -s`` or ``make bench``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiment import run_splice_experiment
+from repro.protocols.packetizer import PacketizerConfig
+from repro.store.backends.local import LocalBackend
+from repro.store.backends.multiplex import MultiplexBackend
+from repro.store.resilience import ResilienceController
+from repro.store.runner import RunStore
+from tests.conftest import make_filesystem
+
+#: The advertised ceiling, with margin below it so the assertion does
+#: not flake when the host is loaded.
+RESILIENCE_PCT_LIMIT = 2.0
+
+#: Per-file sizes chosen so splice compute dominates: the sweep takes
+#: a couple of seconds while the breaker bookkeeping takes microseconds
+#: per store operation.
+KINDS = [
+    ("english", 150_000),
+    ("gmon", 120_000),
+    ("c-source", 150_000),
+    ("zero-heavy", 120_000),
+]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _store_ops(run_store):
+    """Store operations the sweep performed, summed over namespaces."""
+    total = 0
+    for _, store in run_store.namespaces:
+        counters = store.backend.counters
+        total += counters.gets + counters.puts + counters.deletes
+    return total
+
+
+def test_resilience_overhead_under_two_percent(tmp_path):
+    fs = make_filesystem(KINDS, seed=11, name="resiliencebench")
+    config = PacketizerConfig()
+
+    # Warm-up (corpus generation, imports), then the reference sweep.
+    run_splice_experiment(fs, config)
+    _, t_sweep = _timed(lambda: run_splice_experiment(fs, config))
+
+    # How many store operations does a real cached sweep perform?
+    bare = MultiplexBackend([LocalBackend(tmp_path / "bare")])
+    bare_store = RunStore(backend=bare)
+    _, t_bare = _timed(
+        lambda: run_splice_experiment(fs, config, store=bare_store)
+    )
+    ops = _store_ops(bare_store)
+    assert ops > 0
+
+    # Honest per-op cost of the breaker bookkeeping a resilient
+    # multiplexer adds to the clean path: tick + lookup + admission +
+    # outcome, measured in isolation over enough rounds to resolve.
+    controller = ResilienceController()
+    replica = LocalBackend(tmp_path / "probe")
+    breaker = controller.breaker_for(replica, 0)
+    rounds = 200_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        controller.tick()
+        b = controller.breaker_for(replica, 0)
+        b.allow()
+        b.record_success()
+    per_op = (time.perf_counter() - start) / rounds
+    assert breaker.state == "closed"
+
+    pct = 100.0 * (per_op * ops) / t_sweep
+
+    # End-to-end cross-check (printed, not asserted).
+    resilient = MultiplexBackend(
+        [LocalBackend(tmp_path / "resilient")],
+        resilience=ResilienceController(),
+    )
+    _, t_resilient = _timed(
+        lambda: run_splice_experiment(
+            fs, config, store=RunStore(backend=resilient)
+        )
+    )
+    e2e_pct = 100.0 * (t_resilient - t_bare) / t_bare
+
+    print(
+        "\nresilience overhead: honest %.4f%% (%d store ops x %.2fus "
+        "per op over %.2fs sweep) / end-to-end %+.2f%%"
+        % (pct, ops, per_op * 1e6, t_sweep, e2e_pct)
+    )
+    assert pct < RESILIENCE_PCT_LIMIT
+
+
+def test_clean_path_results_are_identical_with_and_without_breakers(
+    tmp_path,
+):
+    """The layer is transparent when nothing fails: same counters."""
+    fs = make_filesystem([("english", 20_000), ("gmon", 16_000)],
+                         seed=3, name="transparencybench")
+    config = PacketizerConfig()
+    bare = run_splice_experiment(
+        fs, config,
+        store=RunStore(backend=MultiplexBackend(
+            [LocalBackend(tmp_path / "a")]
+        )),
+    ).counters
+    resilient = run_splice_experiment(
+        fs, config,
+        store=RunStore(backend=MultiplexBackend(
+            [LocalBackend(tmp_path / "b")],
+            resilience=ResilienceController(),
+        )),
+    ).counters
+    assert bare == resilient

@@ -56,14 +56,19 @@ _EXPORTS = {
 #: ``repro.X is repro.api.X`` holds across the whole contract.
 _FACADE_EXPORTS = (
     "ChecksumPlacement",
+    "CircuitBreaker",
     "IndependentLoss",
+    "ManualClock",
     "PacketizerConfig",
+    "ResilienceController",
+    "RetryPolicy",
     "RunAborted",
     "RunHealth",
     "ShardJournal",
     "SweepInterrupted",
     "Telemetry",
     "TransferReport",
+    "WriteSpool",
     "activate_telemetry",
     "algorithm_names",
     "algorithm_summaries",
@@ -75,6 +80,8 @@ _FACADE_EXPORTS = (
     "current_telemetry",
     "deactivate_telemetry",
     "default_journal_dir",
+    "default_spool_dir",
+    "drain_spool",
     "experiment_ids",
     "generate_markdown_report",
     "latest_bench_snapshot",

@@ -60,6 +60,14 @@ __all__ = [
     "named_plan",
     "plan_names",
     "wrap_run_store",
+    # store resilience: retries, breakers, degraded-mode spool
+    "CircuitBreaker",
+    "ManualClock",
+    "ResilienceController",
+    "RetryPolicy",
+    "WriteSpool",
+    "default_spool_dir",
+    "drain_spool",
     # reporting and rendering
     "generate_markdown_report",
     "write_figure_svg",
@@ -79,6 +87,13 @@ __all__ = [
 #: import bill of each subsystem is paid only by callers that use it.
 _LAZY = {
     "ChecksumPlacement": ("repro.protocols.packetizer", "ChecksumPlacement"),
+    "CircuitBreaker": ("repro.store.resilience", "CircuitBreaker"),
+    "ManualClock": ("repro.store.resilience", "ManualClock"),
+    "ResilienceController": ("repro.store.resilience", "ResilienceController"),
+    "RetryPolicy": ("repro.store.resilience", "RetryPolicy"),
+    "WriteSpool": ("repro.store.spool", "WriteSpool"),
+    "default_spool_dir": ("repro.store.spool", "default_spool_dir"),
+    "drain_spool": ("repro.store.spool", "drain_spool"),
     "IndependentLoss": ("repro.protocols.cellstream", "IndependentLoss"),
     "PacketizerConfig": ("repro.protocols.packetizer", "PacketizerConfig"),
     "RunAborted": ("repro.core.supervisor", "RunAborted"),
@@ -197,7 +212,7 @@ def sum_file(path, algorithm="internet"):
         return engine.compute(handle.read())
 
 
-def open_store(root=None, algorithm=None, url=None):
+def open_store(root=None, algorithm=None, url=None, timeout=10.0):
     """A :class:`~repro.store.runner.RunStore` rooted at ``root``.
 
     ``root`` defaults to ``$REPRO_CHECKSUMS_CACHE`` or
@@ -205,8 +220,12 @@ def open_store(root=None, algorithm=None, url=None):
     trailer check code (default CRC-32/AAL5).  ``url`` instead selects
     a backend by ``--store-url`` spec (``file://``, ``memory://``,
     ``http://``, comma-separated replicas for a resilient multiplexer,
-    ``stripe:`` for striping — see :mod:`repro.store.backends`).  Pass
-    the result as ``cache=``/``store=`` to :func:`run_experiment`.
+    ``stripe:`` for striping — see :mod:`repro.store.backends`);
+    remote specs get per-replica circuit breakers and a degraded-mode
+    write spool (under ``root`` when given, the default store root
+    otherwise).  ``timeout`` bounds each remote operation (the
+    ``--store-timeout`` flag).  Pass the result as
+    ``cache=``/``store=`` to :func:`run_experiment`.
     """
     from repro.store.objstore import DEFAULT_ALGORITHM
     from repro.store.runner import RunStore
@@ -215,7 +234,16 @@ def open_store(root=None, algorithm=None, url=None):
     if url is not None:
         from repro.store.backends import open_store_url
 
-        return RunStore(algorithm=algorithm, backend=open_store_url(url))
+        spool_dir = None
+        if root is not None:
+            from repro.store.spool import default_spool_dir
+
+            spool_dir = default_spool_dir(root)
+        return RunStore(
+            algorithm=algorithm,
+            backend=open_store_url(url, timeout=timeout,
+                                   spool_dir=spool_dir),
+        )
     return RunStore(root, algorithm)
 
 

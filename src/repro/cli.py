@@ -16,10 +16,12 @@ Subcommands:
   ``~/.cache/repro-checksums``, overridable with ``--cache-dir`` or
   ``$REPRO_CHECKSUMS_CACHE``); ``stats`` includes the per-backend
   hit/miss/byte counters.
-* ``store serve|scrub`` -- run the ``repro-store/1`` HTTP server over
-  a store root (or any backend URL), and the CRC scrubber: walk a
-  backend re-verifying integrity trailers, quarantine corrupt objects,
-  repair them from healthy replicas.
+* ``store serve|scrub|flush-spool`` -- run the ``repro-store/1`` HTTP
+  server over a store root (or any backend URL); the CRC scrubber:
+  walk a backend re-verifying integrity trailers, quarantine corrupt
+  objects, repair them from healthy replicas; and the degraded-mode
+  spool drain: replay writes queued locally during a remote-store
+  outage (exit 0 once the spool is empty, 1 while entries remain).
 * ``chaos`` -- run a splice sweep under a named fault-injection plan
   (worker crashes, store bit rot, ENOSPC, ...) and assert the final
   counters are bit-identical to a fault-free run.
@@ -143,6 +145,10 @@ def _cache_parent(toggle=True):
                              "http:// URL; comma-separate replicas for a "
                              "resilient multiplexer, prefix 'stripe:' to "
                              "stripe (implies --cache)")
+    parent.add_argument("--store-timeout", type=_positive_seconds,
+                        metavar="SECONDS", default=None,
+                        help="per-operation timeout for remote store "
+                             "backends (default: 10 seconds)")
     return parent
 
 
@@ -298,6 +304,11 @@ def build_parser():
                          default=True,
                          help="rewrite corrupt objects from a healthy "
                               "replica (multiplexed stores)")
+    store_sub.add_parser(
+        "flush-spool", parents=[_cache_parent(toggle=False)],
+        help="replay writes spooled during a remote-store outage "
+             "(exit 0 when the spool ends up empty, 1 otherwise)",
+    )
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -362,11 +373,20 @@ def build_parser():
     return parser
 
 
+def _store_kwargs(args, url):
+    """``open_store`` kwargs for a ``--store-url`` spec."""
+    kwargs = {"url": url, "root": getattr(args, "cache_dir", None)}
+    timeout = getattr(args, "store_timeout", None)
+    if timeout is not None:
+        kwargs["timeout"] = timeout
+    return kwargs
+
+
 def _make_store(args):
     """A RunStore when ``--cache``/``--store-url`` was requested, else None."""
     url = getattr(args, "store_url", None)
     if url:
-        return open_store(url=url)
+        return open_store(**_store_kwargs(args, url))
     if not getattr(args, "cache", False):
         return None
     return open_store(args.cache_dir)
@@ -376,7 +396,7 @@ def _open_cache_store(args):
     """The store a maintenance command operates on (always opens one)."""
     url = getattr(args, "store_url", None)
     if url:
-        return open_store(url=url)
+        return open_store(**_store_kwargs(args, url))
     return open_store(args.cache_dir)
 
 
@@ -498,6 +518,7 @@ def _cmd_cache(args):
         print("backend counters (this process):")
         for name, entry in store.backend_stats().items():
             _print_backend_counters(name, entry)
+        _print_resilience(store.resilience_stats())
         return 0
     if args.cache_command == "audit":
         report = audit_run_store(store, evict=args.evict)
@@ -519,6 +540,26 @@ def _print_backend_counters(name, entry, indent=""):
     for child in entry.get("children", ()):
         _print_backend_counters("- " + child["kind"], child,
                                 indent=indent + "  ")
+
+
+def _print_resilience(stats):
+    """Render a ``resilience_stats()`` snapshot (no-op when None)."""
+    if not stats:
+        return
+    print("")
+    print("resilience (this process):")
+    for breaker in stats.get("breakers", ()):
+        print("  breaker %-9s %s  (%d ok/%d failed/%d slow)" % (
+            breaker["state"], breaker["name"], breaker["successes"],
+            breaker["failures"], breaker["slow_reads"]))
+        for transition in breaker["transitions"]:
+            print("    op %-6d %s -> %s (%s)" % (
+                transition["op"], transition["from"], transition["to"],
+                transition["reason"]))
+    spool = stats.get("spool")
+    if spool is not None:
+        print("  spool   %d pending write(s), %d bytes, at %s" % (
+            spool["entries"], spool["bytes"], spool["dir"]))
 
 
 def _cmd_store(args):
@@ -546,7 +587,17 @@ def _cmd_store(args):
         report = scrub_run_store(store, repair=args.repair,
                                  quarantine=args.quarantine)
         print(report.render())
+        _print_resilience(store.resilience_stats())
         return 0 if report.unrepairable == 0 else 1
+    if args.store_command == "flush-spool":
+        store = _open_cache_store(args)
+        print("store              %s" % store.describe())
+        report = store.drain_spool()
+        if report is None:
+            print("no write spool configured for this store")
+            return 0
+        print(report.render())
+        return 0 if report.clean else 1
     return 1
 
 

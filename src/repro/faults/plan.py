@@ -255,6 +255,13 @@ NAMED_PLANS = {
                      "slowread": 0.15, "stale": 0.05},
         slow_seconds=0.02,
     ),
+    # A replica goes completely dark: every read and write errors.
+    # Point it at all replicas of a resilient multiplexer to force the
+    # breakers open and exercise the degraded-mode write spool.
+    "replica-outage": dict(
+        store_rates={"eio": 1.0, "erofs": 1.0},
+        max_faults=1_000_000,
+    ),
     # Everything at once (the default chaos diet).
     "monkey": dict(
         store_rates={"bitflip": 0.20, "truncate": 0.05,

@@ -1,9 +1,15 @@
 """Blocking stdlib HTTP client for the ``repro-store/1`` protocol.
 
 One persistent ``http.client.HTTPConnection`` per client; a dropped
-connection is re-established and the request retried exactly once
-(every protocol operation is idempotent, so the retry is safe).
-Failures surface as:
+connection is re-established and the request retried under a
+:class:`~repro.store.resilience.RetryPolicy` (every protocol operation
+is idempotent, so retries are safe).  The client distinguishes the
+*connect* phase (no bytes of the response seen yet — always safe to
+retry) from *mid-body* failures (the response started and died — the
+socket state is unknowable, so the failure is counted separately in
+telemetry as ``resilience.http.midbody_failures`` before the retry);
+every reconnect lands in ``resilience.http.reconnects``.  Failures
+surface as:
 
 * ``KeyError`` — the object does not exist (HTTP 404);
 * :class:`repro.store.framing.IntegrityError` — the *server* refused
@@ -22,6 +28,8 @@ import socket
 from urllib.parse import urlsplit
 
 from repro.store.framing import IntegrityError
+from repro.store.resilience import RetryPolicy
+from repro.telemetry.core import current as _telemetry
 
 __all__ = ["API_PREFIX", "PROTOCOL", "RemoteStoreError", "StoreClient"]
 
@@ -42,7 +50,7 @@ class RemoteStoreError(OSError):
 class StoreClient:
     """One connection to one remote store; thread-compatible, not shared."""
 
-    def __init__(self, url, timeout=10.0):
+    def __init__(self, url, timeout=10.0, retry_policy=None):
         parts = urlsplit(url)
         if parts.scheme not in ("http",):
             raise ValueError("unsupported store URL scheme %r" % parts.scheme)
@@ -53,6 +61,17 @@ class StoreClient:
         self.timeout = timeout
         self.url = "http://%s:%d" % (self.host, self.port)
         self._connection = None
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(
+                "http",
+                max_attempts=2,
+                base_delay=0.0,  # reconnect immediately; backoff is opt-in
+                op_deadline=timeout,
+                retry_on=(http.client.HTTPException, ConnectionError,
+                          socket.timeout, OSError),
+            )
+        )
 
     # -- transport ----------------------------------------------------------
 
@@ -68,23 +87,41 @@ class StoreClient:
             self._connection.close()
             self._connection = None
 
+    def _attempt(self, method, path, body):
+        """One wire attempt; telemetry distinguishes the failure phase."""
+        connection = self._connect()
+        phase = "connect"
+        try:
+            connection.request(method, path, body=body)
+            response = connection.getresponse()
+            # Headers arrived: from here a failure means the response
+            # died mid-body, not that the server was unreachable.
+            phase = "body"
+            payload = response.read()
+            return response.status, response.headers, payload
+        except (http.client.HTTPException, ConnectionError,
+                socket.timeout, OSError):
+            # The socket state is unknowable either way: drop it so a
+            # retry starts from a clean connect.
+            self.close()
+            if phase == "body":
+                _telemetry().count("resilience.http.midbody_failures")
+            else:
+                _telemetry().count("resilience.http.reconnects")
+            raise
+
     def _request(self, method, path, body=None):
-        """``(status, headers, body_bytes)``; one reconnect retry."""
-        last = None
-        for _ in range(2):  # the request, then one retry on a fresh socket
-            connection = self._connect()
-            try:
-                connection.request(method, path, body=body)
-                response = connection.getresponse()
-                payload = response.read()
-                return response.status, response.headers, payload
-            except (http.client.HTTPException, ConnectionError,
-                    socket.timeout, OSError) as exc:
-                self.close()
-                last = exc
-        raise RemoteStoreError(
-            "remote store %s unreachable: %s" % (self.url, last)
-        ) from last
+        """``(status, headers, body_bytes)``; retries per the policy."""
+        try:
+            return self.retry_policy.run(
+                "%s %s" % (method, path),
+                lambda: self._attempt(method, path, body),
+            )
+        except (http.client.HTTPException, ConnectionError,
+                socket.timeout, OSError) as exc:
+            raise RemoteStoreError(
+                "remote store %s unreachable: %s" % (self.url, exc)
+            ) from exc
 
     @staticmethod
     def _error_reason(payload):

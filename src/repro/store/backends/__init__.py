@@ -25,6 +25,17 @@ Composition is spelled in the ``--store-url`` grammar understood by
 * a ``readonly+`` prefix on any single URL wraps it in
   :class:`ReadOnlyBackend` (e.g. ``readonly+http://host:8970`` as the
   warm upstream replica of a multiplexer).
+
+Every multiplexer built here carries a
+:class:`~repro.store.resilience.ResilienceController` — per-replica
+circuit breakers that quarantine, probe, and reintegrate unhealthy
+replicas — and, whenever a replica is *remote* (``http://``), a
+degraded-mode :class:`~repro.store.spool.WriteSpool` so a total
+outage queues writes locally instead of dropping them.  A single
+remote URL is wrapped in a one-replica multiplexer for the same
+protection; single local/memory backends stay bare (pass
+``resilience=False`` to opt a composite out and get the PR 6
+behaviour).
 """
 
 from __future__ import annotations
@@ -106,8 +117,26 @@ def open_backend(url=None, timeout=10.0):
     )
 
 
-def open_store_url(spec, timeout=10.0, health=None):
-    """Resolve a ``--store-url`` spec (see the module docstring)."""
+def _is_remote(backend):
+    """True when ``backend`` (or any wrapped child) talks to the network."""
+    if getattr(backend, "kind", "") == "http":
+        return True
+    return any(_is_remote(child)
+               for child in getattr(backend, "children", ()))
+
+
+def open_store_url(spec, timeout=10.0, health=None, resilience=None,
+                   spool_dir=None):
+    """Resolve a ``--store-url`` spec (see the module docstring).
+
+    ``resilience`` selects the fault-handling layer: ``None`` (the
+    default) builds a :class:`~repro.store.resilience
+    .ResilienceController` for any multiplexed or remote spec,
+    ``False`` opts out (legacy bare behaviour), and a ready-made
+    controller instance is used as-is.  ``spool_dir`` overrides where
+    degraded-mode writes queue (default: ``<store root>/spool``, only
+    wired up when a replica is remote).
+    """
     spec = str(spec).strip()
     striping = False
     if spec.startswith(STRIPE_PREFIX):
@@ -119,6 +148,23 @@ def open_store_url(spec, timeout=10.0, health=None):
     backends = [open_backend(url, timeout=timeout) for url in urls]
     if striping:
         return StripingBackend(backends, health=health)
-    if len(backends) == 1:
+    remote = any(_is_remote(backend) for backend in backends)
+    if resilience is None and len(backends) == 1 and not remote:
+        # A lone local/memory backend: nothing to quarantine, nothing
+        # worth spooling — same disk, same failure domain.
         return backends[0]
-    return MultiplexBackend(backends, health=health)
+    if resilience is False:
+        if len(backends) == 1:
+            return backends[0]
+        return MultiplexBackend(backends, health=health)
+    if resilience is None:
+        from repro.store.resilience import ResilienceController
+
+        spool = None
+        if remote:
+            from repro.store.spool import WriteSpool, default_spool_dir
+
+            spool = WriteSpool(spool_dir if spool_dir is not None
+                               else default_spool_dir())
+        resilience = ResilienceController(health=health, spool=spool)
+    return MultiplexBackend(backends, health=health, resilience=resilience)

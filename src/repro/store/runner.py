@@ -18,11 +18,14 @@ independent, so the sweep shards naturally per file:
 Execution goes through :class:`repro.core.supervisor.SupervisedPool`
 (retry → pool respawn → in-process fallback), and store I/O goes
 through a **degradation ladder** of its own: an ``OSError`` from the
-cache root is retried once, a persistently failing store demotes the
-run to store-less computation with a single warning, and every
-intervention lands in the run's :class:`RunHealth` record.  A full
-disk or a read-only cache can therefore never abort a sweep — it only
-costs the resumability of that one run.
+cache root is retried under a deterministic
+:class:`~repro.store.resilience.RetryPolicy`, a persistently failing
+store demotes the run to store-less computation with a single
+warning, and every intervention lands in the run's
+:class:`RunHealth` record.  A full disk or a read-only cache can
+therefore never abort a sweep — it only costs the resumability of
+that one run.  Writes spooled during a remote-store outage are
+replayed opportunistically at end-of-sweep.
 
 ``run_splice_experiment(..., store=RunStore(...))`` routes through
 :func:`run_sharded_splice`; results are bit-identical to the direct
@@ -44,6 +47,7 @@ from repro.store.keys import SCHEMA_VERSION, digest_key, shard_key
 from repro.store.manifest import ManifestStore, RunManifest
 from repro.store.backends.local import LocalBackend
 from repro.store.objstore import DEFAULT_ALGORITHM, ObjectStore, default_root
+from repro.store.resilience import RetryPolicy
 
 __all__ = ["RunStore", "run_key_for", "run_sharded_splice"]
 
@@ -144,6 +148,20 @@ class RunStore:
         """Delete every stored object across all namespaces."""
         return sum(store.clear() for _, store in self.namespaces)
 
+    def resilience_stats(self):
+        """Breaker/spool snapshot, or None for non-resilient backends."""
+        stats = getattr(self.backend, "resilience_stats", None)
+        if stats is None:
+            return None
+        return stats()
+
+    def drain_spool(self):
+        """Replay degraded-mode spooled writes; None without a spool."""
+        drain = getattr(self.backend, "drain_spool", None)
+        if drain is None:
+            return None
+        return drain()
+
     def close(self):
         """Release backend resources (HTTP connections); idempotent."""
         self.backend.close()
@@ -157,42 +175,48 @@ def run_key_for(filesystem_name, shard_keys):
 
 
 class _StoreGuard:
-    """The store degradation ladder: retry once, then go store-less.
+    """The store degradation ladder: retry, then go store-less.
 
     Every store operation the runner performs goes through
-    :meth:`_attempt`: an ``OSError`` is counted and the operation
-    retried once; a second failure skips the operation (the run keeps
-    its in-memory counters).  Once :data:`DEMOTE_AFTER` errors have
-    accumulated the guard demotes the whole run to store-less mode
-    with a single warning — persistence is disabled, correctness is
-    untouched.
+    :meth:`_attempt`, driven by a deterministic
+    :class:`~repro.store.resilience.RetryPolicy` (two attempts, no
+    backoff — the immediate-retry semantics the ladder has always
+    had, now centrally owned and telemetry-counted).  Each caught
+    ``OSError`` is added to the run's store-error ledger; a final
+    failure skips the operation (the run keeps its in-memory
+    counters).  Once :data:`DEMOTE_AFTER` errors have accumulated the
+    guard demotes the whole run to store-less mode with a single
+    warning — persistence is disabled, correctness is untouched.
     """
 
     #: Cumulative store errors after which the run goes store-less.
     DEMOTE_AFTER = 6
 
-    def __init__(self, store, health):
+    def __init__(self, store, health, retry_policy=None):
         self.store = store
         self.health = health
         self.active = store is not None
+        self.policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy("guard", max_attempts=2, base_delay=0.0)
+        )
         if self.active and hasattr(store, "attach_health"):
             # Resilient multiplexer backends report replica failures
             # into the same health record as the ladder itself.
             store.attach_health(health)
 
+    def _count_error(self, exc):
+        self.health.store_errors += 1
+
     def _attempt(self, what, call, default=None):
         if not self.active:
             return default
-        last = None
-        for _ in range(2):  # the op itself, then one immediate retry
-            try:
-                return call()
-            except OSError as exc:
-                self.health.store_errors += 1
-                last = exc
-        if self.health.store_errors >= self.DEMOTE_AFTER:
-            self._demote(what, last)
-        return default
+        try:
+            return self.policy.run(what, call, on_error=self._count_error)
+        except OSError as exc:
+            if self.health.store_errors >= self.DEMOTE_AFTER:
+                self._demote(what, exc)
+            return default
 
     def _demote(self, what, exc):
         self.active = False
@@ -237,6 +261,15 @@ class _StoreGuard:
         self._attempt(
             "shard write", lambda: self.store.shards.put_object(key, counters)
         )
+
+    def drain_spool(self):
+        """Opportunistic end-of-sweep replay of degraded-mode writes."""
+        if not self.active:
+            return None
+        drain = getattr(self.store, "drain_spool", None)
+        if drain is None:
+            return None
+        return self._attempt("spool drain", drain)
 
 
 def run_sharded_splice(
@@ -371,6 +404,11 @@ def run_sharded_splice(
         guard.save_manifest(manifest)
     if journal is not None and not stopped:
         journal.complete()  # a journal on disk always means "interrupted"
+    if not stopped:
+        # A replica may have healed since the outage that spooled the
+        # writes; replay them now so the sweep ends with a complete
+        # remote cache (no-op without a spool, or when it is empty).
+        guard.drain_spool()
 
     merged = SpliceCounters()
     for key in shard_keys:

@@ -56,6 +56,8 @@ class ScrubReport:
     quarantined: int = 0
     backfilled: int = 0
     unrepairable: int = 0
+    #: replicas that could not even be read (dead server, dead disk).
+    errors: int = 0
     findings: list = field(default_factory=list)
     #: ``replica describe() -> {"scanned", "corrupt", "repaired"}``
     per_replica: dict = field(default_factory=dict)
@@ -67,7 +69,7 @@ class ScrubReport:
 
     def merge(self, other):
         for name in ("scanned", "ok", "corrupt", "repaired",
-                     "quarantined", "backfilled", "unrepairable"):
+                     "quarantined", "backfilled", "unrepairable", "errors"):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.findings.extend(other.findings)
         for replica, counts in other.per_replica.items():
@@ -92,6 +94,7 @@ class ScrubReport:
             "backfilled         %d" % self.backfilled,
             "quarantined        %d" % self.quarantined,
             "unrepairable       %d" % self.unrepairable,
+            "replica errors     %d" % self.errors,
         ]
         for replica in sorted(self.per_replica):
             counts = self.per_replica[replica]
@@ -187,6 +190,9 @@ def scrub_backend(backend, namespace="default", repair=True, quarantine=None,
         healthy = None
         for index, replica in enumerate(replicas):
             status, frame, reason = _read_frame(replica, key)
+            if status == "error":
+                report.errors += 1
+                telemetry.count("scrub.errors")
             states.append((index, replica, status, frame, reason))
             if status == "ok" and healthy is None:
                 healthy = frame
@@ -245,7 +251,14 @@ def scrub_backend(backend, namespace="default", repair=True, quarantine=None,
 
 
 def scrub_run_store(run_store, repair=True, quarantine=None, backfill=True):
-    """Scrub every namespace of a :class:`repro.store.runner.RunStore`."""
+    """Scrub every namespace of a :class:`repro.store.runner.RunStore`.
+
+    A pass that verified every frame on every replica without a single
+    transport error is an end-to-end health proof stronger than any
+    half-open probe, so it also **reintegrates** quarantined replicas:
+    every open circuit breaker on the store's multiplexer is closed,
+    with the reintegration on the breaker's transition ledger.
+    """
     report = ScrubReport()
     for name, store in run_store.namespaces:
         report.merge(scrub_backend(
@@ -255,4 +268,10 @@ def scrub_run_store(run_store, repair=True, quarantine=None, backfill=True):
             quarantine=quarantine,
             backfill=backfill,
         ))
+    if report.clean and report.errors == 0:
+        resilience = getattr(run_store.backend, "resilience", None)
+        if resilience is not None:
+            resilience.reintegrate(
+                "clean scrub pass verified every replica end-to-end"
+            )
     return report

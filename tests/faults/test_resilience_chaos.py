@@ -1,0 +1,297 @@
+"""The self-healing data plane under the seeded network adversary.
+
+Satellite coverage: ``FaultyBackend`` slowread/conntimeout against
+per-op deadlines — the hedged read wins, the slow replica's breaker
+opens after the threshold, the half-open probe reintegrates it, all
+replayable from one seed.  Chaos acceptance: a sweep under the
+``flaky-network`` plan is bit-identical to a clean run at ``--workers
+1`` and ``4``, and an outage-spooled store flushes to byte-identical
+with a never-faulted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import run_splice_experiment
+from repro.core.supervisor import RunHealth
+from repro.faults.injector import FaultyBackend
+from repro.faults.plan import FaultPlan, named_plan
+from repro.protocols.packetizer import PacketizerConfig
+from repro.store.backends.local import LocalBackend
+from repro.store.backends.memory import MemoryBackend
+from repro.store.backends.multiplex import MultiplexBackend
+from repro.store.framing import frame_object
+from repro.store.resilience import ResilienceController, RetryPolicy
+from repro.store.runner import RunStore
+from repro.store.spool import WriteSpool, drain_spool
+from repro.telemetry.core import collect
+from tests.conftest import make_filesystem
+
+
+def stored(backend, payload=b"hedged payload"):
+    key = hashlib.sha256(payload).hexdigest()
+    backend.put_frame(key, frame_object(payload))
+    return key
+
+
+def slow_plan(seed=0, max_faults=1000, slow_seconds=0.02):
+    return FaultPlan(seed, store_rates={"slowread": 1.0},
+                     max_faults=max_faults, slow_seconds=slow_seconds)
+
+
+def hedging_stack(max_faults=1000, failure_threshold=3, cooldown_ops=4):
+    """A slow replica in front of a fast one, hedging enabled."""
+    controller = ResilienceController(
+        failure_threshold=failure_threshold,
+        cooldown_ops=cooldown_ops,
+        hedge_threshold=0.005,
+    )
+    fast = MemoryBackend()
+    key = stored(fast)
+    slow_inner = MemoryBackend()
+    stored(slow_inner)
+    slow = FaultyBackend(slow_inner, slow_plan(max_faults=max_faults))
+    mux = MultiplexBackend([slow, fast], resilience=controller)
+    return mux, controller, slow, key
+
+
+class TestHedgedReads:
+    def test_hedge_wins_past_the_slow_read_threshold(self):
+        mux, controller, slow, key = hedging_stack()
+        with collect() as telemetry:
+            frame = mux.get_frame(key)
+        assert frame == slow.inner.get_frame(key)  # same bytes either way
+        counters = telemetry.snapshot()["counters"]
+        assert counters["resilience.hedge.fired"] == 1
+        assert counters["resilience.hedge.wins"] == 1
+        assert controller.breaker_for(slow, 0).slow_reads == 1
+
+    def test_slow_reads_open_the_breaker_after_the_threshold(self):
+        mux, controller, slow, key = hedging_stack(failure_threshold=3)
+        for _ in range(3):
+            mux.get_frame(key)
+        breaker = controller.breaker_for(slow, 0)
+        assert breaker.state == "open"
+        assert breaker.slow_reads == 3
+        # Quarantined: the next read never touches the slow replica.
+        injected = len(slow.plan.log)
+        mux.get_frame(key)
+        assert len(slow.plan.log) == injected
+
+    def test_half_open_probe_reintegrates_a_healed_replica(self):
+        # The latency plan dries up after the 3 breaker-tripping
+        # reads, so the half-open probe meets a fast replica again.
+        mux, controller, slow, key = hedging_stack(
+            max_faults=3, failure_threshold=3, cooldown_ops=4
+        )
+        for _ in range(3):
+            mux.get_frame(key)    # slow, hedged, breaker opens
+        for _ in range(4):
+            mux.get_frame(key)    # cool-down ticks; 4th spends the probe
+        breaker = controller.breaker_for(slow, 0)
+        assert breaker.state == "closed"
+        assert [(f, t) for _, f, t, _ in breaker.transitions] == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+
+    def test_hedge_loss_still_returns_the_slow_frame(self):
+        """With no second healthy replica the slow bytes still serve."""
+        controller = ResilienceController(failure_threshold=5,
+                                          hedge_threshold=0.005)
+        inner = MemoryBackend()
+        key = stored(inner)
+        slow = FaultyBackend(inner, slow_plan())
+        mux = MultiplexBackend([slow], resilience=controller)
+        with collect() as telemetry:
+            assert mux.get_frame(key) == inner.get_frame(key)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["resilience.hedge.fired"] == 1
+        assert counters["resilience.hedge.losses"] == 1
+
+    def test_whole_scenario_replays_from_one_seed(self):
+        def drive():
+            mux, controller, slow, key = hedging_stack(
+                max_faults=3, failure_threshold=3, cooldown_ops=4
+            )
+            for _ in range(7):
+                mux.get_frame(key)
+            breaker = controller.breaker_for(slow, 0)
+            return (
+                [(op, f, t) for op, f, t, _ in breaker.transitions],
+                slow.plan.fingerprint(),
+                breaker.slow_reads,
+            )
+
+        assert drive() == drive()
+
+
+class TestDeadlines:
+    """conntimeout faults against the per-op retry deadline."""
+
+    def timeout_replica(self):
+        inner = MemoryBackend()
+        key = stored(inner)
+        plan = FaultPlan(0, store_rates={"conntimeout": 1.0},
+                         max_faults=1000)
+        return FaultyBackend(inner, plan), key
+
+    def test_op_deadline_cuts_the_retry_budget(self):
+        faulty, key = self.timeout_replica()
+        # Backoff is at least base_delay/2 = 25ms; a 10ms op deadline
+        # means no retry is ever started, whatever the jitter draw.
+        policy = RetryPolicy("http", max_attempts=4, base_delay=0.05,
+                             op_deadline=0.01, seed=3)
+        with collect() as telemetry:
+            with pytest.raises(OSError):
+                policy.run("get", lambda: faulty.get_frame(key))
+        counters = telemetry.snapshot()["counters"]
+        assert counters["resilience.http.attempts"] == 1
+        assert counters["resilience.http.deadline_exhausted"] == 1
+
+    def test_without_a_deadline_the_full_budget_is_spent(self):
+        faulty, key = self.timeout_replica()
+        policy = RetryPolicy("http", max_attempts=4, base_delay=0.0,
+                             seed=3)
+        with collect() as telemetry:
+            with pytest.raises(OSError):
+                policy.run("get", lambda: faulty.get_frame(key))
+        assert telemetry.snapshot()["counters"][
+            "resilience.http.attempts"] == 4
+
+    def test_timeouts_feed_the_breaker_through_the_mux(self):
+        controller = ResilienceController(failure_threshold=2,
+                                          cooldown_ops=100)
+        faulty, key = self.timeout_replica()
+        healthy = MemoryBackend()
+        stored(healthy)
+        mux = MultiplexBackend([faulty, healthy], resilience=controller)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for _ in range(2):
+                assert mux.get_frame(key)
+        assert controller.breaker_for(faulty, 0).state == "open"
+
+
+def tree_digests(root):
+    """Relative path -> sha256, for byte-identity store comparisons."""
+    out = {}
+    for path in sorted(Path(root).rglob("*")):
+        if path.is_file():
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            out[str(path.relative_to(root))] = digest
+    return out
+
+
+@pytest.mark.chaos
+class TestResilientSweepChaos:
+    """Acceptance: faults cost time and warnings, never bytes."""
+
+    KINDS = [("english", 6_000), ("c-source", 6_000), ("zero-heavy", 5_000)]
+
+    @pytest.fixture
+    def fs(self):
+        return make_filesystem(self.KINDS, seed=11, name="healbox")
+
+    @pytest.fixture
+    def config(self):
+        return PacketizerConfig()
+
+    def resilient_store(self, tmp_path, label, plan, spool=None):
+        controller = ResilienceController(
+            failure_threshold=3,
+            cooldown_ops=8,
+            hedge_threshold=0.01,
+            spool=spool,
+            seed=plan.seed,
+        )
+        flaky = FaultyBackend(LocalBackend(tmp_path / label / "flaky"), plan)
+        steady = LocalBackend(tmp_path / label / "steady")
+        mux = MultiplexBackend([flaky, steady], resilience=controller)
+        return RunStore(backend=mux), controller
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_flaky_network_sweep_is_bit_identical(
+        self, tmp_path, fs, config, workers
+    ):
+        clean = run_splice_experiment(
+            fs, config, store=RunStore(tmp_path / "clean"), workers=workers
+        ).counters
+
+        plan = named_plan("flaky-network", seed=5)
+        store, controller = self.resilient_store(
+            tmp_path, "w%d" % workers, plan
+        )
+        health = RunHealth()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = run_splice_experiment(
+                fs, config, store=store, faults=plan,
+                health=health, workers=workers,
+            )
+        assert result.counters == clean
+        assert len(plan.log) > 0, "the flaky-network plan must inject"
+        assert health.faults_injected > 0
+
+    def test_breaker_ledger_replays_from_one_seed(self, tmp_path, fs, config):
+        def drive(label):
+            plan = named_plan("flaky-network", seed=9)
+            store, controller = self.resilient_store(tmp_path, label, plan)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                result = run_splice_experiment(
+                    fs, config, store=store, faults=plan
+                )
+            ledgers = [
+                [(op, f, t) for op, f, t, _ in breaker.transitions]
+                for breaker in controller.breakers.values()
+            ]
+            return result.counters, ledgers, plan.fingerprint()
+
+        assert drive("replay-a") == drive("replay-b")
+
+    def test_outage_spool_flushes_to_byte_identical_store(
+        self, tmp_path, fs, config
+    ):
+        """The strong acceptance bar: lose the store, lose nothing."""
+        clean_root = tmp_path / "never-faulted"
+        clean = run_splice_experiment(
+            fs, config, store=RunStore(clean_root)
+        ).counters
+
+        # One replica, completely dark for the whole sweep: every GET
+        # and PUT errors, so the breaker opens and writes spool.
+        plan = named_plan("replica-outage", seed=5)
+        outage_root = tmp_path / "outage-replica"
+        spool = WriteSpool(tmp_path / "spool")
+        controller = ResilienceController(
+            failure_threshold=3, cooldown_ops=10_000, spool=spool, seed=5
+        )
+        dark = FaultyBackend(LocalBackend(outage_root), plan)
+        mux = MultiplexBackend([dark], resilience=controller)
+        health = RunHealth()
+        store = RunStore(backend=mux)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = run_splice_experiment(
+                fs, config, store=store, faults=plan, health=health
+            )
+
+        # Results are unharmed; the replica is empty; the writes are
+        # queued locally (the end-of-sweep drain met a dead replica).
+        assert result.counters == clean
+        assert not spool.empty
+        assert any("spooling locally" in note
+                   for note in health.degradations)
+
+        # The outage ends: flush the spool into the healed replica.
+        report = drain_spool(LocalBackend(outage_root), spool)
+        assert report.clean
+        assert spool.empty
+        assert tree_digests(outage_root) == tree_digests(clean_root)

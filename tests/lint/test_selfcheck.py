@@ -109,6 +109,16 @@ _SEEDED = {
         "    def get(self, key):\n"
         "        return self._frames[key]\n"  # REP403
     ),
+    "repro/store/net.py": (
+        "def fetch(client, path):\n"
+        "    last = None\n"
+        "    for _ in range(2):\n"
+        "        try:\n"
+        "            return client.request(path)\n"
+        "        except OSError as exc:\n"  # REP404
+        "            last = exc\n"
+        "    raise last\n"
+    ),
     "repro/checksums/registry.py": (
         "class BadSum:\n"
         "    name = 'bad'\n"
@@ -127,7 +137,7 @@ _SEEDED = {
 _EXPECTED_RULES = {
     "REP101", "REP102", "REP103", "REP201", "REP202",
     "REP301", "REP302", "REP303", "REP401", "REP402",
-    "REP403", "REP501",
+    "REP403", "REP404", "REP501",
 }
 
 

@@ -1,0 +1,354 @@
+"""The degraded-mode write spool: a total outage loses no writes.
+
+:class:`WriteSpool` is the local half of a store-and-forward queue —
+integrity-trailed frames land under ``<spool>/<namespace>/<key>``
+through the atomic-write discipline when every replica is
+open-circuit, and :func:`drain_spool` (or ``store flush-spool``)
+replays them idempotently once a replica heals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import warnings
+
+import pytest
+
+from repro.faults.injector import FaultyBackend
+from repro.faults.plan import FaultPlan
+from repro.store.api.server import serve_store
+from repro.store.backends.local import LocalBackend
+from repro.store.backends.memory import MemoryBackend
+from repro.store.backends.multiplex import MultiplexBackend
+from repro.store.framing import IntegrityError, frame_object
+from repro.store.resilience import ResilienceController
+from repro.store.spool import WriteSpool, default_spool_dir, drain_spool
+from repro.telemetry.core import collect
+
+
+def payload_key(payload):
+    return hashlib.sha256(payload).hexdigest()
+
+
+def frame_for(payload):
+    return frame_object(payload)
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return WriteSpool(tmp_path / "spool")
+
+
+class TestWriteSpool:
+    def test_put_then_get_roundtrips_verified(self, spool):
+        frame = frame_for(b"queued write")
+        key = payload_key(b"queued write")
+        spool.put("objects", key, frame)
+        assert spool.get("objects", key) == frame
+
+    def test_get_missing_raises_keyerror(self, spool):
+        with pytest.raises(KeyError):
+            spool.get("objects", payload_key(b"never spooled"))
+
+    def test_rotted_entry_is_never_served(self, spool, tmp_path):
+        key = payload_key(b"rotting write")
+        path = spool.put("objects", key, frame_for(b"rotting write"))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(IntegrityError):
+            spool.get("objects", key)
+
+    def test_put_is_idempotent_per_key(self, spool):
+        frame = frame_for(b"same write twice")
+        key = payload_key(b"same write twice")
+        spool.put("objects", key, frame)
+        spool.put("objects", key, frame)
+        assert spool.count() == 1
+
+    def test_entries_walk_is_sorted_and_namespaced(self, spool):
+        for namespace in ("shards", "objects"):
+            for payload in (b"entry one", b"entry two"):
+                spool.put(namespace, payload_key(payload),
+                          frame_for(payload))
+        walked = spool.entries()
+        assert [ns for ns, _, _ in walked] == sorted(
+            ns for ns, _, _ in walked
+        )
+        assert spool.count() == 4
+        assert not spool.empty
+
+    def test_stats_report_entries_and_bytes(self, spool):
+        assert spool.stats()["entries"] == 0
+        spool.put("objects", payload_key(b"stat me"),
+                  frame_for(b"stat me"))
+        stats = spool.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert "spool" in stats["dir"]
+
+    def test_default_spool_dir_lives_under_the_store_root(self, tmp_path):
+        assert default_spool_dir(tmp_path) == tmp_path / "spool"
+
+    def test_discard_drops_a_superseded_entry(self, spool):
+        key = payload_key(b"superseded write")
+        spool.put("manifests", key, frame_for(b"superseded write"))
+        with collect() as telemetry:
+            assert spool.discard("manifests", key)
+        assert spool.empty
+        counters = telemetry.snapshot()["counters"]
+        assert counters["resilience.spool.superseded"] == 1
+        with pytest.raises(KeyError):
+            spool.get("manifests", key)
+
+    def test_discard_of_an_absent_entry_is_false(self, spool):
+        assert not spool.discard("manifests", payload_key(b"never queued"))
+
+
+class TestDrainSpool:
+    def test_replays_into_a_bare_backend_and_unlinks(self, spool):
+        backend = MemoryBackend()
+        frame = frame_for(b"replay me")
+        key = payload_key(b"replay me")
+        spool.put("objects", key, frame)
+        report = drain_spool(backend, spool)
+        assert report.replayed == 1
+        assert report.clean
+        assert spool.empty
+        assert backend.sub("objects").get_frame(key) == frame
+
+    def test_replays_into_every_replica_of_a_multiplexer(self, spool):
+        replicas = [MemoryBackend(), MemoryBackend()]
+        mux = MultiplexBackend(replicas)
+        frame = frame_for(b"fan out on drain")
+        key = payload_key(b"fan out on drain")
+        spool.put("shards", key, frame)
+        report = drain_spool(mux, spool)
+        assert report.replayed == 1
+        for replica in replicas:
+            assert replica.sub("shards").get_frame(key) == frame
+
+    def test_corrupt_entries_stay_on_disk_as_evidence(self, spool):
+        key = payload_key(b"will rot in the spool")
+        path = spool.put("objects", key, frame_for(b"will rot in the spool"))
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0x01
+        path.write_bytes(bytes(blob))
+        backend = MemoryBackend()
+        report = drain_spool(backend, spool)
+        assert report.corrupt == 1
+        assert report.replayed == 0
+        assert not report.clean
+        assert path.exists()  # post-mortem evidence, not silent deletion
+        assert not backend.sub("objects").contains(key)
+
+    def test_unacceptable_entries_stay_queued(self, spool):
+        dead = FaultyBackend(
+            MemoryBackend(),
+            FaultPlan(0, store_rates={"erofs": 1.0}, max_faults=1000),
+        )
+        key = payload_key(b"nowhere to go")
+        spool.put("objects", key, frame_for(b"nowhere to go"))
+        report = drain_spool(dead, spool)
+        assert report.failed == 1
+        assert report.remaining == 1
+        # The entry survives for the next flush attempt.
+        assert spool.get("objects", key)
+
+    def test_drain_is_idempotent(self, spool):
+        backend = MemoryBackend()
+        key = payload_key(b"drain twice")
+        spool.put("objects", key, frame_for(b"drain twice"))
+        assert drain_spool(backend, spool).replayed == 1
+        second = drain_spool(backend, spool)
+        assert second.replayed == 0
+        assert second.clean
+
+    def test_drain_counts_into_telemetry_and_health(self, spool):
+        from repro.core.supervisor import RunHealth
+
+        health = RunHealth()
+        key = payload_key(b"counted drain")
+        with collect() as telemetry:
+            spool.put("objects", key, frame_for(b"counted drain"))
+            drain_spool(MemoryBackend(), spool, health=health)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["resilience.spool.spooled"] == 1
+        assert counters["resilience.spool.replayed"] == 1
+        assert any("spool drained" in note for note in health.degradations)
+
+    def test_render_lists_non_replayed_entries(self, spool):
+        key = payload_key(b"render rot")
+        path = spool.put("objects", key, frame_for(b"render rot"))
+        path.write_bytes(path.read_bytes()[:-4])
+        report = drain_spool(MemoryBackend(), spool)
+        text = report.render()
+        assert "spool corrupt      1" in text
+        assert "CORRUPT objects/%s" % key[:16] in text
+
+
+class TestMultiplexerSpooling:
+    """Total outage: PUTs survive locally and replay after the heal."""
+
+    def outage_mux(self, tmp_path, max_faults=1000):
+        spool = WriteSpool(tmp_path / "spool")
+        controller = ResilienceController(
+            failure_threshold=2, cooldown_ops=100, spool=spool
+        )
+        dead = FaultyBackend(
+            MemoryBackend(),
+            FaultPlan(0, store_rates={"erofs": 1.0}, max_faults=max_faults),
+        )
+        mux = MultiplexBackend([dead], resilience=controller)
+        return mux, spool, dead
+
+    def test_outage_puts_land_in_the_spool(self, tmp_path):
+        mux, spool, _ = self.outage_mux(tmp_path)
+        frame = frame_for(b"written during the outage")
+        key = payload_key(b"written during the outage")
+        with pytest.warns(RuntimeWarning, match="spooling locally"):
+            mux.put_frame(key, frame)
+        assert spool.get("default", key) == frame
+
+    def test_spooled_writes_are_readable_and_visible(self, tmp_path):
+        mux, spool, _ = self.outage_mux(tmp_path)
+        frame = frame_for(b"read back from the spool")
+        key = payload_key(b"read back from the spool")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            mux.put_frame(key, frame)
+        assert mux.contains(key)
+        assert mux.get_frame(key) == frame  # served from the spool
+
+    def test_outage_warns_once_not_per_write(self, tmp_path):
+        mux, _, _ = self.outage_mux(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for payload in (b"first", b"second", b"third"):
+                mux.put_frame(payload_key(payload), frame_for(payload))
+        spooling = [w for w in caught
+                    if "spooling locally" in str(w.message)]
+        assert len(spooling) == 1
+
+    def test_drain_after_heal_completes_the_replica(self, tmp_path):
+        # The plan dries up after the 2 injections that trip the
+        # breaker; every later write spools without touching the
+        # replica, so the drain meets a healed backend.
+        mux, spool, dead = self.outage_mux(tmp_path, max_faults=2)
+        payloads = [b"outage write %d" % i for i in range(6)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for payload in payloads:
+                mux.put_frame(payload_key(payload), frame_for(payload))
+        assert not spool.empty
+        report = mux.drain_spool()
+        assert report.clean
+        assert spool.empty
+        for payload in payloads:
+            assert dead.inner.sub("default").contains(payload_key(payload))
+
+    def test_post_heal_write_supersedes_the_spooled_version(self, tmp_path):
+        # Mutable-key rollback scenario: a manifest spooled during the
+        # outage must NOT be replayed over the newer version written
+        # directly once the replica heals.
+        mux, spool, dead = self.outage_mux(tmp_path, max_faults=2)
+        key = payload_key(b"manifest key")
+        stale = frame_for(b"manifest v1, spooled during the outage")
+        fresh = frame_for(b"manifest v2, written after the heal")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            mux.put_frame(key, stale)          # fault 1: spooled
+            mux.put_frame(key, stale)          # fault 2: breaker opens
+        assert spool.get("default", key) == stale
+        # Cool-down elapses (gets tick the controller); the plan is
+        # dry, so the half-open read probe reintegrates the replica.
+        for _ in range(101):
+            with pytest.raises(KeyError):
+                mux.get_frame(payload_key(b"unrelated miss"))
+        mux.put_frame(key, fresh)              # direct write, post-heal
+        with pytest.raises(KeyError):
+            spool.get("default", key)          # stale entry discarded
+        report = mux.drain_spool()
+        assert report.clean
+        assert dead.inner.sub("default").get_frame(key) == fresh
+
+    def test_mux_without_spool_raises_on_total_lockout(self):
+        controller = ResilienceController(failure_threshold=1,
+                                          cooldown_ops=100)
+        dead = FaultyBackend(
+            MemoryBackend(),
+            FaultPlan(0, store_rates={"erofs": 1.0}, max_faults=1000),
+        )
+        mux = MultiplexBackend([dead], resilience=controller)
+        frame = frame_for(b"no spool to fall back on")
+        key = payload_key(b"no spool to fall back on")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(OSError):
+                mux.put_frame(key, frame)
+            with pytest.raises(OSError, match="open-circuit"):
+                mux.put_frame(key, frame)  # breaker open, nowhere to go
+
+    def test_drain_spool_returns_none_without_a_controller(self):
+        assert MultiplexBackend([MemoryBackend()]).drain_spool() is None
+
+
+class TestFlushSpoolCLI:
+    """``store flush-spool``: 0 once the spool is empty, 1 otherwise."""
+
+    @pytest.fixture
+    def served(self, tmp_path):
+        root = tmp_path / "served"
+        server = serve_store(backend=LocalBackend(root), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server.url, root
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def seed_spool(self, cache_dir, payload=b"cli spooled write"):
+        spool = WriteSpool(default_spool_dir(cache_dir))
+        key = payload_key(payload)
+        spool.put("objects", key, frame_for(payload))
+        return spool, key
+
+    def test_flush_replays_and_exits_zero(self, served, tmp_path, capsys):
+        from repro.cli import main
+
+        url, root = served
+        cache_dir = tmp_path / "cache"
+        spool, key = self.seed_spool(cache_dir)
+        code = main(["store", "flush-spool", "--store-url", url,
+                     "--cache-dir", str(cache_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spool replayed     1" in out
+        assert spool.empty
+        assert (root / "objects").exists()
+
+    def test_flush_with_dead_remote_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        spool, _ = self.seed_spool(cache_dir)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            # Port 9 (discard) refuses: the entry must stay queued.
+            code = main(["store", "flush-spool",
+                         "--store-url", "http://127.0.0.1:9",
+                         "--cache-dir", str(cache_dir),
+                         "--store-timeout", "0.5"])
+        assert code == 1
+        assert not spool.empty
+        assert "spool failed       1" in capsys.readouterr().out
+
+    def test_flush_without_a_spool_is_a_clean_noop(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["store", "flush-spool",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert "no write spool" in capsys.readouterr().out

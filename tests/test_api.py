@@ -10,14 +10,19 @@ class TestFacadeSurface:
     def test_all_is_exactly_the_contract(self):
         assert sorted(api.__all__) == [
             "ChecksumPlacement",
+            "CircuitBreaker",
             "IndependentLoss",
+            "ManualClock",
             "PacketizerConfig",
+            "ResilienceController",
+            "RetryPolicy",
             "RunAborted",
             "RunHealth",
             "ShardJournal",
             "SweepInterrupted",
             "Telemetry",
             "TransferReport",
+            "WriteSpool",
             "activate_telemetry",
             "algorithm_names",
             "algorithm_summaries",
@@ -29,6 +34,8 @@ class TestFacadeSurface:
             "current_telemetry",
             "deactivate_telemetry",
             "default_journal_dir",
+            "default_spool_dir",
+            "drain_spool",
             "experiment_ids",
             "generate_markdown_report",
             "latest_bench_snapshot",
