@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench microbench report figures quicktest chaos cache-stats cache-audit store-check lint clean
+.PHONY: install test bench bench-compare microbench report figures quicktest chaos cache-stats cache-audit store-check lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -25,9 +25,15 @@ chaos:
 # previous one) and the overhead guarantees: disabled telemetry (<2%),
 # sweep journaling (<3%) and the store resilience layer (<2% of
 # hot-path wall time), all asserted.
-bench:
+bench: bench-compare
 	$(PYTHON) -m repro.cli bench --quick
 	$(PYTHON) -m pytest benchmarks/test_telemetry_overhead.py benchmarks/test_journal_overhead.py benchmarks/test_resilience_overhead.py -q -s
+
+# Scalar-vs-batch engine comparison: bit-identical counters (the
+# conformance half) and the advertised >=5x batch speedup floor on the
+# bench smoke corpus (the performance half), both asserted.
+bench-compare:
+	$(PYTHON) -m pytest benchmarks/test_engine_kinds.py -q -s
 
 # The full pytest-benchmark suite (regenerates every table & figure).
 microbench:

@@ -1,0 +1,73 @@
+"""The batch-engine speedup guarantee on the smoke corpus.
+
+The batch compute tier's contract (docs/architecture.md, "Batch
+engine"): ``--engine batch`` and ``--engine scalar`` produce
+bit-identical counters, and on the bench smoke corpus the batch path
+is **at least 5x faster** than the byte-at-a-time reference receiver.
+The same pair of rows lands in every ``repro-checksums bench``
+snapshot (``engine[batch]``/``engine[scalar]`` at the comparison
+corpus), so a regression is visible in the delta table too.
+
+Not part of the tier-1 suite (``testpaths = ["tests"]``); run with
+``pytest benchmarks/test_engine_kinds.py -s``, ``make bench-compare``,
+or the CI bench-smoke job.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.experiment import run_splice_experiment
+from repro.corpus.profiles import build_filesystem
+from repro.protocols.packetizer import PacketizerConfig
+
+#: The bench comparison corpus: small enough that the scalar reference
+#: receiver finishes in seconds (mirrors telemetry.bench._COMPARE_BYTES).
+SMOKE_BYTES = 8_000
+SEED = 1
+
+#: The advertised floor.  The measured ratio is typically well above
+#: 10x; 5x is the contract CI enforces.
+MIN_SPEEDUP = 5.0
+
+
+def _best_run(fs, engine, rounds=3):
+    """(result, best-of-``rounds`` seconds) for one engine kind."""
+    config = PacketizerConfig()
+    result = None
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run_splice_experiment(fs, config, engine=engine)
+        dt = max(time.perf_counter() - t0, 1e-9)
+        if best is None or dt < best:
+            best = dt
+    return result, best
+
+
+def test_batch_engine_at_least_5x_scalar():
+    fs = build_filesystem("stanford-u1", SMOKE_BYTES, SEED)
+    batch, t_batch = _best_run(fs, "batch")
+    scalar, t_scalar = _best_run(fs, "scalar")
+
+    # Conformance first: a speedup over different answers is meaningless.
+    assert batch.counters == scalar.counters
+    assert batch.counters.total > 0
+
+    speedup = t_scalar / t_batch
+    print(
+        "\nengine comparison @%d bytes: batch %.4fs (%.0f splices/s) "
+        "vs scalar %.4fs (%.0f splices/s) -> %.1fx"
+        % (
+            SMOKE_BYTES,
+            t_batch,
+            batch.counters.total / t_batch,
+            t_scalar,
+            scalar.counters.total / t_scalar,
+            speedup,
+        )
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        "batch engine is only %.1fx the scalar reference (floor %.1fx)"
+        % (speedup, MIN_SPEEDUP)
+    )

@@ -55,8 +55,10 @@ _EXPORTS = {
 #: Every facade name (``repro.api.__all__``) re-exports here too, so
 #: ``repro.X is repro.api.X`` holds across the whole contract.
 _FACADE_EXPORTS = (
+    "BatchChecksumAlgorithm",
     "ChecksumPlacement",
     "CircuitBreaker",
+    "EngineKind",
     "IndependentLoss",
     "ManualClock",
     "PacketizerConfig",
@@ -99,6 +101,7 @@ _FACADE_EXPORTS = (
     "serve_store",
     "simulate_file_transfer",
     "sum_file",
+    "supports_batch",
     "sweep_guard",
     "validate_bench_snapshot",
     "wrap_run_store",

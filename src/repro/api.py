@@ -35,11 +35,14 @@ __all__ = [
     "profile_names",
     "profile_summaries",
     # splice runs and their configuration
+    "BatchChecksumAlgorithm",
     "ChecksumPlacement",
+    "EngineKind",
     "PacketizerConfig",
     "RunAborted",
     "RunHealth",
     "run_splice_experiment",
+    "supports_batch",
     # checkpointed interruption and resume
     "ShardJournal",
     "SweepInterrupted",
@@ -86,7 +89,11 @@ __all__ = [
 #: Facade name -> ``(module, attribute)``, resolved lazily so the
 #: import bill of each subsystem is paid only by callers that use it.
 _LAZY = {
+    "BatchChecksumAlgorithm": (
+        "repro.checksums.batch", "BatchChecksumAlgorithm"),
     "ChecksumPlacement": ("repro.protocols.packetizer", "ChecksumPlacement"),
+    "EngineKind": ("repro.checksums.batch", "EngineKind"),
+    "supports_batch": ("repro.checksums.registry", "supports_batch"),
     "CircuitBreaker": ("repro.store.resilience", "CircuitBreaker"),
     "ManualClock": ("repro.store.resilience", "ManualClock"),
     "ResilienceController": ("repro.store.resilience", "ResilienceController"),
@@ -132,18 +139,27 @@ _LAZY = {
 }
 
 
-def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs):
+def run_experiment(
+    experiment_id, cache=None, workers=None, store=None, engine=None, **kwargs
+):
     """Run a registered experiment; returns its ``ExperimentReport``.
 
     ``cache`` may be a ``ResultCache`` or a ``RunStore`` (from
     :func:`open_store`); ``workers`` fans splice runs over a process
-    pool; ``store`` makes them resumable.  See
-    :func:`repro.experiments.registry.run_experiment`.
+    pool; ``store`` makes them resumable; ``engine`` selects the
+    splice evaluation path (``"batch"``/``"scalar"``/``"auto"``) for
+    experiments that run the splice engine -- results are bit-identical
+    either way.  See :func:`repro.experiments.registry.run_experiment`.
     """
     from repro.experiments.registry import run_experiment as _run
 
     return _run(
-        experiment_id, cache=cache, workers=workers, store=store, **kwargs
+        experiment_id,
+        cache=cache,
+        workers=workers,
+        store=store,
+        engine=engine,
+        **kwargs,
     )
 
 

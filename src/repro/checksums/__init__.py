@@ -14,9 +14,18 @@ candidate splices without re-summing bytes:
   (any width/polynomial/reflection), the specific CRCs the paper uses
   (CRC-32 for AAL5, CRC-16, CRC-CCITT, CRC-10 for ATM OAM), and GF(2)
   zero-feed operators that combine per-cell CRC images in O(1) per cell.
+- :mod:`repro.checksums.batch` -- the optional batch capability tier
+  (``compute_many`` / ``prefix_state`` / ``combine``) behind the
+  vectorized splice engine, plus :class:`EngineKind`.
 - :mod:`repro.checksums.registry` -- name-based lookup of algorithms.
 """
 
+from repro.checksums.batch import (
+    BatchChecksumAlgorithm,
+    EngineKind,
+    block_matrix,
+    swap16,
+)
 from repro.checksums.internet import (
     InternetChecksum,
     fold_carries,
@@ -49,9 +58,11 @@ from repro.checksums.registry import (
     ChecksumAlgorithm,
     available_algorithms,
     get_algorithm,
+    supports_batch,
 )
 
 __all__ = [
+    "BatchChecksumAlgorithm",
     "CRC10_ATM",
     "CRC16_ARC",
     "CRC16_CCITT",
@@ -59,11 +70,13 @@ __all__ = [
     "CRCEngine",
     "CRCSpec",
     "ChecksumAlgorithm",
+    "EngineKind",
     "Fletcher8",
     "FletcherSums",
     "InternetChecksum",
     "ZeroFeedOperator",
     "available_algorithms",
+    "block_matrix",
     "crc_combine",
     "fletcher8",
     "fletcher8_cells",
@@ -75,6 +88,8 @@ __all__ = [
     "internet_checksum_field",
     "ones_complement_add",
     "ones_complement_sum",
+    "supports_batch",
+    "swap16",
     "update_checksum_field",
     "word_sums",
 ]

@@ -17,9 +17,22 @@ import warnings
 
 import numpy as np
 
+from repro.checksums.batch import block_matrix, swap16
 from repro.checksums.fletcher import FletcherSums
 
 __all__ = ["Adler32", "Fletcher16", "Xor16", "adler32", "fletcher16", "xor16"]
+
+
+def _block_words(blocks) -> np.ndarray:
+    """Big-endian 16-bit words of a ``(..., L)`` block matrix (padded)."""
+    blocks = block_matrix(blocks)
+    if blocks.shape[-1] % 2:
+        pad_shape = blocks.shape[:-1] + (1,)
+        blocks = np.concatenate(
+            [blocks, np.zeros(pad_shape, dtype=np.uint8)], axis=-1
+        )
+    words = blocks.reshape(blocks.shape[:-1] + (-1, 2)).astype(np.int64)
+    return (words[..., 0] << 8) | words[..., 1]
 
 _ADLER_MOD = 65521  # largest prime below 2^16
 
@@ -107,6 +120,45 @@ class Fletcher16(_SuffixCode):
         sums = fletcher16(data, self.modulus)
         return (sums.b << 16) | sums.a
 
+    # -- batch tier ----------------------------------------------------------
+
+    def compute_many(self, blocks) -> np.ndarray:
+        """Packed values of a matrix of equal-length buffers."""
+        values = _block_words(blocks)
+        n = values.shape[-1]
+        a = values.sum(axis=-1) % self.modulus
+        weights = np.arange(n, 0, -1, dtype=np.int64)
+        b = (values * weights).sum(axis=-1) % self.modulus
+        return (b.astype(np.uint64) << np.uint64(16)) | a.astype(np.uint64)
+
+    def prefix_state(self, data) -> tuple:
+        """``(A, B, length parity)`` after absorbing ``data``.
+
+        Fletcher-16 runs over 16-bit words, so only *word-aligned*
+        (even-length) prefixes compose; the parity lets ``combine``
+        reject the rest.
+        """
+        data = bytes(data)
+        sums = fletcher16(data, self.modulus)
+        return (sums.a, sums.b, len(data) % 2)
+
+    def combine(self, state_a, state_b, len_b) -> tuple:
+        """State of ``A || B``; A must be word-aligned (even length)."""
+        a1, b1, parity_a = state_a
+        a2, b2, _ = state_b
+        if parity_a:
+            raise ValueError(
+                "Fletcher-16 prefixes must be word-aligned (even length)"
+            )
+        words_b = (len_b + 1) // 2
+        a = (a1 + a2) % self.modulus
+        b = (b1 + words_b * a1 + b2) % self.modulus
+        return (a, b, len_b % 2)
+
+    def state_value(self, state) -> int:
+        """The packed 32-bit value of a batch-tier state."""
+        return (state[1] << 16) | state[0]
+
 
 def adler32(data):
     """Adler-32 (RFC 1950): byte sums mod 65521, A initialised to 1."""
@@ -134,6 +186,34 @@ class Adler32(_SuffixCode):
     def compute(self, data) -> int:
         return adler32(data)
 
+    # -- batch tier ----------------------------------------------------------
+
+    def compute_many(self, blocks) -> np.ndarray:
+        """Adler-32 values of a matrix of equal-length buffers."""
+        blocks = block_matrix(blocks).astype(np.int64)
+        n = blocks.shape[-1]
+        a = (1 + blocks.sum(axis=-1)) % _ADLER_MOD
+        weights = np.arange(n, 0, -1, dtype=np.int64)
+        b = (n + (blocks * weights).sum(axis=-1)) % _ADLER_MOD
+        return (b.astype(np.uint64) << np.uint64(16)) | a.astype(np.uint64)
+
+    def prefix_state(self, data) -> tuple:
+        """The ``(A, B)`` running sums after absorbing ``data``."""
+        value = adler32(data)
+        return (value & 0xFFFF, value >> 16)
+
+    def combine(self, state_a, state_b, len_b) -> tuple:
+        """State of ``A || B``; cancels B's ``A = 1`` preset."""
+        a1, b1 = state_a
+        a2, b2 = state_b
+        a = (a1 + a2 - 1) % _ADLER_MOD
+        b = (b1 + b2 + len_b * (a1 - 1)) % _ADLER_MOD
+        return (a, b)
+
+    def state_value(self, state) -> int:
+        """The packed 32-bit value of a batch-tier state."""
+        return (state[1] << 16) | state[0]
+
 
 def xor16(data):
     """The 16-bit longitudinal parity word (XOR of all 16-bit words).
@@ -160,3 +240,27 @@ class Xor16(_SuffixCode):
 
     def compute(self, data) -> int:
         return xor16(data)
+
+    # -- batch tier ----------------------------------------------------------
+
+    def compute_many(self, blocks) -> np.ndarray:
+        """Parity words of a matrix of equal-length buffers."""
+        values = _block_words(blocks)
+        return np.bitwise_xor.reduce(values, axis=-1).astype(np.uint64)
+
+    def prefix_state(self, data) -> tuple:
+        """``(parity word, length parity)`` after absorbing ``data``."""
+        data = bytes(data)
+        return (xor16(data), len(data) % 2)
+
+    def combine(self, state_a, state_b, len_b) -> tuple:
+        """State of ``A || B``; odd prefixes swap B's byte lanes."""
+        x_a, parity_a = state_a
+        x_b, _ = state_b
+        if parity_a:
+            x_b = swap16(x_b)
+        return (x_a ^ x_b, (parity_a + len_b) % 2)
+
+    def state_value(self, state) -> int:
+        """The parity word of a batch-tier state."""
+        return state[0]

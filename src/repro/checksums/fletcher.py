@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.checksums.batch import block_matrix
+
 __all__ = [
     "Fletcher8",
     "FletcherSums",
@@ -168,3 +170,23 @@ class Fletcher8:
         """True if ``data`` (with embedded check bytes) sums to zero."""
         sums = fletcher8(data, self.modulus)
         return sums.a == 0 and sums.b == 0
+
+    # -- batch tier ----------------------------------------------------------
+
+    def compute_many(self, blocks) -> np.ndarray:
+        """Packed checksums of a matrix of equal-length buffers."""
+        blocks = block_matrix(blocks)
+        a, b = fletcher8_cells(blocks, self.modulus)
+        return ((b.astype(np.uint64) << np.uint64(8)) | a.astype(np.uint64))
+
+    def prefix_state(self, data):
+        """The (A, B) running sums after absorbing ``data``."""
+        return fletcher8(data, self.modulus)
+
+    def combine(self, state_a, state_b, len_b):
+        """Sums of ``A || B``: shift A's positional term by ``len_b``."""
+        return fletcher_combine(state_a, state_b, len_b, self.modulus)
+
+    def state_value(self, state) -> int:
+        """The packed 16-bit value of a batch-tier state."""
+        return state.packed()

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checksums.batch import block_matrix, swap16
+
 __all__ = [
     "MOD_MASK",
     "InternetChecksum",
@@ -167,3 +169,37 @@ class InternetChecksum:
     def fold(values):
         """Fold accumulated word sums down to 16 bits (array or int)."""
         return fold_carries(values)
+
+    # -- batch tier ----------------------------------------------------------
+
+    def compute_many(self, blocks) -> np.ndarray:
+        """Folded sums of a matrix of equal-length buffers, one pass."""
+        blocks = block_matrix(blocks)
+        if blocks.shape[-1] % 2:
+            pad_shape = blocks.shape[:-1] + (1,)
+            blocks = np.concatenate(
+                [blocks, np.zeros(pad_shape, dtype=np.uint8)], axis=-1
+            )
+        return fold_carries(self.cell_sums(blocks)).astype(np.uint64)
+
+    def prefix_state(self, data) -> tuple:
+        """``(folded word sum, length parity)`` after absorbing ``data``.
+
+        The parity is what :meth:`combine` needs: a suffix starting at
+        an odd offset contributes its sum byte-swapped (RFC 1071,
+        section 2(B) -- byte swap commutes with end-around carry).
+        """
+        data = bytes(data)
+        return (ones_complement_sum(data), len(data) % 2)
+
+    def combine(self, state_a, state_b, len_b) -> tuple:
+        """State of ``A || B`` from the two prefix states."""
+        sum_a, parity_a = state_a
+        sum_b, _ = state_b
+        if parity_a:
+            sum_b = swap16(sum_b)
+        return (fold_carries(sum_a + sum_b), (parity_a + len_b) % 2)
+
+    def state_value(self, state) -> int:
+        """The folded ones-complement sum of a batch-tier state."""
+        return state[0]

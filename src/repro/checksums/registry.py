@@ -27,12 +27,21 @@ integrity trailers and the splice engine's verdict checks build on.
 Older call shapes (two-argument ``verify(data, stored)``, the ``bits``
 attribute) still work but the two-argument ``verify`` raises a
 ``DeprecationWarning``; see each engine's docstring.
+
+Algorithms may additionally implement the optional *batch* tier
+(:class:`~repro.checksums.batch.BatchChecksumAlgorithm`:
+``compute_many`` / ``prefix_state`` / ``combine`` / ``state_value``);
+:func:`supports_batch` reports whether a registered name or instance
+advertises it, which is how ``SpliceEngine`` auto-selects its
+vectorized path.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Protocol, Union, runtime_checkable
 
+from repro.checksums.batch import BatchChecksumAlgorithm, EngineKind
+from repro.checksums.batch import supports_batch as _instance_supports_batch
 from repro.checksums.crc import (
     CRC10_ATM,
     CRC16_ARC,
@@ -46,10 +55,13 @@ from repro.checksums.fletcher import Fletcher8
 from repro.checksums.internet import InternetChecksum
 
 __all__ = [
+    "BatchChecksumAlgorithm",
     "ByteSource",
     "ChecksumAlgorithm",
+    "EngineKind",
     "available_algorithms",
     "get_algorithm",
+    "supports_batch",
 ]
 
 #: Anything the engines accept as message bytes.  ``memoryview`` is the
@@ -122,3 +134,15 @@ def get_algorithm(name: str) -> ChecksumAlgorithm:
     if key not in _INSTANCES:
         _INSTANCES[key] = _FACTORIES[key]()
     return _INSTANCES[key]
+
+
+def supports_batch(algorithm: Union[str, object]) -> bool:
+    """True when an algorithm (name or instance) has the batch tier.
+
+    Registry names resolve through :func:`get_algorithm`; anything else
+    is checked structurally against
+    :class:`~repro.checksums.batch.BatchChecksumAlgorithm`.
+    """
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm)
+    return _instance_supports_batch(algorithm)

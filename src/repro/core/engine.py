@@ -30,8 +30,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.checksums.batch import EngineKind
 from repro.checksums.crc import CRCEngine
 from repro.checksums.registry import get_algorithm
+from repro.core.batch import (
+    CellCrcFold,
+    fold16 as _fold16,
+    range_fletcher as _range_fletcher,
+    range_word_sums as _range_word_sums,
+    resolve_engine_kind,
+)
 from repro.core.checks import candidate_header_validity, candidate_pseudo_sums
 from repro.core.enumeration import (
     enumerate_splices,
@@ -73,6 +81,11 @@ class EngineOptions:
     #: exceeds this are evaluated over a uniform sample of this size
     #: (rates stay unbiased; totals reflect the sample).
     sample_splices: int = 0
+    #: ``"batch"`` (vectorized kernels), ``"scalar"`` (byte-at-a-time
+    #: reference receiver, bit-identical and ~100x slower), or
+    #: ``"auto"`` -- batch whenever every algorithm in play advertises
+    #: the registry's batch capability.
+    engine: str = "auto"
 
     @classmethod
     def from_packetizer(cls, config, **overrides):
@@ -88,46 +101,25 @@ class EngineOptions:
         return cls(**fields)
 
 
-def _range_word_sums(arr, lo, hi):
-    """Unfolded 16-bit word sums of ``arr[..., lo:hi]`` (``lo`` even)."""
-    if hi <= lo:
-        return np.zeros(arr.shape[:-1], dtype=np.uint64)
-    seg = arr[..., lo:hi]
-    if seg.shape[-1] % 2:
-        pad = np.zeros(seg.shape[:-1] + (1,), dtype=np.uint8)
-        seg = np.concatenate([seg, pad], axis=-1)
-    words = seg.reshape(seg.shape[:-1] + (-1, 2)).astype(np.uint64)
-    return ((words[..., 0] << np.uint64(8)) | words[..., 1]).sum(axis=-1)
-
-
-def _range_fletcher(arr, lo, hi, modulus):
-    """Local Fletcher (A, B) over ``arr[..., lo:hi]``; B ends at ``hi``."""
-    shape = arr.shape[:-1]
-    if hi <= lo:
-        zero = np.zeros(shape, dtype=np.int64)
-        return zero, zero.copy()
-    seg = arr[..., lo:hi].astype(np.int64)
-    a = seg.sum(axis=-1) % modulus
-    weights = np.arange(hi - lo, 0, -1, dtype=np.int64)
-    b = (seg * weights).sum(axis=-1) % modulus
-    return a, b
-
-
-def _fold16(values):
-    values = values.astype(np.uint64, copy=True)
-    while (values >> np.uint64(16)).any():
-        values = (values & np.uint64(0xFFFF)) + (values >> np.uint64(16))
-    return values
-
-
 class SpliceEngine:
-    """Evaluates every splice of adjacent AAL5 frame pairs."""
+    """Evaluates every splice of adjacent AAL5 frame pairs.
+
+    The evaluation path is selected per :attr:`EngineOptions.engine`
+    (see :func:`repro.core.batch.resolve_engine_kind`): ``batch`` runs
+    the vectorized kernels of :mod:`repro.core.batch`; ``scalar`` runs
+    the byte-at-a-time reference receiver of
+    :mod:`repro.core.reference` over the *same* enumeration, producing
+    bit-identical counters at a fraction of the speed -- it exists as
+    the conformance baseline ``--engine scalar`` exposes.
+    """
 
     def __init__(self, options=None):
         self.options = options or EngineOptions()
+        self.engine_kind = resolve_engine_kind(self.options)
         self._crc32 = aal5_crc_engine()
         self._z48 = self._crc32.zero_feed(CELL_PAYLOAD)
         self._residue32 = np.uint32(self._crc32.residue_register("big"))
+        self._folds = {}
         self._aux = []
         for name in self.options.aux_crcs:
             engine = get_algorithm(name)
@@ -224,6 +216,11 @@ class SpliceEngine:
                 "identical": empty.copy(),
                 "aux": {name: empty.copy() for name, _, _, _ in self._aux},
             }
+        if self.engine_kind is EngineKind.SCALAR:
+            with telemetry.span("engine.scalar"):
+                return enum, self._scalar_verdicts(
+                    enum, cells1, cells2, iplen1, iplen2
+                )
         idx = enum.selection
         slots = enum.slots
 
@@ -274,7 +271,8 @@ class SpliceEngine:
         """
         counters = SpliceCounters()
         counters.pairs = np.asarray(cells1).shape[0]
-        with _telemetry().span("engine.batch"):
+        telemetry = _telemetry()
+        with telemetry.span("engine.batch"):
             enum, verdicts = self.splice_verdicts(cells1, cells2, iplen1, iplen2)
         if enum.splices == 0:
             return counters
@@ -312,6 +310,12 @@ class SpliceEngine:
 
         for name, valid_aux in verdicts["aux"].items():
             counters.missed_aux[name] = int((remaining & valid_aux).sum())
+
+        # Engine-kind throughput accounting happens parent-side in
+        # ``experiment._account_shard`` (``engine.<kind>.splices`` and
+        # its rate meter): worker pools keep their own registries, so
+        # anything emitted here would vanish under ``--workers N`` and
+        # break counter-total identity across execution layouts.
         return counters
 
     # -- component evaluations ------------------------------------------
@@ -369,18 +373,18 @@ class SpliceEngine:
         b_total += b_trailer[:, None]
         return (a_total % modulus == 0) & (b_total % modulus == 0)
 
+    def _crc_fold(self, engine, slots, tail):
+        """Cached :class:`CellCrcFold` for ``(engine, slots, tail)``."""
+        key = (engine.name, slots, tail)
+        if key not in self._folds:
+            self._folds[key] = CellCrcFold(engine, slots, tail)
+        return self._folds[key]
+
     def _crc_valid(self, cand, trailer, idx):
         images = self._crc32.process_cells(cand)
         trailer_image = self._crc32.process_cells(trailer)
-        reg = np.full(
-            (cand.shape[0], idx.shape[0]),
-            self._crc32.register_init,
-            dtype=np.uint32,
-        )
-        for j in range(idx.shape[1]):
-            reg = self._z48.apply_vec(reg) ^ images[:, idx[:, j]]
-        reg = self._z48.apply_vec(reg) ^ trailer_image[:, None]
-        return reg == self._residue32
+        fold = self._crc_fold(self._crc32, idx.shape[1], CELL_PAYLOAD)
+        return fold.fold_selected(images, idx, trailer_image) == self._residue32
 
     def _aux_valid(self, cand, trailer, idx, n1, engine, z48, z44):
         """Would a hypothetical AAL5 with this CRC have missed the splice?
@@ -389,23 +393,68 @@ class SpliceEngine:
         the splice passes when it matches the second frame's value --
         i.e. the value the trailer would have carried.
         """
+        slots = idx.shape[1]
         images = engine.process_cells(cand)
         trailer_image = engine.process_cells(
             trailer[:, : CELL_PAYLOAD - _CRC_FIELD_LEN]
         )
-        batch = cand.shape[0]
-        reg = np.full((batch, idx.shape[0]), engine.register_init, dtype=np.uint32)
-        for j in range(idx.shape[1]):
-            reg = z48.apply_vec(reg) ^ images[:, idx[:, j]]
-        reg = z44.apply_vec(reg) ^ trailer_image[:, None]
+        fold = self._crc_fold(engine, slots, CELL_PAYLOAD - _CRC_FIELD_LEN)
+        reg = fold.fold_selected(images, idx, trailer_image)
 
         # The reference value: the same fold over the intact second frame.
-        n2_slots = idx.shape[1]
-        target = np.full(batch, engine.register_init, dtype=np.uint32)
-        for j in range(n2_slots):
-            target = z48.apply_vec(target) ^ images[:, n1 - 1 + j]
-        target = z44.apply_vec(target) ^ trailer_image
+        target = fold.fold_columns(
+            images[:, n1 - 1 : n1 - 1 + slots], trailer_image
+        )
         return reg == target[:, None]
+
+    # -- scalar conformance path ----------------------------------------
+
+    def _scalar_verdicts(self, enum, cells1, cells2, iplen1, iplen2):
+        """Judge the same enumeration with the reference receiver.
+
+        Fills verdict matrices of the exact shape the batch kernels
+        produce, one byte-materialised splice at a time, so
+        :meth:`evaluate_batch` shares all counter accounting between
+        the two engine kinds and bit-identity holds by construction.
+        """
+        from repro.core.reference import judge_splice_cells
+
+        batch = cells1.shape[0]
+        shape = (batch, enum.splices)
+        verdicts = {
+            "header_pass": np.zeros(shape, dtype=bool),
+            "transport": np.zeros(shape, dtype=bool),
+            "crc32": np.zeros(shape, dtype=bool),
+            "identical": np.zeros(shape, dtype=bool),
+            "aux": {name: np.zeros(shape, dtype=bool) for name, _, _, _ in self._aux},
+        }
+        aux_engines = [(name, engine) for name, engine, _, _ in self._aux]
+        for b in range(batch):
+            frame2 = b"".join(bytes(c) for c in cells2[b])
+            aux_targets = {
+                # One target per pair, amortized over every splice of
+                # the pair.  reprolint: disable=REP304
+                name: engine.compute(frame2[:-_CRC_FIELD_LEN])
+                for name, engine in aux_engines
+            }
+            for s, selection in enumerate(enum.selection):
+                verdict = judge_splice_cells(  # reprolint: disable=REP304
+                    cells1[b],
+                    cells2[b],
+                    iplen1,
+                    iplen2,
+                    selection,
+                    self.options,
+                    aux_engines=aux_engines,
+                    aux_targets=aux_targets,
+                )
+                verdicts["header_pass"][b, s] = verdict["header_pass"]
+                verdicts["transport"][b, s] = verdict["transport"]
+                verdicts["crc32"][b, s] = verdict["crc32"]
+                verdicts["identical"][b, s] = verdict["identical"]
+                for name, ok in verdict["aux"].items():
+                    verdicts["aux"][name][b, s] = ok
+        return verdicts
 
     def _identical(self, cand, trailer, idx, cells1, cells2, iplen1, iplen2, windows):
         batch = cand.shape[0]

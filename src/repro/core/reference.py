@@ -17,7 +17,12 @@ from repro.protocols.ip import IP_HEADER_LEN, parse_ipv4_header
 from repro.protocols.packetizer import ChecksumPlacement
 from repro.protocols.tcp import pseudo_header_word_sum
 
-__all__ = ["judge_splice", "splice_frame_bytes"]
+__all__ = [
+    "judge_splice",
+    "judge_splice_cells",
+    "splice_cell_bytes",
+    "splice_frame_bytes",
+]
 
 
 def splice_frame_bytes(frame1, frame2, selection):
@@ -33,6 +38,66 @@ def splice_frame_bytes(frame1, frame2, selection):
     picked = [candidates[i] for i in selection]
     picked.append(bytes(cells2[-1]))
     return b"".join(picked)
+
+
+def splice_cell_bytes(cells1, cells2, selection):
+    """:func:`splice_frame_bytes` over already-materialised cell arrays.
+
+    ``cells1`` / ``cells2`` are the frames' ``(n, 48)`` cell matrices
+    (trailer cell last), as the engine's corpus batches hold them.
+    """
+    candidates = [bytes(c) for c in cells1[:-1]] + [bytes(c) for c in cells2[:-1]]
+    picked = [candidates[int(i)] for i in selection]
+    picked.append(bytes(cells2[-1]))
+    return b"".join(picked)
+
+
+def judge_splice_cells(
+    cells1,
+    cells2,
+    iplen1,
+    iplen2,
+    selection,
+    options,
+    aux_engines=(),
+    aux_targets=None,
+):
+    """Judge one splice from cell matrices, byte-at-a-time.
+
+    The scalar conformance path of the splice engine: materialises the
+    reassembled frame and applies every check exactly as
+    :func:`judge_splice` does, plus the auxiliary CRC verdicts (an
+    auxiliary code accepts the splice when it reproduces the intact
+    second frame's check value).  ``aux_targets`` may carry those
+    per-pair reference values precomputed; otherwise they are derived
+    here from ``cells2``.
+    """
+    data = splice_cell_bytes(cells1, cells2, selection)
+    cmp_end = (
+        iplen2 - 2 if options.placement is ChecksumPlacement.TRAILER else iplen2
+    )
+    frame2_bytes = b"".join(bytes(c) for c in cells2)
+    if iplen1 == iplen2 and len(cells1) == len(cells2):
+        frame1_prefix = b"".join(bytes(c) for c in cells1)[:cmp_end]
+    else:
+        frame1_prefix = None
+    identical = data[:cmp_end] in (frame1_prefix, frame2_bytes[:cmp_end])
+    aux = {}
+    for name, engine in aux_engines:
+        if aux_targets is not None and name in aux_targets:
+            target = aux_targets[name]
+        else:
+            target = engine.compute(frame2_bytes[:-4])
+        aux[name] = engine.compute(data[:-4]) == target
+    return {
+        "header_pass": _header_ok(
+            data, iplen2, require_ip_checksum=options.require_ip_checksum
+        ),
+        "identical": identical,
+        "crc32": _crc32_ok(data),
+        "transport": _transport_ok(data, iplen2, options),
+        "aux": aux,
+    }
 
 
 def _header_ok(frame_bytes, expected_iplen, require_ip_checksum=True):

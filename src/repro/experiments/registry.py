@@ -95,15 +95,20 @@ def _accepts(function, name):
         return False
 
 
-def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs):
+def run_experiment(
+    experiment_id, cache=None, workers=None, store=None, engine=None, **kwargs
+):
     """Run a registered experiment and return its report.
 
     ``cache`` is a :class:`repro.store.cache.ResultCache` (or a
     :class:`repro.store.runner.RunStore`, whose ``results`` cache and
     ``store`` hook are both used).  ``workers`` fans splice runs over a
-    process pool; ``store`` makes them resumable at shard granularity.
-    Neither enters the cache key — cached and direct runs are
-    bit-identical by construction.
+    process pool; ``store`` makes them resumable at shard granularity;
+    ``engine`` selects the splice evaluation path
+    (``batch``/``scalar``/``auto``).  None of the three enters the
+    cache key — cached, direct, scalar and batch runs are all
+    bit-identical by construction (the conformance suite asserts the
+    engine half).
     """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
@@ -141,6 +146,8 @@ def run_experiment(experiment_id, cache=None, workers=None, store=None, **kwargs
         call_kwargs["workers"] = workers
     if store is not None and _accepts(function, "store"):
         call_kwargs["store"] = store
+    if engine is not None and _accepts(function, "engine"):
+        call_kwargs["engine"] = engine
 
     health = None
     if _accepts(function, "health"):

@@ -99,6 +99,24 @@ class LintConfig:
         "repro", "repro.core",
     ))
 
+    # -- batch hot path (REP304) ---------------------------------------
+
+    #: Modules on the splice hot path: per-item work there must route
+    #: through the batch kernels (``repro.core.batch``,
+    #: ``compute_many``), not per-cell Python loops.
+    batch_hot_modules: tuple = field(default_factory=lambda: _tuple(
+        "repro.core.engine", "repro.core.fragsplice",
+    ))
+
+    #: Callee names (last dotted segment, leading underscores ignored)
+    #: recognized as byte-at-a-time scalar kernels.
+    scalar_kernel_names: tuple = field(default_factory=lambda: _tuple(
+        "compute", "verify", "process", "step",
+        "judge_splice", "judge_splice_cells",
+        "word_sums", "fletcher8", "internet_checksum",
+        "ones_complement_sum",
+    ))
+
     # -- crash consistency (REP401/REP402) -----------------------------
 
     #: Packages whose renames must be fsync-ordered.
@@ -177,6 +195,9 @@ class LintConfig:
 
     def is_hot_target(self, module):
         return _prefixed(module, self.hot_module_prefixes)
+
+    def is_batch_hot(self, module):
+        return _prefixed(module, self.batch_hot_modules)
 
     def is_store(self, module):
         return _prefixed(module, self.store_prefixes)

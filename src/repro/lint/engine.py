@@ -184,6 +184,7 @@ def _load_builtin_rules():
         rules_determinism,
         rules_integrity,
         rules_layering,
+        rules_performance,
     )
 
 

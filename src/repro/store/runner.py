@@ -308,6 +308,7 @@ def run_sharded_splice(
     """
     # Import here: core.experiment lazily imports this module, so the
     # pool construction is shared without a load-time cycle.
+    from repro.core.batch import resolve_engine_kind
     from repro.core.checkpoint import current_controller
     from repro.core.experiment import _account_shard, _check_stop, _make_pool
 
@@ -388,7 +389,8 @@ def run_sharded_splice(
             for index, counters in pool.run([job for _, job in jobs]):
                 now = time.perf_counter()
                 _account_shard(
-                    telemetry, counters, len(jobs[index][1][0]), now - last
+                    telemetry, counters, len(jobs[index][1][0]), now - last,
+                    engine_kind=resolve_engine_kind(options).value,
                 )
                 last = now
                 _store_shard(guard, manifest, loaded, jobs[index][0], counters)

@@ -92,7 +92,7 @@ def _cells_per_sec(name, algorithm, cells, min_time):
     return len(cells) / _best_seconds(fn, min_time)
 
 
-def _splices_per_sec(algorithm, candidates, min_time):
+def _scalar_splices_per_sec(algorithm, candidates, min_time):
     """End-to-end splice judgements/sec: one ``compute`` per candidate."""
     def judge():
         compute = algorithm.compute
@@ -100,6 +100,22 @@ def _splices_per_sec(algorithm, candidates, min_time):
             compute(candidate)
 
     return len(candidates) / _best_seconds(judge, min_time)
+
+
+def _splices_per_sec(algorithm, candidates, min_time):
+    """Judgements/sec via the batch tier (``compute_many``) when present."""
+    from repro.checksums.registry import supports_batch
+
+    if not supports_batch(algorithm):
+        return _scalar_splices_per_sec(algorithm, candidates, min_time)
+    import numpy as np
+
+    blocks = np.stack(
+        [np.frombuffer(c, dtype=np.uint8) for c in candidates]
+    )
+    return len(candidates) / _best_seconds(
+        lambda: algorithm.compute_many(blocks), min_time
+    )
 
 
 def _splice_candidates(count, packet_bytes=1008):
@@ -148,8 +164,13 @@ def _algorithm_section(quick):
             "cells_per_sec": round(
                 _cells_per_sec(name, algorithm, cells, min_time), 1
             ),
+            # The batch tier where one exists; the scalar rate rides
+            # along so every snapshot shows the scalar -> batch delta.
             "splices_per_sec": round(
                 _splices_per_sec(algorithm, candidates, min_time), 1
+            ),
+            "scalar_splices_per_sec": round(
+                _scalar_splices_per_sec(algorithm, candidates, min_time), 1
             ),
         }
     return out, {"cells": n_cells, "splice_candidates": n_candidates}
@@ -167,10 +188,34 @@ _ENGINE_MATRIX_FULL = _ENGINE_MATRIX_QUICK + (
 )
 
 
-def _engine_section(quick):
+#: Corpus for the scalar-vs-batch comparison rows: small enough that
+#: the byte-at-a-time reference receiver finishes in seconds.
+_COMPARE_BYTES = 8_000
+
+
+def _engine_row(fs, algorithm, placement, corpus_bytes, engine):
     from repro.core.experiment import run_splice_experiment
-    from repro.corpus.profiles import build_filesystem
     from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+
+    config = PacketizerConfig(
+        algorithm=algorithm, placement=ChecksumPlacement(placement)
+    )
+    t0 = time.perf_counter()
+    result = run_splice_experiment(fs, config, engine=engine)
+    dt = max(time.perf_counter() - t0, 1e-9)
+    return {
+        "algorithm": algorithm,
+        "placement": placement,
+        "corpus_bytes": corpus_bytes,
+        "engine": result.options.engine,
+        "splices": result.counters.total,
+        "seconds": round(dt, 6),
+        "splices_per_sec": round(result.counters.total / dt, 1),
+    }
+
+
+def _engine_section(quick, engine="batch"):
+    from repro.corpus.profiles import build_filesystem
 
     sizes = (60_000,) if quick else (120_000, 400_000)
     matrix = _ENGINE_MATRIX_QUICK if quick else _ENGINE_MATRIX_FULL
@@ -179,23 +224,16 @@ def _engine_section(quick):
     for corpus_bytes in sizes:
         fs = build_filesystem("stanford-u1", corpus_bytes, _SEED)
         for algorithm, placement in matrix:
-            config = PacketizerConfig(
-                algorithm=algorithm, placement=ChecksumPlacement(placement)
-            )
-            t0 = time.perf_counter()
-            result = run_splice_experiment(fs, config)
-            dt = max(time.perf_counter() - t0, 1e-9)
             rows.append(
-                {
-                    "algorithm": algorithm,
-                    "placement": placement,
-                    "corpus_bytes": corpus_bytes,
-                    "splices": result.counters.total,
-                    "seconds": round(dt, 6),
-                    "splices_per_sec": round(result.counters.total / dt, 1),
-                }
+                _engine_row(fs, algorithm, placement, corpus_bytes, engine)
             )
-    return rows, {"corpus_sizes": list(sizes)}
+    # Scalar-vs-batch comparison pair on a corpus the reference
+    # receiver can finish: the snapshot itself records the delta the
+    # CI bench-smoke gate asserts (batch >= 5x scalar).
+    fs = build_filesystem("stanford-u1", _COMPARE_BYTES, _SEED)
+    for kind in ("batch", "scalar"):
+        rows.append(_engine_row(fs, "tcp", "header", _COMPARE_BYTES, kind))
+    return rows, {"corpus_sizes": list(sizes), "engine": engine}
 
 
 def _overhead_section(quick):
@@ -262,10 +300,14 @@ def _overhead_section(quick):
 # ----------------------------------------------------------------------
 # snapshot assembly, persistence, validation, deltas
 
-def run_bench(quick=False):
-    """Run the workload matrix; return the snapshot dict."""
+def run_bench(quick=False, engine="batch"):
+    """Run the workload matrix; return the snapshot dict.
+
+    ``engine`` selects the splice evaluation path of the engine-matrix
+    rows (the scalar-vs-batch comparison pair is measured regardless).
+    """
     algorithms, algo_meta = _algorithm_section(quick)
-    engine, engine_meta = _engine_section(quick)
+    engine, engine_meta = _engine_section(quick, engine)
     overhead = _overhead_section(quick)
     workload = {"seed": _SEED, "cell_bytes": _CELL}
     workload.update(algo_meta)
@@ -399,15 +441,18 @@ def delta_table(previous, current_payload):
                 )
             )
     prev_engine = {
-        (r["algorithm"], r["placement"], r["corpus_bytes"]): r
+        (r["algorithm"], r["placement"], r["corpus_bytes"],
+         r.get("engine", "batch")): r
         for r in (previous or {}).get("engine", [])
     }
     for row in current_payload["engine"]:
-        key = (row["algorithm"], row["placement"], row["corpus_bytes"])
+        kind = row.get("engine", "batch")
+        key = (row["algorithm"], row["placement"], row["corpus_bytes"], kind)
         old = prev_engine.get(key, {}).get("splices_per_sec")
         lines.append(
-            "| engine %s/%s @%d splices/s | %.0f | %s | %s |"
+            "| engine[%s] %s/%s @%d splices/s | %.0f | %s | %s |"
             % (
+                kind,
                 row["algorithm"],
                 row["placement"],
                 row["corpus_bytes"],

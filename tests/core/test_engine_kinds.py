@@ -1,0 +1,191 @@
+"""Scalar-vs-batch conformance: two evaluation paths, one answer.
+
+The batch compute tier's contract is *bit identity*: the vectorized
+path (``--engine batch``) and the byte-at-a-time reference receiver
+(``--engine scalar``) run the same enumeration and must agree on every
+per-splice verdict, every counter, and every aggregation layout
+(``--workers 1`` vs ``--workers 4``).  These tests pin that contract
+at all three levels, plus the O(cells) cut-splice shortcut against the
+full enumeration's columns.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.checksums.batch import EngineKind
+from repro.core.batch import (
+    cut_selections,
+    evaluate_cut_splices,
+    resolve_engine_kind,
+)
+from repro.core.engine import EngineOptions, SpliceEngine
+from repro.core.experiment import run_splice_experiment
+from repro.corpus.generators import generate
+from repro.protocols.ftpsim import FileTransferSimulator
+from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+from tests.conftest import make_filesystem
+
+CONFIGS = [
+    PacketizerConfig(),
+    PacketizerConfig(placement=ChecksumPlacement.TRAILER),
+    PacketizerConfig(algorithm="fletcher255"),
+    PacketizerConfig(algorithm="fletcher256"),
+]
+
+
+def _engines(config):
+    options = EngineOptions.from_packetizer(config)
+    return (
+        SpliceEngine(dataclasses.replace(options, engine="batch")),
+        SpliceEngine(dataclasses.replace(options, engine="scalar")),
+    )
+
+
+def _pairs(units):
+    for first, second in zip(units, units[1:]):
+        yield (
+            first.frame.cells()[None],
+            second.frame.cells()[None],
+            len(first.packet.ip_packet),
+            len(second.packet.ip_packet),
+        )
+
+
+class TestVerdictIdentity:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: "%s-%s" % (
+        c.algorithm, c.placement.value,
+    ))
+    def test_every_verdict_bit_matches(self, config):
+        batch, scalar = _engines(config)
+        assert batch.engine_kind is EngineKind.BATCH
+        assert scalar.engine_kind is EngineKind.SCALAR
+        units = FileTransferSimulator(config).transfer(
+            generate("gmon", 5_000, 11)
+        )
+        compared = 0
+        for cells1, cells2, iplen1, iplen2 in _pairs(units):
+            enum_b, v_batch = batch.splice_verdicts(
+                cells1, cells2, iplen1, iplen2
+            )
+            enum_s, v_scalar = scalar.splice_verdicts(
+                cells1, cells2, iplen1, iplen2
+            )
+            assert np.array_equal(enum_b.selection, enum_s.selection)
+            for key in ("header_pass", "transport", "crc32", "identical"):
+                assert np.array_equal(v_batch[key], v_scalar[key]), key
+            assert v_batch["aux"].keys() == v_scalar["aux"].keys()
+            for name in v_batch["aux"]:
+                assert np.array_equal(
+                    v_batch["aux"][name], v_scalar["aux"][name]
+                ), name
+            compared += enum_b.splices
+        assert compared > 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_stream_counters_identical_across_seeds(self, seed):
+        batch, scalar = _engines(PacketizerConfig())
+        units = FileTransferSimulator(PacketizerConfig()).transfer(
+            generate("english", 6_000, seed)
+        )
+        assert batch.evaluate_stream(units) == scalar.evaluate_stream(units)
+
+
+class TestWorkerLayouts:
+    @pytest.mark.parametrize("engine", ["batch", "scalar"])
+    def test_counters_identical_across_workers(self, engine):
+        fs = make_filesystem([("english", 4_000), ("gmon", 3_000)])
+        one = run_splice_experiment(fs, workers=1, engine=engine)
+        four = run_splice_experiment(fs, workers=4, engine=engine)
+        assert one.counters == four.counters
+        assert one.options.engine == engine
+
+    def test_scalar_equals_batch_through_the_driver(self):
+        fs = make_filesystem([("c-source", 4_000), ("zero-heavy", 3_000)])
+        batch = run_splice_experiment(fs, engine="batch")
+        scalar = run_splice_experiment(fs, engine="scalar", workers=4)
+        assert batch.counters == scalar.counters
+        assert batch.counters.total > 0
+
+
+class TestCutSplices:
+    def test_cut_columns_match_full_enumeration(self):
+        config = PacketizerConfig()
+        options = EngineOptions.from_packetizer(config)
+        engine = SpliceEngine(options)
+        units = FileTransferSimulator(config).transfer(
+            generate("gmon", 5_000, 4)
+        )
+        checked = 0
+        for cells1, cells2, iplen1, iplen2 in _pairs(units):
+            enum, full = engine.splice_verdicts(
+                cells1, cells2, iplen1, iplen2
+            )
+            selections, cuts = evaluate_cut_splices(
+                cells1, cells2, iplen1, iplen2, options
+            )
+            assert np.array_equal(
+                selections,
+                cut_selections(cells1.shape[1], cells2.shape[1]),
+            )
+            for j in range(1, selections.shape[0]):
+                # Cut 0 (the intact second frame) is deliberately
+                # excluded from the enumeration; every other cut has
+                # exactly one column there.
+                matches = np.where(
+                    (enum.selection == selections[j]).all(axis=1)
+                )[0]
+                assert matches.size == 1, j
+                col = int(matches[0])
+                for key in ("header_pass", "transport", "crc32",
+                            "identical"):
+                    assert np.array_equal(
+                        cuts[key][:, j], full[key][:, col]
+                    ), (key, j)
+                for name in cuts["aux"]:
+                    assert np.array_equal(
+                        cuts["aux"][name][:, j], full["aux"][name][:, col]
+                    ), (name, j)
+                checked += 1
+        assert checked > 0
+
+    def test_cut_zero_is_the_intact_frame(self):
+        config = PacketizerConfig()
+        options = EngineOptions.from_packetizer(config)
+        units = FileTransferSimulator(config).transfer(
+            generate("english", 4_000, 9)
+        )
+        for cells1, cells2, iplen1, iplen2 in _pairs(units):
+            selections, cuts = evaluate_cut_splices(
+                cells1, cells2, iplen1, iplen2, options
+            )
+            # An untouched frame 2 passes every check.
+            for key in ("header_pass", "transport", "crc32", "identical"):
+                assert cuts[key][:, 0].all(), key
+            for name in cuts["aux"]:
+                assert cuts["aux"][name][:, 0].all(), name
+
+
+class TestEngineResolution:
+    def test_auto_resolves_to_batch_for_registry_algorithms(self):
+        assert resolve_engine_kind(EngineOptions()) is EngineKind.BATCH
+
+    def test_explicit_kind_wins(self):
+        options = EngineOptions(engine="scalar")
+        assert resolve_engine_kind(options) is EngineKind.SCALAR
+
+    def test_unknown_algorithm_falls_back_to_scalar(self):
+        # resolve_engine_kind must not mask the engine's own (clearer)
+        # unsupported-algorithm error.
+        options = EngineOptions(algorithm="md5")
+        assert resolve_engine_kind(options) is EngineKind.SCALAR
+        with pytest.raises(ValueError):
+            SpliceEngine(options)
+
+    def test_engine_rides_in_options_record(self):
+        fs = make_filesystem([("english", 2_000)])
+        result = run_splice_experiment(fs, engine="scalar")
+        assert result.options.engine == "scalar"
+        default = run_splice_experiment(fs)
+        assert default.options.engine == "auto"

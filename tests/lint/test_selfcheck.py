@@ -119,6 +119,13 @@ _SEEDED = {
         "            last = exc\n"
         "    raise last\n"
     ),
+    "repro/core/engine.py": (
+        "def verdicts(cells, engine):\n"
+        "    out = []\n"
+        "    for cell in cells:\n"
+        "        out.append(engine.compute(bytes(cell)))\n"  # REP304
+        "    return out\n"
+    ),
     "repro/checksums/registry.py": (
         "class BadSum:\n"
         "    name = 'bad'\n"
@@ -136,8 +143,8 @@ _SEEDED = {
 
 _EXPECTED_RULES = {
     "REP101", "REP102", "REP103", "REP201", "REP202",
-    "REP301", "REP302", "REP303", "REP401", "REP402",
-    "REP403", "REP404", "REP501",
+    "REP301", "REP302", "REP303", "REP304", "REP401",
+    "REP402", "REP403", "REP404", "REP501",
 }
 
 

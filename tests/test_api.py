@@ -9,8 +9,10 @@ import repro.api as api
 class TestFacadeSurface:
     def test_all_is_exactly_the_contract(self):
         assert sorted(api.__all__) == [
+            "BatchChecksumAlgorithm",
             "ChecksumPlacement",
             "CircuitBreaker",
+            "EngineKind",
             "IndependentLoss",
             "ManualClock",
             "PacketizerConfig",
@@ -53,6 +55,7 @@ class TestFacadeSurface:
             "serve_store",
             "simulate_file_transfer",
             "sum_file",
+            "supports_batch",
             "sweep_guard",
             "validate_bench_snapshot",
             "wrap_run_store",

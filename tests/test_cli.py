@@ -93,6 +93,33 @@ class TestCommands:
         ]) == 0
         assert "fletcher256" in capsys.readouterr().out
 
+    def test_engine_flag_parses_and_defaults_to_batch(self):
+        parser = build_parser()
+        for command in ("run", "splice", "bench"):
+            args = parser.parse_args(
+                [command, "table1"] if command == "run" else [command]
+            )
+            assert args.engine == "batch", command
+        args = parser.parse_args(["splice", "--engine", "scalar"])
+        assert args.engine == "scalar"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["splice", "--engine", "simd"])
+
+    def test_splice_engines_print_identical_counters(self, capsys):
+        lines = {}
+        for engine in ("scalar", "batch"):
+            assert main([
+                "splice", "--profile", "uniform", "--bytes", "6000",
+                "--engine", engine,
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "engine             %s" % engine in out
+            lines[engine] = [
+                line for line in out.splitlines()
+                if "engine  " not in line and "splices/sec" not in line
+            ]
+        assert lines["scalar"] == lines["batch"]
+
 
 class TestNewCommands:
     def test_run_with_svg(self, tmp_path, capsys):
