@@ -61,11 +61,12 @@ store-check:
 		tests/store/test_resilience.py tests/store/test_spool.py \
 		tests/faults/test_resilience_chaos.py -q
 
-# Static analysis: the domain-aware reprolint rules always run; ruff
-# and mypy run only when installed (CI installs them; the hermetic dev
+# Static analysis: the domain-aware reprolint rules always run (with
+# the incremental cache, so edit-lint loops stay fast); ruff and mypy
+# run only when installed (CI installs them; the hermetic dev
 # container may not have them, and lint must not demand a network).
 lint:
-	$(PYTHON) -m repro.cli lint src
+	$(PYTHON) -m repro.cli lint --cache .lint-cache.json src
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests benchmarks; \
 	else \
@@ -82,5 +83,5 @@ figures:
 	$(PYTHON) -m repro.cli run figure3 --bytes 600000 --svg figure3.svg
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .lint-cache.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

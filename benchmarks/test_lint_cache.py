@@ -1,0 +1,96 @@
+"""Incremental lint cache: the warm-run speedup gate.
+
+The PR contract for the interprocedural engine: a warm, cache-restored
+rerun over an unchanged tree must be at least 5x faster than the cold
+run.  The fixture tree is synthetic but shaped like the real one --
+cross-module imports, helpers, classes -- so both the per-module rules
+and the whole-program phase (call graph + taint summaries) do real
+work on the cold pass.
+
+Uses ``time.perf_counter`` directly (no pytest-benchmark dependency):
+the assertion is a ratio, not an absolute time, so it is stable across
+machines.
+"""
+
+import time
+
+from repro.lint.cache import LintCache
+from repro.lint.engine import run_lint
+
+#: Modules per package in the generated tree (x 3 packages).
+_WIDTH = 20
+
+_MODULE = '''\
+"""Generated benchmark module %(index)d."""
+
+from repro.core.dep_%(dep)d import transform_%(dep)d
+
+
+def helper_%(index)d(value):
+    return value * %(index)d + 1
+
+
+def transform_%(index)d(rows):
+    out = []
+    for row in rows:
+        out.append(helper_%(index)d(row))
+    return transform_%(dep)d(out) if %(index)d %% 7 else out
+
+
+class Stage%(index)d:
+    def __init__(self, seed):
+        self.seed = seed
+
+    def run(self, rows):
+        return transform_%(index)d(rows)
+'''
+
+
+def _build_tree(root):
+    for package in ("core", "analysis", "store"):
+        base = root / "repro" / package
+        base.mkdir(parents=True)
+        (base / "__init__.py").write_text("", encoding="utf-8")
+        for index in range(_WIDTH):
+            name = "dep_%d.py" % index if package == "core" \
+                else "mod_%d.py" % index
+            (base / name).write_text(
+                _MODULE % {"index": index, "dep": max(0, index - 1)},
+                encoding="utf-8",
+            )
+    (root / "repro" / "__init__.py").write_text("", encoding="utf-8")
+    return root
+
+
+def _timed(paths, cache_path):
+    start = time.perf_counter()
+    result = run_lint(paths, cache=LintCache(cache_path))
+    return time.perf_counter() - start, result
+
+
+class TestWarmSpeedup:
+    def test_warm_rerun_is_at_least_5x_faster(self, tmp_path):
+        root = _build_tree(tmp_path / "src")
+        cache_path = tmp_path / "lint-cache.json"
+
+        cold_s, cold = _timed([root], cache_path)
+        assert cold.cache_hits == 0 and cold.cache_misses > 0
+
+        # Best of three warm runs: absorbs one-off scheduler noise
+        # without hiding a real regression.
+        warm_s = min(
+            _timed([root], cache_path)[0] for _ in range(3)
+        )
+        warm = run_lint([root], cache=LintCache(cache_path))
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses
+        assert [f.to_dict() for f in warm.findings] \
+            == [f.to_dict() for f in cold.findings]
+
+        speedup = cold_s / warm_s if warm_s else float("inf")
+        print("\nlint cache: cold %.3fs, warm %.3fs (%.1fx)"
+              % (cold_s, warm_s, speedup))
+        assert speedup >= 5.0, (
+            "warm cache rerun only %.1fx faster (cold %.3fs, warm %.3fs)"
+            % (speedup, cold_s, warm_s)
+        )

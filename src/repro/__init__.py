@@ -87,6 +87,7 @@ _FACADE_EXPORTS = (
     "experiment_ids",
     "generate_markdown_report",
     "latest_bench_snapshot",
+    "lint_rules",
     "named_plan",
     "open_backend",
     "open_journal",
@@ -96,6 +97,7 @@ _FACADE_EXPORTS = (
     "profile_summaries",
     "run_bench",
     "run_experiment",
+    "run_lint",
     "run_splice_experiment",
     "scrub_run_store",
     "serve_store",

@@ -74,6 +74,9 @@ __all__ = [
     # reporting and rendering
     "generate_markdown_report",
     "write_figure_svg",
+    # static analysis
+    "lint_rules",
+    "run_lint",
     # telemetry and bench
     "activate_telemetry",
     "bench_delta_table",
@@ -127,6 +130,8 @@ _LAZY = {
     "plan_names": ("repro.faults.plan", "plan_names"),
     "scrub_run_store": ("repro.store.scrub", "scrub_run_store"),
     "serve_store": ("repro.store.api.server", "serve_store"),
+    "lint_rules": ("repro.lint.engine", "all_rules"),
+    "run_lint": ("repro.lint.engine", "run_lint"),
     "run_bench": ("repro.telemetry.bench", "run_bench"),
     "run_splice_experiment": (
         "repro.core.experiment", "run_splice_experiment"),

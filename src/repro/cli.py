@@ -370,7 +370,7 @@ def build_parser():
                         help="source roots to scan (default: ./src if it "
                              "exists, else .)")
     p_lint.add_argument("--format", dest="fmt", default="text",
-                        choices=["text", "json", "md"],
+                        choices=["text", "json", "md", "sarif"],
                         help="report format (default: text)")
     p_lint.add_argument("--baseline", metavar="PATH", default=None,
                         help="baseline file (default: "
@@ -384,6 +384,15 @@ def build_parser():
                              "(default: all)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    p_lint.add_argument("--cache", metavar="PATH", default=None,
+                        help="incremental result cache: unchanged "
+                             "files replay their stored findings")
+    p_lint.add_argument("--contract", metavar="PATH", default=None,
+                        help="layer contract for REP311 (default: "
+                             ".reprolint.toml if present)")
+    p_lint.add_argument("--no-contract", action="store_true",
+                        help="skip the layer contract even if "
+                             ".reprolint.toml exists")
     return parser
 
 
@@ -759,14 +768,20 @@ def _cmd_lint(args):
 
     from repro.lint import (
         all_rules,
-        load_baseline,
+        load_baseline_entries,
         render_json,
         render_markdown,
+        render_sarif,
         render_text,
         run_lint,
         write_baseline,
     )
-    from repro.lint.config import DEFAULT_BASELINE_NAME
+    from repro.lint.cache import LintCache
+    from repro.lint.config import (
+        DEFAULT_BASELINE_NAME,
+        DEFAULT_CONTRACT_NAME,
+        load_contract,
+    )
 
     if args.list_rules:
         for rule in all_rules():
@@ -779,20 +794,34 @@ def _cmd_lint(args):
         paths = ["src"] if Path("src").is_dir() else ["."]
 
     baseline_path = Path(args.baseline or DEFAULT_BASELINE_NAME)
-    fingerprints = set()
+    baseline = {}
     if not args.no_baseline and not args.fix_baseline:
         try:
-            fingerprints = load_baseline(baseline_path)
+            baseline = load_baseline_entries(baseline_path)
         except ValueError as exc:
             print("repro-checksums: %s" % exc, file=sys.stderr)
             return 2
+
+    contract = None
+    if not args.no_contract:
+        contract_path = Path(args.contract or DEFAULT_CONTRACT_NAME)
+        if args.contract or contract_path.is_file():
+            try:
+                contract = load_contract(contract_path)
+            except (OSError, ValueError) as exc:
+                print("repro-checksums: %s" % exc, file=sys.stderr)
+                return 2
+
+    cache = LintCache(args.cache) if args.cache else None
 
     rules = None
     if args.rules:
         rules = [token.strip() for token in args.rules.split(",") if token.strip()]
 
     try:
-        result = run_lint(paths, rules=rules, baseline=fingerprints)
+        result = run_lint(paths, rules=rules, baseline=baseline,
+                          cache=cache, contract=contract,
+                          baseline_path=baseline_path)
     except KeyError as exc:
         print("repro-checksums: %s" % exc.args[0], file=sys.stderr)
         return 2
@@ -804,7 +833,7 @@ def _cmd_lint(args):
         return 0
 
     renderer = {"text": render_text, "json": render_json,
-                "md": render_markdown}[args.fmt]
+                "md": render_markdown, "sarif": render_sarif}[args.fmt]
     print(renderer(result))
     return result.exit_code
 

@@ -20,6 +20,7 @@ __all__ = [
     "apply_baseline",
     "fingerprint_findings",
     "load_baseline",
+    "load_baseline_entries",
     "write_baseline",
 ]
 
@@ -57,9 +58,19 @@ def write_baseline(findings, path):
 
 def load_baseline(path):
     """The fingerprint set at ``path`` (empty if the file is absent)."""
+    return set(load_baseline_entries(path))
+
+
+def load_baseline_entries(path):
+    """``fingerprint -> entry dict`` at ``path`` (empty if absent).
+
+    Entries keep the capture-time ``rule``/``path``/``line``/
+    ``message`` -- the hygiene rule (REP601) uses them to describe
+    stale baseline entries in human terms.
+    """
     path = Path(path)
     if not path.is_file():
-        return set()
+        return {}
     payload = json.loads(path.read_text(encoding="utf-8"))
     schema = payload.get("schema")
     if schema != BASELINE_SCHEMA:
@@ -67,14 +78,19 @@ def load_baseline(path):
             "unsupported baseline schema %r (expected %r)"
             % (schema, BASELINE_SCHEMA)
         )
-    return set(payload.get("findings", {}))
+    return dict(payload.get("findings", {}))
 
 
 def apply_baseline(findings, fingerprints):
-    """Mark findings whose fingerprint is baselined; returns the count."""
-    matched = 0
+    """Mark findings whose fingerprint is baselined.
+
+    Returns the set of baseline fingerprints that matched a current
+    finding -- the complement (loaded minus matched) is exactly the
+    stale entries REP601 reports.
+    """
+    matched = set()
     for fingerprint, finding in fingerprint_findings(findings).items():
         if fingerprint in fingerprints:
             finding.baselined = True
-            matched += 1
+            matched.add(fingerprint)
     return matched

@@ -1,0 +1,188 @@
+"""Incremental lint cache: skip modules whose content is unchanged.
+
+The cache is a single JSON file with one entry per module, keyed by
+the module's dotted name and guarded by the sha256 of its raw bytes.
+A warm run hashes every file (cheap), replays the stored findings for
+hits, and only parses + re-lints the misses.  Project-scope results
+(call-graph rules, the layer contract, REP601) are guarded by a hash
+over *all* module content hashes, so any edit anywhere re-runs the
+whole-program phase -- interprocedural results are never replayed
+against a project they were not computed on.
+
+Every entry is additionally guarded by a **selection hash** covering
+the lint configuration, the selected rule ids, the layer contract,
+and the sha256 of this package's own sources.  Editing a rule -- or
+this file -- invalidates everything; there is no version constant to
+forget to bump.
+
+Findings are stored pre-baseline (``baselined`` is stripped), so the
+committed baseline can change without invalidating the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["CACHE_SCHEMA", "LintCache"]
+
+CACHE_SCHEMA = "repro-lint-cache/1"
+
+_package_digest_memo = None
+
+
+def _package_digest():
+    """sha256 over this package's source files (rule-change guard)."""
+    global _package_digest_memo
+    if _package_digest_memo is None:
+        digest = hashlib.sha256()
+        for path in sorted(Path(__file__).resolve().parent.glob("*.py")):
+            digest.update(path.name.encode("utf-8"))
+            digest.update(path.read_bytes())
+        _package_digest_memo = digest.hexdigest()
+    return _package_digest_memo
+
+
+def _encode_findings(findings):
+    encoded = []
+    for finding in findings:
+        payload = finding.to_dict()
+        payload.pop("baselined", None)
+        encoded.append(payload)
+    return encoded
+
+
+def _decode_findings(payloads):
+    return [Finding.from_dict(dict(payload)) for payload in payloads]
+
+
+class LintCache:
+    """Persistent per-file + per-project lint result cache."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._payload = None
+        self._selection = None
+        self._dirty = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, config, selected_ids, contract):
+        """Load the file and discard it if the selection changed."""
+        self._selection = self._selection_hash(
+            config, selected_ids, contract)
+        payload = None
+        if self.path.is_file():
+            try:
+                payload = json.loads(
+                    self.path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                payload = None  # corrupt cache == cold cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA
+            or payload.get("selection") != self._selection
+        ):
+            payload = {
+                "schema": CACHE_SCHEMA,
+                "selection": self._selection,
+                "modules": {},
+                "project": None,
+            }
+            self._dirty = True
+        self._payload = payload
+
+    def save(self):
+        """Atomically persist (write-temp, then ``os.replace``)."""
+        if not self._dirty or self._payload is None:
+            return
+        text = json.dumps(self._payload, indent=1, sort_keys=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(text + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+    @staticmethod
+    def _selection_hash(config, selected_ids, contract):
+        digest = hashlib.sha256()
+        digest.update(repr(config).encode("utf-8"))
+        digest.update(",".join(sorted(selected_ids)).encode("utf-8"))
+        digest.update(repr(contract).encode("utf-8"))
+        digest.update(_package_digest().encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- hashing -----------------------------------------------------------
+
+    @staticmethod
+    def content_hash(module):
+        """sha256 of the module's raw bytes; primes the lazy source."""
+        raw = module.path.read_bytes()
+        if module._source is None:
+            try:
+                module._source = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                pass  # let ModuleInfo.source raise on its own terms
+        return hashlib.sha256(raw).hexdigest()
+
+    @staticmethod
+    def project_hash(content_hashes):
+        """One hash over every module's (name, content hash)."""
+        digest = hashlib.sha256()
+        for name in sorted(content_hashes):
+            digest.update(name.encode("utf-8"))
+            digest.update(content_hashes[name].encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- module entries ----------------------------------------------------
+
+    def get_module(self, name, content_hash):
+        entry = self._payload["modules"].get(name)
+        if not entry or entry.get("hash") != content_hash:
+            return None
+        return (
+            _decode_findings(entry["findings"]),
+            entry["suppressed"],
+            {(rule, line) for rule, line in entry["usage"]},
+        )
+
+    def put_module(self, name, content_hash, findings, suppressed, usage):
+        self._payload["modules"][name] = {
+            "hash": content_hash,
+            "findings": _encode_findings(findings),
+            "suppressed": suppressed,
+            "usage": sorted([rule, line] for rule, line in usage),
+        }
+        self._dirty = True
+
+    # -- the whole-program phase -------------------------------------------
+
+    def get_project(self, project_hash):
+        entry = self._payload.get("project")
+        if not entry or entry.get("hash") != project_hash:
+            return None
+        usage_map = {
+            relpath: {(rule, line) for rule, line in events}
+            for relpath, events in entry["usage"].items()
+        }
+        return (
+            _decode_findings(entry["findings"]),
+            entry["suppressed"],
+            usage_map,
+        )
+
+    def put_project(self, project_hash, findings, suppressed, usage_map):
+        self._payload["project"] = {
+            "hash": project_hash,
+            "findings": _encode_findings(findings),
+            "suppressed": suppressed,
+            "usage": {
+                relpath: sorted([rule, line] for rule, line in events)
+                for relpath, events in usage_map.items()
+            },
+        }
+        self._dirty = True

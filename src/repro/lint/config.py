@@ -9,11 +9,21 @@ by overriding individual fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
-__all__ = ["DEFAULT_BASELINE_NAME", "LintConfig"]
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CONTRACT_NAME",
+    "LayerContract",
+    "LintConfig",
+    "load_contract",
+]
 
 #: Conventional baseline filename, committed at the repo root.
 DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+#: Conventional layer-contract filename, committed at the repo root.
+DEFAULT_CONTRACT_NAME = ".reprolint.toml"
 
 
 def _tuple(*items):
@@ -173,6 +183,18 @@ class LintConfig:
         "width", "name",
     ))
 
+    # -- interprocedural taint (REP111) --------------------------------
+
+    #: Call-name markers (substring of the lower-cased leaf) treated
+    #: as sanitizers by the dataflow engine: the return of
+    #: ``derive_seed(...)`` or ``canonical_stamp(...)`` is clean even
+    #: when its inputs were entropy/wall clock, because deriving a
+    #: value *from* the run seed (or a pinned epoch) is exactly how
+    #: this codebase launders nondeterminism on purpose.
+    sanitizer_markers: tuple = field(default_factory=lambda: _tuple(
+        "seed", "canonical", "deterministic",
+    ))
+
     # -- helpers -------------------------------------------------------
 
     def replace(self, **overrides):
@@ -224,4 +246,123 @@ def _prefixed(module, prefixes):
     return any(
         module == prefix or module.startswith(prefix + ".")
         for prefix in prefixes
+    )
+
+
+@dataclass(frozen=True)
+class LayerContract:
+    """The declared import DAG from ``.reprolint.toml``.
+
+    ``layers`` maps a layer name to the module prefixes it owns;
+    ``allowed`` maps a layer to the layers it may (directly) import.
+    By default only *eager* (module-scope) imports are checked --
+    function-level lazy imports are this codebase's sanctioned
+    dependency-inversion idiom (PEP 562 facades, `repro.core.experiment`
+    reaching the store at call time) and would make the true graph
+    cyclic.  Set ``include_lazy`` to hold lazy imports to the DAG too.
+    """
+
+    path: str
+    layers: tuple  # ((layer, (prefix, ...)), ...)
+    allowed: tuple  # ((layer, (layer, ...)), ...)
+    include_lazy: bool = False
+
+    def layer_of(self, module):
+        """The layer owning ``module`` (longest prefix wins), or None."""
+        best = None
+        best_length = -1
+        for layer, prefixes in self.layers:
+            for prefix in prefixes:
+                if module == prefix or module.startswith(prefix + "."):
+                    if len(prefix) > best_length:
+                        best = layer
+                        best_length = len(prefix)
+        return best
+
+    def allows(self, source_layer, target_layer):
+        """True if ``source_layer`` may import ``target_layer``."""
+        if source_layer == target_layer:
+            return True
+        for layer, targets in self.allowed:
+            if layer == source_layer:
+                return target_layer in targets
+        return False
+
+    def find_cycle(self):
+        """A layer cycle in the *declared* edges, or None.
+
+        The contract must itself be a DAG -- a cycle in the
+        declaration would make "illegal edge" vacuous.
+        """
+        edges = {layer: tuple(targets) for layer, targets in self.allowed}
+        WHITE, GREY, BLACK = 0, 1, 2
+        state = {}
+        for start, _ in self.layers:
+            if state.get(start, WHITE) != WHITE:
+                continue
+            stack = [(start, iter(edges.get(start, ())))]
+            state[start] = GREY
+            trail = [start]
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for successor in successors:
+                    colour = state.get(successor, WHITE)
+                    if colour == GREY:
+                        return (*trail[trail.index(successor):], successor)
+                    if colour == WHITE:
+                        state[successor] = GREY
+                        trail.append(successor)
+                        stack.append(
+                            (successor, iter(edges.get(successor, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[node] = BLACK
+                    trail.pop()
+                    stack.pop()
+        return None
+
+
+def load_contract(path):
+    """Parse a ``.reprolint.toml`` layer contract.
+
+    Raises ``ValueError`` on malformed documents (bad TOML, layers
+    referenced in ``allowed`` but never declared).
+    """
+    import tomllib
+
+    path = Path(path)
+    try:
+        payload = tomllib.loads(path.read_text(encoding="utf-8"))
+    except tomllib.TOMLDecodeError as exc:
+        raise ValueError("invalid layer contract %s: %s" % (path, exc))
+    section = payload.get("contract", {})
+    layers = tuple(
+        (str(layer), tuple(str(prefix) for prefix in prefixes))
+        for layer, prefixes in section.get("layers", {}).items()
+    )
+    declared = {layer for layer, _ in layers}
+    allowed = tuple(
+        (str(layer), tuple(str(target) for target in targets))
+        for layer, targets in section.get("allowed", {}).items()
+    )
+    unknown = sorted(
+        {layer for layer, _ in allowed} - declared
+        | {
+            target
+            for _, targets in allowed
+            for target in targets
+        } - declared
+    )
+    if unknown:
+        raise ValueError(
+            "layer contract %s names undeclared layer(s): %s"
+            % (path, ", ".join(unknown))
+        )
+    return LayerContract(
+        path=str(path),
+        layers=layers,
+        allowed=allowed,
+        include_lazy=bool(section.get("include_lazy", False)),
     )

@@ -1,0 +1,377 @@
+"""Forward taint/flow framework over the project call graph.
+
+The determinism rules of PR 4 (REP101/REP102) flag a *direct* call to
+``time.time()`` or ``random.choice()`` inside a deterministic package.
+What they cannot see is the same value laundered through a helper::
+
+    def now():                    # some utility module
+        return time.time()
+
+    def to_dict(counters):        # a serializer in repro.experiments
+        return {"at": now()}      # wall clock reaches a result path
+
+This module computes, for every function in the scanned project, a
+**summary**: which taint kinds its return value may carry, and which
+of its parameters flow through to its return.  Summaries compose over
+the call graph -- the analysis visits strongly-connected components
+callees-first (cycles iterate to a fixpoint), so the whole-program
+pass stays linear in the size of the call graph.
+
+Taint kinds are small strings (``"entropy"``, ``"wallclock"``); each
+carried taint remembers an :class:`Origin` -- the source expression
+and the chain of project functions it travelled through -- so a rule
+can say *where* the wall clock entered, not just that it did.
+
+Sanitizers clear taint: a call whose callee name carries one of the
+configured sanitizer markers returns clean regardless of its
+arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import dotted_name
+
+__all__ = [
+    "DataflowAnalysis",
+    "ENTROPY",
+    "Origin",
+    "Summary",
+    "WALLCLOCK",
+    "taint_of_call",
+]
+
+#: Taint kinds the shipped source tables produce.
+ENTROPY = "entropy"
+WALLCLOCK = "wallclock"
+
+#: ``random.<fn>`` module-level draws from the unseeded global RNG.
+_RANDOM_FUNCTIONS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "getrandbits", "randbytes", "betavariate",
+    "gauss", "normalvariate", "expovariate", "lognormvariate",
+    "triangular", "vonmisesvariate", "paretovariate", "weibullvariate",
+}
+
+#: Two-segment chain tails that are entropy no matter the arguments.
+_ENTROPY_TAILS = {
+    "os.urandom": "os.urandom()",
+    "uuid.uuid4": "uuid.uuid4()",
+    "secrets.token_bytes": "secrets.token_bytes()",
+    "secrets.token_hex": "secrets.token_hex()",
+    "secrets.randbits": "secrets.randbits()",
+    "secrets.randbelow": "secrets.randbelow()",
+    "secrets.choice": "secrets.choice()",
+}
+
+#: Chain tails that read the wall clock (2- and 3-segment forms).
+_WALLCLOCK_TAILS = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "datetime.now": "datetime.now()",
+    "datetime.utcnow": "datetime.utcnow()",
+    "datetime.today": "datetime.today()",
+    "date.today": "date.today()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+}
+
+
+def taint_of_call(call):
+    """``(kind, description)`` if ``call`` is a taint source, else None.
+
+    The tables mirror REP101/REP102's: module-level ``random.<fn>``,
+    machine entropy (``os.urandom``, ``uuid4``, ``secrets``), argless
+    seedable constructors (``random.Random()``, ``default_rng()``),
+    and wall-clock reads.
+    """
+    chain = dotted_name(call.func)
+    if chain is None:
+        return None
+    parts = chain.split(".")
+    for depth in (3, 2):
+        tail = ".".join(parts[-depth:])
+        if tail in _WALLCLOCK_TAILS:
+            return (WALLCLOCK, _WALLCLOCK_TAILS[tail])
+    tail2 = ".".join(parts[-2:])
+    if tail2 in _ENTROPY_TAILS:
+        return (ENTROPY, _ENTROPY_TAILS[tail2])
+    if len(parts) == 2 and parts[0] == "random" \
+            and parts[1] in _RANDOM_FUNCTIONS:
+        return (ENTROPY, "random.%s()" % parts[1])
+    if (tail2 == "random.Random" or parts[-1] == "default_rng") \
+            and not call.args and not call.keywords:
+        return (ENTROPY, "%s() without a seed" % chain)
+    return None
+
+
+class Origin:
+    """Where a taint came from and the project functions it crossed."""
+
+    __slots__ = ("description", "via", "node")
+
+    def __init__(self, description, via=(), node=None):
+        self.description = description
+        #: qids of project functions the value flowed through.
+        self.via = tuple(via)
+        #: The AST node (in the function under analysis) that
+        #: introduced the taint there -- findings anchor here.
+        self.node = node
+
+    def through(self, qid, node):
+        """A copy extended by one call-graph hop."""
+        return Origin(self.description, (*self.via, qid), node)
+
+    def route(self):
+        """Human-readable ``via a -> b`` suffix, or ''."""
+        if not self.via:
+            return ""
+        return " via %s" % " -> ".join(
+            "%s.%s" % qid for qid in self.via
+        )
+
+
+class Summary:
+    """What one function does with taint, independent of its callers."""
+
+    __slots__ = ("returns", "passthrough")
+
+    def __init__(self):
+        #: kind -> Origin: taint the return value may carry when every
+        #: argument is clean.
+        self.returns = {}
+        #: indices of parameters whose taint reaches the return value.
+        self.passthrough = set()
+
+    def merge_return(self, kind, origin):
+        if kind not in self.returns:
+            self.returns[kind] = origin
+            return True
+        return False
+
+    def merge_passthrough(self, index):
+        if index not in self.passthrough:
+            self.passthrough.add(index)
+            return True
+        return False
+
+
+#: Marker prefix for symbolic parameter taint inside the evaluator.
+_PARAM = "param:"
+
+
+class DataflowAnalysis:
+    """Per-function taint summaries over a :class:`CallGraph`."""
+
+    def __init__(self, callgraph, sanitizer_markers=()):
+        self.callgraph = callgraph
+        self.sanitizers = tuple(sanitizer_markers)
+        self._summaries = {}
+        self._build()
+
+    def summary(self, qid):
+        """The :class:`Summary` for a project function (or None)."""
+        return self._summaries.get(qid)
+
+    # -- summary construction ----------------------------------------------
+
+    def _build(self):
+        for component in self.callgraph.sccs():
+            for qid in component:
+                self._summaries.setdefault(qid, Summary())
+            # Mutual recursion iterates inside the component; the
+            # domain is finite (kinds x params) so this converges.
+            changed = True
+            while changed:
+                changed = False
+                for qid in component:
+                    record = self.callgraph.function(qid)
+                    if record is None:
+                        continue
+                    if self._summarize(record):
+                        changed = True
+
+    def _summarize(self, record):
+        summary = self._summaries[record.qid]
+        env = {
+            name: {_PARAM + str(i): Origin("parameter %r" % name)}
+            for i, name in enumerate(record.params)
+        }
+        changed = False
+        for taints in self._return_taints(record, env):
+            for kind, origin in taints.items():
+                if kind.startswith(_PARAM):
+                    if summary.merge_passthrough(int(kind[len(_PARAM):])):
+                        changed = True
+                elif summary.merge_return(kind, origin):
+                    changed = True
+        return changed
+
+    def function_env(self, record):
+        """Final variable-taint environment of ``record``'s body.
+
+        Parameters start *clean* (their taint is the caller's
+        problem), so anything tainted in the result definitely traces
+        back to a source reached from this body.  Rules use this with
+        :meth:`expr_taint` to judge call arguments at sink sites.
+        """
+        env = {}
+        results = []
+        for _ in range(2):
+            self._exec_block(record, record.node.body, env, results)
+        return env
+
+    def _return_taints(self, record, env):
+        """Taint sets of every return expression in ``record``."""
+        results = []
+        # Two passes so loop-carried assignments stabilise.
+        for _ in range(2):
+            results = []
+            self._exec_block(record, record.node.body, env, results)
+        return results
+
+    def _exec_block(self, record, body, env, results):
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scopes are summarised separately
+            if isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    results.append(
+                        self.expr_taint(record, stmt.value, env))
+                continue
+            if isinstance(stmt, ast.Assign):
+                taint = self.expr_taint(record, stmt.value, env)
+                for target in stmt.targets:
+                    self._bind(target, taint, env)
+                continue
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._bind(stmt.target,
+                           self.expr_taint(record, stmt.value, env), env)
+                continue
+            if isinstance(stmt, ast.AugAssign):
+                taint = self.expr_taint(record, stmt.value, env)
+                if isinstance(stmt.target, ast.Name):
+                    merged = dict(env.get(stmt.target.id, {}))
+                    merged.update(taint)
+                    env[stmt.target.id] = merged
+                continue
+            # Compound statements: walk nested bodies with the shared
+            # env (flow-insensitive join over branches).
+            for field in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, field, None)
+                if nested:
+                    self._exec_block(record, nested, env, results)
+            for handler in getattr(stmt, "handlers", []):
+                self._exec_block(record, handler.body, env, results)
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._bind(stmt.target,
+                           self.expr_taint(record, stmt.iter, env), env)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        self._bind(
+                            item.optional_vars,
+                            self.expr_taint(
+                                record, item.context_expr, env),
+                            env)
+
+    @staticmethod
+    def _bind(target, taint, env):
+        if isinstance(target, ast.Name):
+            env[target.id] = dict(taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                DataflowAnalysis._bind(element, taint, env)
+        # Attribute/Subscript stores: dropped (objects not modelled).
+
+    # -- expression evaluation ----------------------------------------------
+
+    def expr_taint(self, record, expr, env):
+        """``{kind: Origin}`` for ``expr`` under ``env``."""
+        if isinstance(expr, ast.Constant):
+            return {}
+        if isinstance(expr, ast.Name):
+            return dict(env.get(expr.id, {}))
+        if isinstance(expr, ast.Lambda):
+            return {}
+        if isinstance(expr, ast.Call):
+            return self._call_taint(record, expr, env)
+        if isinstance(expr, ast.Attribute):
+            # ``x.attr`` on a tainted receiver stays tainted.
+            return self.expr_taint(record, expr.value, env)
+        if isinstance(expr, (ast.NamedExpr,)):
+            taint = self.expr_taint(record, expr.value, env)
+            self._bind(expr.target, taint, env)
+            return taint
+        # Generic union over child expressions (BinOp, BoolOp,
+        # Compare, Subscript, containers, f-strings, IfExp, ...).
+        taint = {}
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                for kind, origin in self.expr_taint(
+                        record, child, env).items():
+                    taint.setdefault(kind, origin)
+            elif isinstance(child, (ast.comprehension,)):
+                for kind, origin in self.expr_taint(
+                        record, child.iter, env).items():
+                    taint.setdefault(kind, origin)
+            elif isinstance(child, ast.keyword):
+                for kind, origin in self.expr_taint(
+                        record, child.value, env).items():
+                    taint.setdefault(kind, origin)
+        return taint
+
+    def _call_taint(self, record, call, env):
+        source = taint_of_call(call)
+        if source is not None:
+            kind, description = source
+            return {kind: Origin(description, node=call)}
+
+        chain = dotted_name(call.func) or ""
+        leaf = chain.rsplit(".", 1)[-1].lower()
+        if any(marker in leaf for marker in self.sanitizers):
+            return {}
+
+        arg_taints = []
+        for arg in call.args:
+            node = arg.value if isinstance(arg, ast.Starred) else arg
+            arg_taints.append(self.expr_taint(record, node, env))
+        keyword_taint = {}
+        for keyword in call.keywords:
+            for kind, origin in self.expr_taint(
+                    record, keyword.value, env).items():
+                keyword_taint.setdefault(kind, origin)
+
+        target = self.callgraph.resolve_call(
+            record.module, call, class_name=record.class_name)
+        if target is not None and target in self._summaries:
+            summary = self._summaries[target]
+            taint = {}
+            for kind, origin in summary.returns.items():
+                taint[kind] = origin.through(target, call)
+            for index in summary.passthrough:
+                if index < len(arg_taints):
+                    for kind, origin in arg_taints[index].items():
+                        taint.setdefault(
+                            kind, origin if origin.node is not None
+                            else Origin(origin.description,
+                                        origin.via, call))
+            return taint
+
+        # Unknown/external callee: assume it transforms its inputs
+        # (str(x), round(x), x.isoformat() all preserve taint).
+        taint = {}
+        if isinstance(call.func, ast.Attribute):
+            for kind, origin in self.expr_taint(
+                    record, call.func.value, env).items():
+                taint.setdefault(kind, origin)
+        for arg_taint in arg_taints:
+            for kind, origin in arg_taint.items():
+                taint.setdefault(kind, origin)
+        for kind, origin in keyword_taint.items():
+            taint.setdefault(kind, origin)
+        return taint

@@ -127,9 +127,39 @@ class Project:
 class RuleContext:
     """What a rule sees besides the module under inspection."""
 
-    def __init__(self, project, config):
+    def __init__(self, project, config, contract=None):
         self.project = project
         self.config = config
+        #: The declared layer contract (:class:`LayerContract`) or None.
+        self.contract = contract
+        #: Rule ids selected for this run (REP601 staleness scope).
+        self.selected_ids = frozenset()
+        #: relpath -> {(rule_id, line)} of pragma suppressions that
+        #: actually fired this run (REP601 staleness evidence).
+        self.suppression_usage = {}
+        self._callgraph = None
+        self._dataflow = None
+
+    @property
+    def callgraph(self):
+        """The project call graph, built once per run on first use."""
+        if self._callgraph is None:
+            from repro.lint.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self.project)
+        return self._callgraph
+
+    @property
+    def dataflow(self):
+        """Taint summaries over :attr:`callgraph`, built on first use."""
+        if self._dataflow is None:
+            from repro.lint.dataflow import DataflowAnalysis
+
+            self._dataflow = DataflowAnalysis(
+                self.callgraph,
+                sanitizer_markers=self.config.sanitizer_markers,
+            )
+        return self._dataflow
 
 
 class Rule:
@@ -145,10 +175,28 @@ class Rule:
     category = "general"
     #: One sentence: the invariant this rule guards (docs render this).
     invariant = ""
+    #: ``"module"`` rules see one file at a time and cache per file;
+    #: ``"project"`` rules run once over the whole scan (call graphs,
+    #: cross-module resolution, contracts) and cache per project hash.
+    scope = "module"
 
     def check(self, module, ctx):  # pragma: no cover - interface
         raise NotImplementedError
         yield  # noqa: unreachable - marks this as a generator
+
+    def check_project(self, ctx):
+        """Project-scope entry point; defaults to per-module ``check``.
+
+        Rules that genuinely need the whole project (flow rules, the
+        layer contract) override this; converted cross-module rules
+        (REP501) keep their ``check`` and inherit this driver.
+        """
+        for module in ctx.project.modules():
+            try:
+                module.tree
+            except SyntaxError:  # REP000 already reported by the runner
+                continue
+            yield from self.check(module, ctx)
 
     def finding(self, module, node, message, severity=None):
         line = getattr(node, "lineno", 0) or 0
@@ -182,6 +230,8 @@ def _load_builtin_rules():
     from repro.lint import (  # noqa: F401  (side-effect imports)
         rules_concurrency,
         rules_determinism,
+        rules_flow,
+        rules_hygiene,
         rules_integrity,
         rules_layering,
         rules_performance,
@@ -197,13 +247,18 @@ def all_rules():
 class LintResult:
     """Everything one lint run produced."""
 
-    def __init__(self, findings, files_scanned, suppressed, rules):
+    def __init__(self, findings, files_scanned, suppressed, rules,
+                 cache_hits=0, cache_misses=0):
         #: All findings (baselined ones included), sorted by location.
         self.findings = sorted(findings, key=lambda f: f.sort_key())
         self.files_scanned = files_scanned
         #: Count of findings silenced by inline pragmas.
         self.suppressed = suppressed
         self.rules = rules
+        #: Modules replayed from / recomputed into the incremental
+        #: cache (both zero when no cache was supplied).
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
 
     @property
     def active(self):
@@ -225,52 +280,200 @@ class LintResult:
         return dict(sorted(counts.items()))
 
 
-def run_lint(paths, config=None, rules=None, baseline=None):
+def run_lint(paths, config=None, rules=None, baseline=None,
+             cache=None, contract=None, baseline_path=None):
     """Lint ``paths`` and return a :class:`LintResult`.
 
     ``paths`` are source roots (directories) or single files;
     ``rules`` restricts to an iterable of rule ids; ``baseline`` is a
-    fingerprint set from :func:`repro.lint.baseline.load_baseline`.
+    fingerprint set from :func:`repro.lint.baseline.load_baseline` or
+    the richer ``fingerprint -> entry`` mapping from
+    :func:`~repro.lint.baseline.load_baseline_entries`; ``cache`` is a
+    :class:`repro.lint.cache.LintCache` for incremental runs;
+    ``contract`` is a :class:`repro.lint.config.LayerContract` (REP311
+    is inert without one); ``baseline_path`` labels stale-baseline
+    findings (REP601).
     """
     config = config or LintConfig()
     project = Project(paths)
-    ctx = RuleContext(project, config)
+    ctx = RuleContext(project, config, contract=contract)
     selected = all_rules()
+    valid_ids = [rule.id for rule in selected]
     if rules is not None:
         wanted = {rule_id.upper() for rule_id in rules}
-        unknown = wanted - {rule.id for rule in selected}
+        unknown = wanted - set(valid_ids)
         if unknown:
             raise KeyError(
-                "unknown rule id(s): %s" % ", ".join(sorted(unknown))
+                "unknown rule id(s): %s (valid: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(valid_ids))
             )
         selected = [rule for rule in selected if rule.id in wanted]
+    ctx.selected_ids = frozenset(rule.id for rule in selected)
+    module_rules = [rule for rule in selected if rule.scope == "module"]
+    project_rules = [rule for rule in selected if rule.scope == "project"]
+
+    if cache is not None:
+        cache.begin(config, ctx.selected_ids, contract)
 
     findings = []
     suppressed = 0
+    hits = misses = 0
+    content_hashes = {}
     for module in project.modules():
-        try:
-            module.tree
-        except SyntaxError as exc:
-            findings.append(Finding(
-                rule="REP000",
-                severity="error",
-                path=module.relpath,
-                line=exc.lineno or 0,
-                col=(exc.offset or 1) - 1,
-                message="syntax error: %s" % exc.msg,
-                snippet=module.line_at(exc.lineno or 0),
-            ))
-            continue
-        for rule in selected:
-            for finding in rule.check(module, ctx):
-                if module.pragmas.suppressed(finding.rule, finding.line):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
+        content_hash = None
+        if cache is not None:
+            content_hash = cache.content_hash(module)
+            content_hashes[module.name] = content_hash
+            cached = cache.get_module(module.name, content_hash)
+            if cached is not None:
+                hits += 1
+                module_findings, module_suppressed, usage = cached
+                findings.extend(module_findings)
+                suppressed += module_suppressed
+                if usage:
+                    ctx.suppression_usage.setdefault(
+                        module.relpath, set()).update(usage)
+                continue
+            misses += 1
+        module_findings, module_suppressed, usage = _check_module(
+            module, module_rules, ctx)
+        findings.extend(module_findings)
+        suppressed += module_suppressed
+        if usage:
+            ctx.suppression_usage.setdefault(
+                module.relpath, set()).update(usage)
+        if cache is not None:
+            cache.put_module(module.name, content_hash,
+                             module_findings, module_suppressed, usage)
+
+    cached_project = None
+    if cache is not None and project_rules:
+        project_hash = cache.project_hash(content_hashes)
+        cached_project = cache.get_project(project_hash)
+    if project_rules:
+        if cached_project is not None:
+            project_findings, project_suppressed, usage_map = cached_project
+            findings.extend(project_findings)
+            suppressed += project_suppressed
+            for relpath, usage in usage_map.items():
+                ctx.suppression_usage.setdefault(
+                    relpath, set()).update(usage)
+        else:
+            project_findings, project_suppressed, usage_map = \
+                _check_project(project_rules, ctx)
+            findings.extend(project_findings)
+            suppressed += project_suppressed
+            if cache is not None:
+                cache.put_project(project_hash, project_findings,
+                                  project_suppressed, usage_map)
+
+    if cache is not None:
+        cache.save()
 
     if baseline:
-        apply_baseline(findings, baseline)
-    return LintResult(findings, len(project), suppressed, selected)
+        fingerprints = set(baseline)
+        matched = apply_baseline(findings, fingerprints)
+        stale = fingerprints - matched
+        if stale and "REP601" in ctx.selected_ids:
+            findings.extend(_stale_baseline_findings(
+                stale, baseline, baseline_path))
+    return LintResult(findings, len(project), suppressed, selected,
+                      cache_hits=hits, cache_misses=misses)
+
+
+def _check_module(module, rules, ctx):
+    """Run module-scope ``rules`` on one file.
+
+    Returns ``(findings, suppressed_count, usage)`` where ``usage`` is
+    the set of ``(rule_id, line)`` suppressions that fired -- exactly
+    the shape the incremental cache persists per content hash.
+    """
+    try:
+        module.tree
+    except SyntaxError as exc:
+        broken = Finding(
+            rule="REP000",
+            severity="error",
+            path=module.relpath,
+            line=exc.lineno or 0,
+            col=(exc.offset or 1) - 1,
+            message="syntax error: %s" % exc.msg,
+            snippet=module.line_at(exc.lineno or 0),
+        )
+        return [broken], 0, set()
+    findings = []
+    suppressed = 0
+    usage = set()
+    for rule in rules:
+        for finding in rule.check(module, ctx):
+            if module.pragmas.suppressed(finding.rule, finding.line):
+                suppressed += 1
+                usage.add((finding.rule, finding.line))
+            else:
+                findings.append(finding)
+    return findings, suppressed, usage
+
+
+def _check_project(rules, ctx):
+    """Run project-scope ``rules`` once over the whole scan.
+
+    Suppression usage merges into ``ctx.suppression_usage`` *as rules
+    run* so REP601 -- last in registry order -- sees every suppression
+    that fired, including those from other project rules.
+    """
+    by_relpath = {
+        module.relpath: module for module in ctx.project.modules()
+    }
+    findings = []
+    suppressed = 0
+    usage_map = {}
+    for rule in rules:
+        for finding in rule.check_project(ctx):
+            module = by_relpath.get(finding.path)
+            if module is not None and module.pragmas.suppressed(
+                    finding.rule, finding.line):
+                suppressed += 1
+                usage_map.setdefault(finding.path, set()).add(
+                    (finding.rule, finding.line))
+                ctx.suppression_usage.setdefault(
+                    finding.path, set()).add(
+                        (finding.rule, finding.line))
+            else:
+                findings.append(finding)
+    return findings, suppressed, usage_map
+
+
+def _stale_baseline_findings(stale, baseline, baseline_path):
+    """REP601 findings for baseline entries no finding matched.
+
+    Emitted by the runner (not the rule) because staleness is only
+    known after :func:`apply_baseline`; gated on REP601 being in the
+    selection so ``--rules`` runs stay scoped.
+    """
+    entries = baseline if isinstance(baseline, dict) else {}
+    label = Path(baseline_path).name if baseline_path \
+        else "reprolint-baseline"
+    findings = []
+    for fingerprint in sorted(stale):
+        entry = entries.get(fingerprint) or {}
+        detail = ""
+        if entry:
+            detail = " (%s at %s: %s)" % (
+                entry.get("rule", "?"), entry.get("path", "?"),
+                entry.get("message", "?"),
+            )
+        findings.append(Finding(
+            rule="REP601",
+            severity="warning",
+            path=label,
+            line=0,
+            col=0,
+            message="stale baseline entry %s%s: no current finding "
+                    "matches it; re-run --fix-baseline"
+                    % (fingerprint, detail),
+            snippet=fingerprint,
+        ))
+    return findings
 
 
 # ----------------------------------------------------------------------

@@ -383,6 +383,10 @@ class RegistryConformanceRule(Rule):
     title = "registry-protocol-conformance"
     severity = "error"
     category = "protocol"
+    # Resolves registered classes across modules (Project.get), so its
+    # result is a function of the whole scan, not one file: project
+    # scope keeps it out of the per-file incremental cache.
+    scope = "project"
     invariant = (
         "Every algorithm in checksums.registry statically defines "
         "compute/field/verify/width/name, and a literal mask always "

@@ -1,17 +1,24 @@
-"""Layering rules: REP301, REP302, REP303.
+"""Layering rules: REP301, REP302, REP303, REP311.
 
 The package graph is a contract: the CLI sees only the facade, the
 check codes sit below everything, and cold-path modules never pay for
 the splice engine at import time (PR 1's 10-20x warm-start win).
+REP311 generalises the hand-picked pairs: a committed
+``.reprolint.toml`` declares the whole layer DAG and every eager
+import in the project is held to it.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.lint.engine import Rule, iter_imports, register
+from repro.lint.findings import Finding
 
 __all__ = [
     "CliFacadeOnlyRule",
     "EagerEngineImportRule",
+    "LayerContractRule",
     "PureLayerRule",
 ]
 
@@ -121,3 +128,67 @@ class EagerEngineImportRule(Rule):
                     "engine to serve it); import the defining module "
                     "lazily instead" % (target, alias),
                 )
+
+
+@register
+class LayerContractRule(Rule):
+    """REP311: every eager import obeys the declared layer DAG."""
+
+    id = "REP311"
+    title = "layer-contract"
+    severity = "error"
+    category = "layering"
+    scope = "project"
+    invariant = (
+        "The committed .reprolint.toml declares the layer DAG "
+        "(engine -> checksums -> store -> telemetry -> cli); the "
+        "declaration is acyclic and every eager import in the "
+        "project follows a declared edge."
+    )
+
+    def check_project(self, ctx):
+        contract = ctx.contract
+        if contract is None:
+            return
+        cycle = contract.find_cycle()
+        if cycle is not None:
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=Path(contract.path).name,
+                line=0,
+                col=0,
+                message="declared layer graph has a cycle: %s -- the "
+                        "contract must be a DAG before imports can be "
+                        "held to it" % " -> ".join(cycle),
+                snippet="[contract.allowed]",
+            )
+            return
+        for module in ctx.project.modules():
+            try:
+                tree = module.tree
+            except SyntaxError:
+                continue
+            source_layer = contract.layer_of(module.name)
+            if source_layer is None:
+                continue
+            for node, target, alias, is_from in iter_imports(
+                tree, module_scope_only=not contract.include_lazy,
+            ):
+                target_layer = contract.layer_of(target)
+                if target_layer is None and is_from and alias:
+                    # ``from repro import store`` imports a module even
+                    # though the *from* target maps to no layer.
+                    target_layer = contract.layer_of(
+                        "%s.%s" % (target, alias) if target else alias)
+                if target_layer is None:
+                    continue
+                if not contract.allows(source_layer, target_layer):
+                    yield self.finding(
+                        module, node,
+                        "layer %r imports %s (layer %r) but the "
+                        "contract declares no %s -> %s edge" % (
+                            source_layer, target, target_layer,
+                            source_layer, target_layer,
+                        ),
+                    )

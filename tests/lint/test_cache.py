@@ -1,0 +1,153 @@
+"""Incremental lint cache: correctness of replay and invalidation."""
+
+import json
+
+from repro.lint.cache import CACHE_SCHEMA, LintCache
+from repro.lint.engine import run_lint
+from tests.lint.conftest import active_rules
+
+_FILES = {
+    "repro/core/sweep.py": (
+        "import random\n"
+        "\n"
+        "def pick(items):\n"
+        "    return random.choice(items)\n"
+    ),
+    "repro/core/clean.py": "def add(a, b):\n    return a + b\n",
+    "repro/analysis/ok.py": "def mean(xs):\n    return sum(xs)\n",
+}
+
+
+def _write(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        parent = path.parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+            parent = parent.parent
+    return root
+
+
+class TestWarmRuns:
+    def test_warm_run_replays_identical_findings(self, tmp_path):
+        root = _write(tmp_path / "src", _FILES)
+        cache_path = tmp_path / "lint-cache.json"
+
+        cold = run_lint([root], cache=LintCache(cache_path))
+        warm = run_lint([root], cache=LintCache(cache_path))
+
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == warm.cache_hits > 0
+        assert warm.cache_misses == 0
+        assert [f.to_dict() for f in warm.findings] \
+            == [f.to_dict() for f in cold.findings]
+        assert warm.suppressed == cold.suppressed
+        assert warm.exit_code == cold.exit_code
+
+    def test_editing_one_file_misses_only_that_file(self, tmp_path):
+        root = _write(tmp_path / "src", _FILES)
+        cache_path = tmp_path / "lint-cache.json"
+        cold = run_lint([root], cache=LintCache(cache_path))
+
+        (root / "repro/core/clean.py").write_text(
+            "def add(a, b):\n    return b + a\n", encoding="utf-8")
+        warm = run_lint([root], cache=LintCache(cache_path))
+        assert warm.cache_misses == 1
+        assert warm.cache_hits == cold.cache_misses - 1
+
+    def test_edit_changes_findings_not_stale_replay(self, tmp_path):
+        root = _write(tmp_path / "src", _FILES)
+        cache_path = tmp_path / "lint-cache.json"
+        first = run_lint([root], cache=LintCache(cache_path))
+        assert "REP101" in active_rules(first)
+
+        (root / "repro/core/sweep.py").write_text(
+            "def pick(items, rng):\n    return rng.choice(items)\n",
+            encoding="utf-8")
+        second = run_lint([root], cache=LintCache(cache_path))
+        assert "REP101" not in active_rules(second)
+
+    def test_pragma_usage_replays_for_rep601(self, tmp_path):
+        # A cached file whose pragma fired must not be called stale on
+        # the warm run: usage events are part of the cache entry.
+        files = dict(_FILES)
+        files["repro/core/sweep.py"] = (
+            "import random\n"
+            "\n"
+            "def pick(items):\n"
+            "    return random.choice(items)  # reprolint: disable=REP101\n"
+        )
+        root = _write(tmp_path / "src", files)
+        cache_path = tmp_path / "lint-cache.json"
+
+        cold = run_lint([root], cache=LintCache(cache_path))
+        warm = run_lint([root], cache=LintCache(cache_path))
+        assert "REP601" not in active_rules(cold)
+        assert "REP601" not in active_rules(warm)
+        assert warm.suppressed == cold.suppressed == 1
+
+
+class TestInvalidation:
+    def test_rule_selection_change_goes_cold(self, tmp_path):
+        root = _write(tmp_path / "src", _FILES)
+        cache_path = tmp_path / "lint-cache.json"
+        run_lint([root], cache=LintCache(cache_path))
+
+        narrowed = run_lint([root], rules=["REP101"],
+                            cache=LintCache(cache_path))
+        assert narrowed.cache_hits == 0
+        assert narrowed.cache_misses > 0
+
+    def test_corrupt_cache_file_degrades_to_cold(self, tmp_path):
+        root = _write(tmp_path / "src", _FILES)
+        cache_path = tmp_path / "lint-cache.json"
+        cache_path.write_text("{not json", encoding="utf-8")
+
+        result = run_lint([root], cache=LintCache(cache_path))
+        assert result.cache_hits == 0
+        assert "REP101" in active_rules(result)
+        # And the bad file was replaced with a valid one.
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == CACHE_SCHEMA
+
+    def test_baseline_changes_do_not_invalidate(self, tmp_path):
+        # Findings cache pre-baseline: matching happens per run, so a
+        # new baseline gets full cache hits AND correct baselining.
+        root = _write(tmp_path / "src", _FILES)
+        cache_path = tmp_path / "lint-cache.json"
+        cold = run_lint([root], cache=LintCache(cache_path))
+        fingerprint = cold.active[0].fingerprint(0)
+
+        warm = run_lint([root], cache=LintCache(cache_path),
+                        baseline={fingerprint})
+        assert warm.cache_misses == 0
+        assert warm.exit_code == 0
+        assert [f.rule for f in warm.baselined] == ["REP101"]
+
+
+class TestPersistence:
+    def test_save_writes_schema_and_modules(self, tmp_path):
+        root = _write(tmp_path / "src", _FILES)
+        cache_path = tmp_path / "nested" / "lint-cache.json"
+        run_lint([root], cache=LintCache(cache_path))
+
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == CACHE_SCHEMA
+        assert "repro.core.sweep" in payload["modules"]
+        assert payload["project"] is not None
+        # No leftover temp file from the atomic replace.
+        assert not cache_path.with_name(
+            cache_path.name + ".tmp").exists()
+
+    def test_unchanged_warm_run_does_not_rewrite(self, tmp_path):
+        root = _write(tmp_path / "src", _FILES)
+        cache_path = tmp_path / "lint-cache.json"
+        run_lint([root], cache=LintCache(cache_path))
+        stamp = cache_path.stat().st_mtime_ns
+
+        run_lint([root], cache=LintCache(cache_path))
+        assert cache_path.stat().st_mtime_ns == stamp

@@ -1,0 +1,244 @@
+"""Call-graph construction and resolution (repro.lint.callgraph)."""
+
+import ast
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.engine import Project
+
+
+def graph(tree, files):
+    return CallGraph(Project([tree(files)]))
+
+
+class TestEdges:
+    def test_from_import_resolves_cross_module(self, tree):
+        cg = graph(tree, {
+            "repro/core/util.py": """
+                def helper(x):
+                    return x
+            """,
+            "repro/core/main.py": """
+                from repro.core.util import helper
+
+                def run(item):
+                    return helper(item)
+            """,
+        })
+        assert cg.callees(("repro.core.main", "run")) == (
+            ("repro.core.util", "helper"),
+        )
+
+    def test_module_import_resolves_attribute_call(self, tree):
+        cg = graph(tree, {
+            "repro/core/util.py": """
+                def helper(x):
+                    return x
+            """,
+            "repro/core/main.py": """
+                from repro.core import util
+
+                def run(item):
+                    return util.helper(item)
+            """,
+        })
+        assert cg.callees(("repro.core.main", "run")) == (
+            ("repro.core.util", "helper"),
+        )
+
+    def test_plain_import_resolves_full_path(self, tree):
+        cg = graph(tree, {
+            "repro/core/util.py": """
+                def helper(x):
+                    return x
+            """,
+            "repro/core/main.py": """
+                import repro.core.util
+
+                def run(item):
+                    return repro.core.util.helper(item)
+            """,
+        })
+        assert cg.callees(("repro.core.main", "run")) == (
+            ("repro.core.util", "helper"),
+        )
+
+    def test_relative_import_resolves(self, tree):
+        cg = graph(tree, {
+            "repro/core/util.py": """
+                def helper(x):
+                    return x
+            """,
+            "repro/core/main.py": """
+                from .util import helper
+
+                def run(item):
+                    return helper(item)
+            """,
+        })
+        assert cg.callees(("repro.core.main", "run")) == (
+            ("repro.core.util", "helper"),
+        )
+
+    def test_self_method_dispatch(self, tree):
+        cg = graph(tree, {
+            "repro/core/obj.py": """
+                class Engine:
+                    def step(self):
+                        return self.finish()
+
+                    def finish(self):
+                        return 1
+            """,
+        })
+        assert cg.callees(("repro.core.obj", "Engine.step")) == (
+            ("repro.core.obj", "Engine.finish"),
+        )
+
+    def test_module_level_alias_resolves(self, tree):
+        cg = graph(tree, {
+            "repro/core/main.py": """
+                def helper(x):
+                    return x
+
+                ALIAS = helper
+
+                def run(item):
+                    return ALIAS(item)
+            """,
+        })
+        assert cg.callees(("repro.core.main", "run")) == (
+            ("repro.core.main", "helper"),
+        )
+
+    def test_dynamic_call_resolves_to_nothing(self, tree):
+        cg = graph(tree, {
+            "repro/core/main.py": """
+                def run(factory):
+                    return factory()().spin()
+            """,
+        })
+        assert cg.callees(("repro.core.main", "run")) == ()
+
+
+class TestReachability:
+    def test_reachable_is_transitive(self, tree):
+        cg = graph(tree, {
+            "repro/core/a.py": """
+                from repro.core.b import middle
+
+                def top(x):
+                    return middle(x)
+            """,
+            "repro/core/b.py": """
+                from repro.core.c import bottom
+
+                def middle(x):
+                    return bottom(x)
+            """,
+            "repro/core/c.py": """
+                def bottom(x):
+                    return x
+            """,
+        })
+        assert cg.reachable(("repro.core.a", "top")) == {
+            ("repro.core.b", "middle"),
+            ("repro.core.c", "bottom"),
+        }
+
+    def test_sccs_are_callees_first(self, tree):
+        cg = graph(tree, {
+            "repro/core/rec.py": """
+                def leaf(x):
+                    return x
+
+                def ping(n):
+                    return pong(n - 1)
+
+                def pong(n):
+                    return leaf(n) if n <= 0 else ping(n)
+            """,
+        })
+        components = cg.sccs()
+        cycle = (("repro.core.rec", "ping"), ("repro.core.rec", "pong"))
+        assert cycle in components
+        # The leaf both members call must be summarised first.
+        assert components.index(((("repro.core.rec"), "leaf"),)) \
+            < components.index(cycle)
+
+
+class TestResolveCallable:
+    def test_factory_return_resolves_to_nested_def(self, tree):
+        cg = graph(tree, {
+            "repro/core/factory.py": """
+                def make_worker():
+                    def worker(item):
+                        return item
+                    return worker
+            """,
+            "repro/core/use.py": """
+                from repro.core.factory import make_worker
+
+                WORKER = make_worker()
+            """,
+        })
+        module = cg.project.get("repro.core.use")
+        resolved = cg.resolve_callable(module, ast.Name(id="WORKER"))
+        assert resolved.kind == "nested"
+        assert resolved.crossed
+        assert ("repro.core.factory", "make_worker") in resolved.via
+
+    def test_imported_function_is_crossed(self, tree):
+        cg = graph(tree, {
+            "repro/core/util.py": """
+                def helper(x):
+                    return x
+            """,
+            "repro/core/use.py": """
+                from repro.core.util import helper
+            """,
+        })
+        module = cg.project.get("repro.core.use")
+        resolved = cg.resolve_callable(module, ast.Name(id="helper"))
+        assert resolved.kind == "function"
+        assert resolved.record.qid == ("repro.core.util", "helper")
+        assert resolved.crossed
+
+    def test_local_function_is_not_crossed(self, tree):
+        cg = graph(tree, {
+            "repro/core/use.py": """
+                def helper(x):
+                    return x
+            """,
+        })
+        module = cg.project.get("repro.core.use")
+        resolved = cg.resolve_callable(module, ast.Name(id="helper"))
+        assert resolved.kind == "function"
+        assert not resolved.crossed
+
+    def test_lambda_expression(self, tree):
+        cg = graph(tree, {"repro/core/use.py": "x = 1\n"})
+        module = cg.project.get("repro.core.use")
+        expr = ast.parse("lambda x: x", mode="eval").body
+        assert cg.resolve_callable(module, expr).kind == "lambda"
+
+
+class TestFunctionRecord:
+    def test_params_drop_self_on_methods(self, tree):
+        cg = graph(tree, {
+            "repro/core/obj.py": """
+                class Engine:
+                    def step(self, size, seed):
+                        return size
+            """,
+        })
+        record = cg.function(("repro.core.obj", "Engine.step"))
+        assert record.params == ["size", "seed"]
+        assert record.name == "step"
+
+    def test_functions_iterates_deterministically(self, tree):
+        cg = graph(tree, {
+            "repro/core/b.py": "def zz():\n    return 1\n",
+            "repro/core/a.py": "def aa():\n    return 1\n",
+        })
+        qids = [record.qid for record in cg.functions()]
+        assert qids == sorted(qids)

@@ -1,0 +1,210 @@
+"""Taint summaries over the call graph (repro.lint.dataflow)."""
+
+import ast
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.dataflow import (
+    ENTROPY,
+    WALLCLOCK,
+    DataflowAnalysis,
+    taint_of_call,
+)
+from repro.lint.engine import Project
+
+
+def _call(source):
+    return ast.parse(source, mode="eval").body
+
+
+def analysis(tree, files, sanitizers=()):
+    return DataflowAnalysis(
+        CallGraph(Project([tree(files)])), sanitizer_markers=sanitizers)
+
+
+class TestSourceTables:
+    def test_wall_clock_sources(self):
+        for source in ("time.time()", "time.time_ns()",
+                       "datetime.datetime.now()", "datetime.utcnow()",
+                       "date.today()"):
+            kind, _ = taint_of_call(_call(source))
+            assert kind == WALLCLOCK, source
+
+    def test_entropy_sources(self):
+        for source in ("random.choice(items)", "random.random()",
+                       "os.urandom(16)", "uuid.uuid4()",
+                       "secrets.token_hex(8)"):
+            kind, _ = taint_of_call(_call(source))
+            assert kind == ENTROPY, source
+
+    def test_argless_constructors_are_entropy(self):
+        assert taint_of_call(_call("random.Random()"))[0] == ENTROPY
+        assert taint_of_call(_call("np.random.default_rng()"))[0] == ENTROPY
+
+    def test_seeded_constructors_are_clean(self):
+        assert taint_of_call(_call("random.Random(7)")) is None
+        assert taint_of_call(_call("np.random.default_rng(seed)")) is None
+
+    def test_ordinary_calls_are_clean(self):
+        assert taint_of_call(_call("math.sqrt(x)")) is None
+        assert taint_of_call(_call("helper(x)")) is None
+
+
+class TestSummaries:
+    def test_direct_source_in_return(self, tree):
+        flow = analysis(tree, {
+            "repro/core/clock.py": """
+                import time
+
+                def now():
+                    return time.time()
+            """,
+        })
+        summary = flow.summary(("repro.core.clock", "now"))
+        assert WALLCLOCK in summary.returns
+        assert summary.returns[WALLCLOCK].via == ()
+
+    def test_taint_composes_across_modules(self, tree):
+        flow = analysis(tree, {
+            "repro/core/clock.py": """
+                import time
+
+                def now():
+                    return time.time()
+            """,
+            "repro/core/report.py": """
+                from repro.core.clock import now
+
+                def stamp():
+                    return {"at": now()}
+            """,
+        })
+        origin = flow.summary(
+            ("repro.core.report", "stamp")).returns[WALLCLOCK]
+        assert origin.via == (("repro.core.clock", "now"),)
+        assert "via repro.core.clock.now" in origin.route()
+
+    def test_parameter_passthrough(self, tree):
+        flow = analysis(tree, {
+            "repro/core/util.py": """
+                def ident(value):
+                    return value
+            """,
+        })
+        assert flow.summary(
+            ("repro.core.util", "ident")).passthrough == {0}
+
+    def test_taint_flows_through_passthrough_callee(self, tree):
+        flow = analysis(tree, {
+            "repro/core/util.py": """
+                import random
+
+                def ident(value):
+                    return value
+
+                def draw():
+                    return ident(random.random())
+            """,
+        })
+        assert ENTROPY in flow.summary(
+            ("repro.core.util", "draw")).returns
+
+    def test_sanitizer_clears_taint(self, tree):
+        flow = analysis(tree, {
+            "repro/core/util.py": """
+                import time
+
+                def stamp():
+                    return derive_seed(time.time())
+            """,
+        }, sanitizers=("seed",))
+        assert flow.summary(("repro.core.util", "stamp")).returns == {}
+
+    def test_mutual_recursion_reaches_fixpoint(self, tree):
+        flow = analysis(tree, {
+            "repro/core/rec.py": """
+                import time
+
+                def ping(n):
+                    return pong(n - 1)
+
+                def pong(n):
+                    if n <= 0:
+                        return time.time()
+                    return ping(n)
+            """,
+        })
+        assert WALLCLOCK in flow.summary(
+            ("repro.core.rec", "ping")).returns
+        assert WALLCLOCK in flow.summary(
+            ("repro.core.rec", "pong")).returns
+
+    def test_assignment_chains_carry_taint(self, tree):
+        flow = analysis(tree, {
+            "repro/core/util.py": """
+                import random
+
+                def draw():
+                    value = random.random()
+                    scaled = value * 100
+                    return scaled
+            """,
+        })
+        assert ENTROPY in flow.summary(
+            ("repro.core.util", "draw")).returns
+
+    def test_external_calls_propagate_argument_taint(self, tree):
+        flow = analysis(tree, {
+            "repro/core/util.py": """
+                import time
+
+                def label():
+                    return str(round(time.time()))
+            """,
+        })
+        assert WALLCLOCK in flow.summary(
+            ("repro.core.util", "label")).returns
+
+    def test_constants_are_clean(self, tree):
+        flow = analysis(tree, {
+            "repro/core/util.py": """
+                def fixed():
+                    return 42
+            """,
+        })
+        assert flow.summary(("repro.core.util", "fixed")).returns == {}
+
+
+class TestFunctionEnv:
+    def test_parameters_start_clean_locals_get_tainted(self, tree):
+        flow = analysis(tree, {
+            "repro/core/util.py": """
+                import time
+
+                def report(rows):
+                    copied = rows
+                    stamp = time.time()
+                    return copied, stamp
+            """,
+        })
+        record = flow.callgraph.function(("repro.core.util", "report"))
+        env = flow.function_env(record)
+        assert env["copied"] == {}
+        assert WALLCLOCK in env["stamp"]
+
+    def test_loop_carried_taint_stabilises(self, tree):
+        flow = analysis(tree, {
+            "repro/core/util.py": """
+                import random
+
+                def churn(items):
+                    total = 0
+                    for _ in items:
+                        total = total + bump
+                        bump = random.random()
+                    return total
+            """,
+        })
+        record = flow.callgraph.function(("repro.core.util", "churn"))
+        env = flow.function_env(record)
+        # The second pass sees ``bump``'s taint feeding ``total``.
+        assert ENTROPY in env["total"]

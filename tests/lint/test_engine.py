@@ -14,6 +14,7 @@ from repro.lint.reporters import (
     findings_from_json,
     render_json,
     render_markdown,
+    render_sarif,
     render_text,
 )
 from tests.lint.conftest import active_rules
@@ -38,10 +39,15 @@ class TestRuleRegistry:
         for rule in rules:
             assert rule.invariant, "%s has no invariant" % rule.id
 
-    def test_unknown_rule_id_raises(self, tree):
+    def test_unknown_rule_id_raises_with_valid_ids(self, tree):
         root = tree({"repro/core/a.py": "x = 1\n"})
-        with pytest.raises(KeyError):
+        with pytest.raises(KeyError) as excinfo:
             run_lint([root], rules=["REP999"])
+        message = excinfo.value.args[0]
+        assert "unknown rule id(s): REP999" in message
+        assert "valid:" in message
+        for rule in all_rules():
+            assert rule.id in message
 
 
 class TestSyntaxErrors:
@@ -166,9 +172,13 @@ class TestBaseline:
         with pytest.raises(ValueError):
             load_baseline(path)
 
-    def test_apply_baseline_returns_match_count(self, lint):
+    def test_apply_baseline_returns_matched_fingerprints(self, lint):
         result = lint({"repro/core/sweep.py": _VIOLATION}, rules=["REP101"])
-        assert apply_baseline(result.findings, set()) == 0
+        assert apply_baseline(result.findings, set()) == set()
+
+        fingerprint = result.findings[0].fingerprint(0)
+        matched = apply_baseline(result.findings, {fingerprint, "feed"})
+        assert matched == {fingerprint}  # stale "feed" not matched
 
 
 class TestReporters:
@@ -205,5 +215,43 @@ class TestReporters:
     def test_markdown_catalogue_covers_all_rules_when_unrestricted(
             self, lint):
         text = render_markdown(lint({"repro/core/ok.py": "x = 1\n"}))
-        for rule_id in ("REP101", "REP201", "REP301", "REP401", "REP501"):
+        for rule_id in ("REP101", "REP111", "REP201", "REP211", "REP301",
+                        "REP311", "REP401", "REP411", "REP501", "REP601"):
             assert rule_id in text
+
+    def test_sarif_is_valid_2_1_0(self, lint):
+        result = self._result(lint)
+        payload = json.loads(render_sarif(result))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["REP101"]  # only the selected rule ran
+        entry = run["results"][0]
+        assert entry["ruleId"] == "REP101"
+        assert entry["level"] == "error"
+        assert entry["ruleIndex"] == 0
+        region = entry["locations"][0]["physicalLocation"]
+        assert region["artifactLocation"]["uri"] == "repro/core/sweep.py"
+        assert region["region"]["startLine"] == 5
+
+    def test_sarif_marks_baselined_findings_suppressed(self, lint):
+        first = self._result(lint)
+        fingerprint = first.findings[0].fingerprint(0)
+        baselined = lint({"repro/core/sweep.py": _VIOLATION},
+                         rules=["REP101"], baseline={fingerprint})
+        payload = json.loads(render_sarif(baselined))
+        entry = payload["runs"][0]["results"][0]
+        assert entry["suppressions"] == [{"kind": "external"}]
+
+    def test_text_reports_cache_traffic(self, tree, tmp_path):
+        from repro.lint.cache import LintCache
+
+        root = tree({"repro/core/sweep.py": _VIOLATION})
+        cache_path = tmp_path / "lint-cache.json"
+        run_lint([root], rules=["REP101"],
+                 cache=LintCache(cache_path))
+        warm = run_lint([root], rules=["REP101"],
+                        cache=LintCache(cache_path))
+        assert "incremental cache" in render_text(warm)
+        assert "hit(s)" in render_text(warm)

@@ -1,0 +1,276 @@
+"""Interprocedural flow rules: REP111, REP211, REP411."""
+
+from tests.lint.conftest import active_rules
+
+
+class TestRep111InterproceduralTaint:
+    def test_serializer_tainted_via_helper(self, lint):
+        result = lint({
+            "repro/analysis/helpers.py": """
+                import time
+
+                def grab_clock():
+                    return time.time()
+            """,
+            "repro/analysis/export.py": """
+                from repro.analysis.helpers import grab_clock
+
+                def to_payload(rows):
+                    return {"rows": rows, "at": grab_clock()}
+            """,
+        }, rules=["REP111"])
+        assert active_rules(result) == ["REP111"]
+        finding = result.active[0]
+        assert finding.path == "repro/analysis/export.py"
+        assert "wall clock" in finding.message
+        assert "via repro.analysis.helpers.grab_clock" in finding.message
+
+    def test_direct_source_is_rep102_turf(self, lint):
+        # A serializer calling time.time() itself is the per-module
+        # rule's finding; REP111 only reports laundering via helpers.
+        result = lint({
+            "repro/analysis/export.py": """
+                import time
+
+                def to_payload(rows):
+                    return {"rows": rows, "at": time.time()}
+            """,
+        }, rules=["REP111"])
+        assert result.active == []
+
+    def test_json_dump_sink_catches_tainted_argument(self, lint):
+        result = lint({
+            "repro/core/clock.py": """
+                import random
+
+                def draw():
+                    return random.random()
+            """,
+            "repro/core/emit.py": """
+                import json
+
+                from repro.core.clock import draw
+
+                def emit(path):
+                    payload = {"jitter": draw()}
+                    return json.dumps(payload)
+            """,
+        }, rules=["REP111"])
+        assert active_rules(result) == ["REP111"]
+        assert "unseeded entropy" in result.active[0].message
+
+    def test_sanitized_value_is_clean(self, lint):
+        result = lint({
+            "repro/analysis/helpers.py": """
+                import time
+
+                def canonical_stamp():
+                    return round(time.time())
+            """,
+            "repro/analysis/export.py": """
+                from repro.analysis.helpers import canonical_stamp
+
+                def to_payload(rows):
+                    return {"rows": rows, "at": canonical_stamp()}
+            """,
+        }, rules=["REP111"])
+        # "canonical" is a configured sanitizer marker: deriving the
+        # stamp is the helper's deliberate job, not an accident.
+        assert result.active == []
+
+    def test_nondeterministic_package_is_exempt(self, lint):
+        result = lint({
+            "repro/lint/helpers.py": """
+                import time
+
+                def grab_clock():
+                    return time.time()
+            """,
+            "repro/lint/report.py": """
+                from repro.lint.helpers import grab_clock
+
+                def to_payload():
+                    return {"at": grab_clock()}
+            """,
+        }, rules=["REP111"])
+        assert result.active == []
+
+
+class TestRep211TransitivePicklability:
+    def test_factory_nested_def_across_modules(self, lint):
+        result = lint({
+            "repro/core/factory.py": """
+                def make_worker():
+                    def worker(item):
+                        return item
+                    return worker
+            """,
+            "repro/core/runner.py": """
+                from repro.core.factory import make_worker
+
+                WORKER = make_worker()
+
+                def run(pool, shard):
+                    return pool.submit(WORKER, shard)
+            """,
+        }, rules=["REP211"])
+        assert active_rules(result) == ["REP211"]
+        message = result.active[0].message
+        assert "nested function" in message
+        assert "repro.core.factory.make_worker" in message
+
+    def test_lambda_behind_import_and_alias(self, lint):
+        result = lint({
+            "repro/core/handlers.py": """
+                WORKER = lambda item: item
+            """,
+            "repro/core/runner.py": """
+                from repro.core.handlers import WORKER
+
+                def run(pool, shard):
+                    return pool.submit(WORKER, shard)
+            """,
+        }, rules=["REP211"])
+        assert active_rules(result) == ["REP211"]
+        assert "lambda" in result.active[0].message
+
+    def test_same_module_lambda_is_rep201_turf(self, lint):
+        result = lint({
+            "repro/core/runner.py": """
+                def run(pool, shard):
+                    return pool.submit(lambda: shard)
+            """,
+        }, rules=["REP211"])
+        assert result.active == []
+
+    def test_unpicklable_payload_argument(self, lint):
+        result = lint({
+            "repro/core/runner.py": """
+                import threading
+
+                def work(item, lock):
+                    return item
+
+                def run(pool, shard):
+                    return pool.submit(work, shard, threading.Lock())
+            """,
+        }, rules=["REP211"])
+        assert active_rules(result) == ["REP211"]
+        assert "threading lock" in result.active[0].message
+
+    def test_nested_pool_submission_deadlock(self, lint):
+        result = lint({
+            "repro/core/inner.py": """
+                def fan_out(pool, items):
+                    return [pool.submit(len, item) for item in items]
+            """,
+            "repro/core/runner.py": """
+                from repro.core.inner import fan_out
+
+                def work(item):
+                    return fan_out(item.pool, item.parts)
+
+                def run(pool, shard):
+                    return pool.submit(work, shard)
+            """,
+        }, rules=["REP211"])
+        messages = [f.message for f in result.active]
+        assert any("transitively submits" in m for m in messages)
+
+    def test_plain_module_function_is_clean(self, lint):
+        result = lint({
+            "repro/core/worker.py": """
+                def work(item):
+                    return item
+            """,
+            "repro/core/runner.py": """
+                from repro.core.worker import work
+
+                def run(pool, shard):
+                    return pool.submit(work, shard)
+            """,
+        }, rules=["REP211"])
+        assert result.active == []
+
+
+class TestRep411ExceptionPathResources:
+    def test_never_closed_handle(self, lint):
+        result = lint({
+            "repro/store/net.py": """
+                def fetch(path):
+                    client = connect(path)
+                    return client.request(path).body
+            """,
+        }, rules=["REP411"])
+        # ``client`` is used as a receiver only -- no escape -- and
+        # never closed.
+        assert active_rules(result) == ["REP411"]
+        assert "never closed" in result.active[0].message
+
+    def test_success_path_only_close(self, lint):
+        result = lint({
+            "repro/store/net.py": """
+                def fetch(path):
+                    client = connect(path)
+                    data = client.request(path)
+                    client.close()
+                    return data
+            """,
+        }, rules=["REP411"])
+        assert active_rules(result) == ["REP411"]
+        assert "success path" in result.active[0].message
+
+    def test_close_in_finally_is_clean(self, lint):
+        result = lint({
+            "repro/store/net.py": """
+                def fetch(path):
+                    client = connect(path)
+                    try:
+                        return client.request(path)
+                    finally:
+                        client.close()
+            """,
+        }, rules=["REP411"])
+        assert result.active == []
+
+    def test_returned_handle_transfers_custody(self, lint):
+        result = lint({
+            "repro/store/net.py": """
+                def open_channel(path):
+                    client = connect(path)
+                    return client
+            """,
+        }, rules=["REP411"])
+        assert result.active == []
+
+    def test_constructor_suffix_counts_as_acquisition(self, lint):
+        result = lint({
+            "repro/store/pooling.py": """
+                def probe(spec):
+                    backend = DiskBackend(spec)
+                    return backend.stat()
+            """,
+        }, rules=["REP411"])
+        assert active_rules(result) == ["REP411"]
+        assert "DiskBackend instance" in result.active[0].message
+
+    def test_self_accessor_is_exempt(self, lint):
+        result = lint({
+            "repro/store/client.py": """
+                class StoreClient:
+                    def fetch(self, path):
+                        connection = self._connect()
+                        return connection.request(path)
+            """,
+        }, rules=["REP411"])
+        assert result.active == []
+
+    def test_non_store_module_is_exempt(self, lint):
+        result = lint({
+            "repro/analysis/net.py": """
+                def fetch(path):
+                    client = connect(path)
+                    return client.request(path).body
+            """,
+        }, rules=["REP411"])
+        assert result.active == []

@@ -139,12 +139,49 @@ _SEEDED = {
         "    'bad': BadSum,\n"
         "}\n"  # REP501
     ),
+    "repro/analysis/helpers.py": (
+        "import time\n"
+        "\n"
+        "def grab_clock():\n"
+        "    return time.time()\n"
+    ),
+    "repro/analysis/export.py": (
+        "from repro.analysis.helpers import grab_clock\n"
+        "\n"
+        "def to_payload(rows):\n"
+        "    return {'rows': rows, 'at': grab_clock()}\n"  # REP111
+    ),
+    "repro/core/factory.py": (
+        "def make_worker():\n"
+        "    def worker(item):\n"
+        "        return item\n"
+        "    return worker\n"
+    ),
+    "repro/core/dispatch.py": (
+        "from repro.core.factory import make_worker\n"
+        "\n"
+        "WORKER = make_worker()\n"
+        "\n"
+        "def run(pool, shard):\n"
+        "    return pool.submit(WORKER, shard)\n"  # REP211
+    ),
+    "repro/store/conn.py": (
+        "def fetch(path):\n"
+        "    client = connect(path)\n"  # REP411
+        "    data = client.request(path)\n"
+        "    client.close()\n"
+        "    return data\n"
+    ),
+    "repro/core/quiet.py": (
+        "def add(a, b):\n"
+        "    return a + b  # reprolint: disable=REP101\n"  # REP601
+    ),
 }
 
 _EXPECTED_RULES = {
-    "REP101", "REP102", "REP103", "REP201", "REP202",
-    "REP301", "REP302", "REP303", "REP304", "REP401",
-    "REP402", "REP403", "REP404", "REP501",
+    "REP101", "REP102", "REP103", "REP111", "REP201", "REP202",
+    "REP211", "REP301", "REP302", "REP303", "REP304", "REP401",
+    "REP402", "REP403", "REP404", "REP411", "REP501", "REP601",
 }
 
 
@@ -168,6 +205,17 @@ class TestSeededFixture:
         result = run_lint([root])
         assert _EXPECTED_RULES <= {f.rule for f in result.active}
         assert result.exit_code == 1
+
+    def test_committed_contract_trips_rep311_on_the_fixture(self, tmp_path):
+        # The REP302 seed (checksums importing the store) is also an
+        # illegal edge under the committed layer contract.
+        from repro.lint.config import load_contract
+
+        root = tmp_path / "seeded"
+        _write_seeded(root)
+        contract = load_contract(REPO_ROOT / ".reprolint.toml")
+        result = run_lint([root], rules=["REP311"], contract=contract)
+        assert {f.rule for f in result.active} == {"REP311"}
 
     def test_cli_exits_nonzero_with_parseable_json(self, tmp_path):
         root = tmp_path / "seeded"

@@ -41,6 +41,7 @@ class TestFacadeSurface:
             "experiment_ids",
             "generate_markdown_report",
             "latest_bench_snapshot",
+            "lint_rules",
             "named_plan",
             "open_backend",
             "open_journal",
@@ -50,6 +51,7 @@ class TestFacadeSurface:
             "profile_summaries",
             "run_bench",
             "run_experiment",
+            "run_lint",
             "run_splice_experiment",
             "scrub_run_store",
             "serve_store",

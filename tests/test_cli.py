@@ -244,3 +244,86 @@ class TestCacheCommands:
         cold = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == cold
+
+
+class TestLintCommand:
+    @staticmethod
+    def _seed(tmp_path):
+        root = tmp_path / "src" / "repro" / "core"
+        root.mkdir(parents=True)
+        (root.parent / "__init__.py").write_text("", encoding="utf-8")
+        (root / "__init__.py").write_text("", encoding="utf-8")
+        (root / "sweep.py").write_text(
+            "import random\n"
+            "\n"
+            "def pick(items):\n"
+            "    return random.choice(items)\n",
+            encoding="utf-8",
+        )
+        return str(tmp_path / "src")
+
+    def test_unknown_rule_id_exits_2_and_lists_valid_ids(
+            self, tmp_path, capsys):
+        # Satellite contract: a typo'd --rules is usage error (2), not
+        # "no findings" (0) nor "findings" (1) -- and the message hands
+        # the operator the full catalogue to pick from.
+        root = self._seed(tmp_path)
+        code = main(["lint", root, "--rules", "REP999",
+                     "--no-baseline", "--no-contract"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id(s): REP999" in err
+        from repro.lint import all_rules
+
+        for rule in all_rules():
+            assert rule.id in err
+
+    def test_exit_codes_clean_findings_usage(self, tmp_path, capsys):
+        root = self._seed(tmp_path)
+        assert main(["lint", root, "--rules", "REP102",
+                     "--no-baseline", "--no-contract"]) == 0
+        assert main(["lint", root, "--rules", "REP101",
+                     "--no-baseline", "--no-contract"]) == 1
+        capsys.readouterr()
+
+    def test_sarif_format(self, tmp_path, capsys):
+        import json
+
+        root = self._seed(tmp_path)
+        assert main(["lint", root, "--format", "sarif",
+                     "--no-baseline", "--no-contract"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert any(r["ruleId"] == "REP101" for r in results)
+
+    def test_cache_flag_round_trips(self, tmp_path, capsys):
+        root = self._seed(tmp_path)
+        cache = str(tmp_path / "lint-cache.json")
+        argv = ["lint", root, "--cache", cache,
+                "--no-baseline", "--no-contract"]
+        assert main(argv) == 1
+        cold = capsys.readouterr().out
+        assert main(argv) == 1
+        warm = capsys.readouterr().out
+        assert "incremental cache" in warm
+        # Findings identical; only the cache-traffic line differs.
+        def strip(out):
+            return [line for line in out.splitlines()
+                    if "incremental cache" not in line]
+
+        assert strip(warm) == strip(cold)
+
+    def test_list_rules_covers_the_flow_family(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP111", "REP211", "REP311", "REP411", "REP601"):
+            assert rule_id in out
+
+    def test_bad_contract_file_exits_2(self, tmp_path, capsys):
+        root = self._seed(tmp_path)
+        contract = tmp_path / "broken.toml"
+        contract.write_text("[contract\n", encoding="utf-8")
+        assert main(["lint", root, "--no-baseline",
+                     "--contract", str(contract)]) == 2
+        assert "broken.toml" in capsys.readouterr().err
