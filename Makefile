@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-compare microbench report figures quicktest chaos cache-stats cache-audit store-check lint clean
+.PHONY: install test bench bench-compare microbench report figures quicktest chaos channel-check cache-stats cache-audit store-check lint clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,16 @@ quicktest:
 chaos:
 	$(PYTHON) -m pytest tests/ -q -m chaos
 	$(PYTHON) -m repro.cli chaos --bytes 120000
+
+# Channel simulator verification: the conformance + replay suite, then
+# a traced run over the burst channel replayed bit-identically from
+# its own recording.
+channel-check:
+	$(PYTHON) -m pytest tests/channel -q
+	$(PYTHON) -m repro.cli channel run --plan bursty-link --bytes 120000 \
+		--trace channel.trace
+	$(PYTHON) -m repro.cli channel replay channel.trace
+	rm -f channel.trace
 
 # Quick throughput snapshot (BENCH_<n>.json + delta table vs the
 # previous one) and the overhead guarantees: disabled telemetry (<2%),

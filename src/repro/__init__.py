@@ -19,6 +19,10 @@ The library has four layers:
 * :mod:`repro.faults` -- deterministic fault injection (seeded fault
   plans, store/worker injectors) behind the chaos-tested execution
   layer (:mod:`repro.core.supervisor`).
+* :mod:`repro.channel` -- the seeded discrete-event link simulator
+  (burst loss, bit errors, bounded queues, reordering/duplication)
+  with ARQ recovery driven by checksum verdicts, replayable
+  bit-identically from recorded traces.
 * :mod:`repro.telemetry` -- span-based tracing, counters/meters/
   histograms, and the ``bench`` harness; a strict no-op unless enabled.
 * :mod:`repro.api` -- the stable facade these lazy exports come from
@@ -55,7 +59,10 @@ _EXPORTS = {
 #: Every facade name (``repro.api.__all__``) re-exports here too, so
 #: ``repro.X is repro.api.X`` holds across the whole contract.
 _FACADE_EXPORTS = (
+    "ArqConfig",
     "BatchChecksumAlgorithm",
+    "ChannelPlan",
+    "ChannelReport",
     "ChecksumPlacement",
     "CircuitBreaker",
     "EngineKind",
@@ -69,6 +76,7 @@ _FACADE_EXPORTS = (
     "ShardJournal",
     "SweepInterrupted",
     "Telemetry",
+    "TraceError",
     "TransferReport",
     "WriteSpool",
     "activate_telemetry",
@@ -77,7 +85,9 @@ _FACADE_EXPORTS = (
     "algorithms",
     "audit_run_store",
     "bench_delta_table",
+    "build_channel_trace",
     "build_filesystem",
+    "channel_plan_names",
     "current_controller",
     "current_telemetry",
     "deactivate_telemetry",
@@ -88,6 +98,7 @@ _FACADE_EXPORTS = (
     "generate_markdown_report",
     "latest_bench_snapshot",
     "lint_rules",
+    "named_channel_plan",
     "named_plan",
     "open_backend",
     "open_journal",
@@ -95,7 +106,11 @@ _FACADE_EXPORTS = (
     "plan_names",
     "profile_names",
     "profile_summaries",
+    "read_channel_trace",
+    "replay_channel_trace",
     "run_bench",
+    "run_channel_sweep",
+    "run_channel_transfer",
     "run_experiment",
     "run_lint",
     "run_splice_experiment",
@@ -108,6 +123,7 @@ _FACADE_EXPORTS = (
     "validate_bench_snapshot",
     "wrap_run_store",
     "write_bench_snapshot",
+    "write_channel_trace",
     "write_figure_svg",
     "write_metrics",
 )

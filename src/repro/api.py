@@ -54,6 +54,19 @@ __all__ = [
     "IndependentLoss",
     "TransferReport",
     "simulate_file_transfer",
+
+    "ArqConfig",
+    "ChannelPlan",
+    "ChannelReport",
+    "TraceError",
+    "build_channel_trace",
+    "channel_plan_names",
+    "named_channel_plan",
+    "read_channel_trace",
+    "replay_channel_trace",
+    "run_channel_sweep",
+    "run_channel_transfer",
+    "write_channel_trace",
     # store backends, network service, maintenance
     "audit_run_store",
     "open_backend",
@@ -104,6 +117,18 @@ _LAZY = {
     "WriteSpool": ("repro.store.spool", "WriteSpool"),
     "default_spool_dir": ("repro.store.spool", "default_spool_dir"),
     "drain_spool": ("repro.store.spool", "drain_spool"),
+    "ArqConfig": ("repro.channel.arq", "ArqConfig"),
+    "ChannelPlan": ("repro.channel.plan", "ChannelPlan"),
+    "ChannelReport": ("repro.channel.arq", "ChannelReport"),
+    "TraceError": ("repro.channel.trace", "TraceError"),
+    "build_channel_trace": ("repro.channel.trace", "build_channel_trace"),
+    "channel_plan_names": ("repro.channel.plan", "channel_plan_names"),
+    "named_channel_plan": ("repro.channel.plan", "named_channel_plan"),
+    "read_channel_trace": ("repro.channel.trace", "read_channel_trace"),
+    "replay_channel_trace": ("repro.channel.trace", "replay_channel_trace"),
+    "run_channel_sweep": ("repro.channel.sweep", "run_channel_sweep"),
+    "run_channel_transfer": ("repro.channel.arq", "run_channel_transfer"),
+    "write_channel_trace": ("repro.channel.trace", "write_channel_trace"),
     "IndependentLoss": ("repro.protocols.cellstream", "IndependentLoss"),
     "PacketizerConfig": ("repro.protocols.packetizer", "PacketizerConfig"),
     "RunAborted": ("repro.core.supervisor", "RunAborted"),

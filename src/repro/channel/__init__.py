@@ -1,0 +1,66 @@
+"""repro.channel: a seeded discrete-event link simulator with ARQ.
+
+The splice tables measure what the checksums *can* detect; this
+package measures what a protocol stack built on them actually
+*delivers*.  A deterministic event-driven channel
+(:mod:`repro.channel.events`) composes pluggable impairments --
+Gilbert burst loss, Gilbert-Elliott bit errors, bounded queues,
+jitter/reordering/duplication (:mod:`repro.channel.impairments`,
+:mod:`repro.channel.link`) -- under a declarative, replayable
+:class:`ChannelPlan`.  On top, an ARQ layer
+(:mod:`repro.channel.arq`) retransmits on timeout with bounded
+budgets, its recovery driven entirely by the paper's checksum
+verdicts; :mod:`repro.channel.sweep` fans whole filesystems through
+it, and :mod:`repro.channel.trace` records runs that replay
+bit-identically.
+
+Names resolve lazily (PEP 562, matching the top-level package) so
+importing :mod:`repro.channel.plan` for CLI ``choices`` never drags
+in NumPy or the protocol stack.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    "ARQ_KINDS": "repro.channel.arq",
+    "ArqConfig": "repro.channel.arq",
+    "ArqSession": "repro.channel.arq",
+    "ChannelLink": "repro.channel.link",
+    "ChannelPlan": "repro.channel.plan",
+    "ChannelReport": "repro.channel.arq",
+    "ChannelStats": "repro.channel.link",
+    "Event": "repro.channel.events",
+    "EventQueue": "repro.channel.events",
+    "NAMED_CHANNEL_PLANS": "repro.channel.plan",
+    "ReplayResult": "repro.channel.trace",
+    "TraceError": "repro.channel.trace",
+    "build_channel_trace": "repro.channel.trace",
+    "channel_plan_names": "repro.channel.plan",
+    "derive_seed": "repro.channel.plan",
+    "named_channel_plan": "repro.channel.plan",
+    "read_channel_trace": "repro.channel.trace",
+    "replay_channel_trace": "repro.channel.trace",
+    "run_channel_sweep": "repro.channel.sweep",
+    "run_channel_transfer": "repro.channel.arq",
+    "write_channel_trace": "repro.channel.trace",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        ) from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted({*globals(), *_EXPORTS})

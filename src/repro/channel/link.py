@@ -1,0 +1,98 @@
+"""One simulated link: the impairment pipeline, composed.
+
+:class:`ChannelLink` is the wire between the ARQ sender and receiver.
+``send(payload, last, t)`` pushes one AAL5 cell into the channel at
+simulated time ``t`` and returns the deliveries it produces -- zero
+(lost or overflowed), one, or two (duplicated) ``(arrival_time,
+payload, last)`` tuples.  Impairments apply in a fixed order:
+
+1. **bounded queue** -- admission control; overflow is a drop;
+2. **loss** -- Gilbert burst chain, then independent loss;
+3. **bit errors** -- Gilbert-Elliott per-state BER over the payload;
+4. **delay** -- latency + jitter + explicit reordering;
+5. **duplication** -- a second copy, ``duplicate_lag`` later.
+
+Chains step *per transmitted cell in wire order* regardless of what
+downstream stages decide, so the channel's trajectory is a pure
+function of the plan and the number of cells pushed through it --
+which is exactly why a recorded run replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.channel.impairments import (
+    BoundedQueue,
+    CellLoss,
+    DelayProcess,
+    DuplicateProcess,
+    GilbertElliottBitErrors,
+)
+
+__all__ = ["ChannelLink", "ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    """What the wire did to the cells pushed through it."""
+
+    cells_sent: int = 0
+    cells_delivered: int = 0
+    cells_lost: int = 0
+    cells_errored: int = 0
+    bits_flipped: int = 0
+    cells_overflowed: int = 0
+    cells_reordered: int = 0
+    cells_duplicated: int = 0
+
+    def to_dict(self):
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+class ChannelLink:
+    """A :class:`~repro.channel.plan.ChannelPlan`, running."""
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.stats = ChannelStats()
+        self._queue = BoundedQueue(plan)
+        self._loss = CellLoss(plan)
+        self._bit_errors = (
+            GilbertElliottBitErrors(plan) if plan.bit_errors is not None
+            else None
+        )
+        self._delay = DelayProcess(plan)
+        self._duplicate = DuplicateProcess(plan)
+
+    def send(self, payload, last, t):
+        """Push one cell into the channel at simulated time ``t``.
+
+        Returns ``[(arrival_time, payload, last), ...]`` -- possibly
+        empty (lost/overflowed), possibly two entries (duplicated).
+        """
+        stats = self.stats
+        stats.cells_sent += 1
+        depart = self._queue.admit(t)
+        if depart is None:
+            stats.cells_overflowed += 1
+            return []
+        if self._loss.lost():
+            stats.cells_lost += 1
+            return []
+        if self._bit_errors is not None:
+            payload, flipped = self._bit_errors.corrupt(payload)
+            if flipped:
+                stats.cells_errored += 1
+                stats.bits_flipped += flipped
+        arrival, reordered = self._delay.arrival(depart)
+        if reordered:
+            stats.cells_reordered += 1
+        deliveries = [(arrival, payload, last)]
+        if self._duplicate.duplicated():
+            stats.cells_duplicated += 1
+            deliveries.append(
+                (arrival + self._duplicate.lag, payload, last)
+            )
+        stats.cells_delivered += len(deliveries)
+        return deliveries

@@ -1,0 +1,240 @@
+"""Declarative, replayable channel plans.
+
+A :class:`ChannelPlan` is to the link simulator what
+:class:`repro.faults.FaultPlan` is to the store: a frozen, seedable
+description of *everything nondeterministic* about one simulated
+channel.  Every random draw the simulator makes comes from a
+per-stream RNG derived by hashing the plan seed with the stream name
+(:func:`derive_seed`), so:
+
+* two links built from the same plan produce the **exact same
+  impairment sequence** when driven through the same transmissions —
+  the replay property ``repro-checksums channel replay`` asserts;
+* streams are independent: adding jitter draws never perturbs the
+  loss sequence, because each impairment owns its own derived RNG;
+* the plan is JSON round-trippable (:meth:`ChannelPlan.to_dict` /
+  :meth:`ChannelPlan.from_dict`) and carries a :meth:`fingerprint`
+  that names the channel in traces, journals, and shard keys.
+
+This module is import-light on purpose (stdlib only): the CLI builds
+its ``--plan`` choices from :func:`channel_plan_names` at parser
+construction, which must not pay for numpy or the event engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "NAMED_CHANNEL_PLANS",
+    "ChannelPlan",
+    "channel_plan_names",
+    "derive_seed",
+    "named_channel_plan",
+]
+
+
+def derive_seed(seed, *streams):
+    """A 64-bit RNG seed, a pure function of ``seed`` + stream coords.
+
+    Mirrors :meth:`repro.faults.plan.FaultPlan._roll`'s discipline: no
+    shared mutable RNG stream, just a hash of the coordinates, so any
+    stream can be re-derived independently and in any order.
+    """
+    material = "|".join(str(part) for part in (int(seed),) + streams)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """One simulated link, fully described and fully seeded.
+
+    Impairments compose in a fixed pipeline order (the order
+    :class:`repro.channel.link.ChannelLink` applies them): bounded
+    queue -> loss (burst, then independent) -> bit errors -> latency/
+    jitter/reordering -> duplication.  All times are simulated ticks;
+    there is no wall clock anywhere in the channel.
+    """
+
+    name: str = "custom"
+    seed: int = 0
+    #: ticks between back-to-back cell departures at the sender.
+    cell_interval: float = 1.0
+    #: base one-way propagation delay, in ticks.
+    latency: float = 8.0
+    #: uniform [0, jitter) ticks added per cell.
+    jitter: float = 0.0
+    #: one-way delay of the (reliable) ACK/control channel.
+    ack_latency: float = 4.0
+    #: independent per-cell loss probability.
+    loss_rate: float = 0.0
+    #: Gilbert burst loss ``(p_enter_bad, p_exit_bad)``; every cell
+    #: sent while the chain is in the bad state is lost.
+    burst_loss: tuple = None
+    #: Gilbert-Elliott bit errors ``(p_enter_bad, p_exit_bad,
+    #: ber_good, ber_bad)``: a two-state Markov chain stepped per
+    #: cell, applying the state's bit-error rate to the cell payload.
+    bit_errors: tuple = None
+    #: probability a cell is held back (reordered past later cells).
+    reorder_rate: float = 0.0
+    #: maximum extra delay, in ticks, of a reordered cell.
+    reorder_span: float = 6.0
+    #: probability a delivered cell is delivered twice.
+    duplicate_rate: float = 0.0
+    #: extra delay of the duplicate copy.
+    duplicate_lag: float = 3.0
+    #: bounded-queue capacity in cells (None = unbounded, no queue).
+    queue_capacity: int = None
+    #: per-cell service time of the queue, in ticks.
+    queue_service: float = 1.0
+
+    _RATE_FIELDS = ("loss_rate", "reorder_rate", "duplicate_rate")
+    _POSITIVE_FIELDS = ("cell_interval", "queue_service")
+    _NONNEGATIVE_FIELDS = (
+        "latency", "jitter", "ack_latency", "reorder_span", "duplicate_lag",
+    )
+
+    def __post_init__(self):
+        for field_name in self._RATE_FIELDS:
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    "%s must be in [0, 1], got %r" % (field_name, value)
+                )
+        for field_name in self._POSITIVE_FIELDS:
+            if getattr(self, field_name) <= 0:
+                raise ValueError(
+                    "%s must be > 0, got %r"
+                    % (field_name, getattr(self, field_name))
+                )
+        for field_name in self._NONNEGATIVE_FIELDS:
+            if getattr(self, field_name) < 0:
+                raise ValueError(
+                    "%s must be >= 0, got %r"
+                    % (field_name, getattr(self, field_name))
+                )
+        if self.burst_loss is not None:
+            probs = tuple(float(p) for p in self.burst_loss)
+            if len(probs) != 2 or not all(0.0 <= p <= 1.0 for p in probs):
+                raise ValueError(
+                    "burst_loss must be (p_enter_bad, p_exit_bad) "
+                    "probabilities, got %r" % (self.burst_loss,)
+                )
+            object.__setattr__(self, "burst_loss", probs)
+        if self.bit_errors is not None:
+            values = tuple(float(p) for p in self.bit_errors)
+            if len(values) != 4 or not all(0.0 <= p <= 1.0 for p in values):
+                raise ValueError(
+                    "bit_errors must be (p_enter_bad, p_exit_bad, "
+                    "ber_good, ber_bad) probabilities, got %r"
+                    % (self.bit_errors,)
+                )
+            object.__setattr__(self, "bit_errors", values)
+        if self.queue_capacity is not None and int(self.queue_capacity) < 1:
+            raise ValueError(
+                "queue_capacity must be a positive cell count or None, "
+                "got %r" % (self.queue_capacity,)
+            )
+
+    # -- deterministic randomness ------------------------------------------
+
+    def derive(self, stream):
+        """The RNG seed of one named impairment stream."""
+        return derive_seed(self.seed, "channel", stream)
+
+    # -- identity / serialization ------------------------------------------
+
+    def to_dict(self):
+        """A JSON-native dict; inverse of :meth:`from_dict`."""
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a plan, rejecting unknown fields (schema drift)."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                "unknown ChannelPlan fields: %s" % ", ".join(sorted(unknown))
+            )
+        kwargs = dict(payload)
+        for field_name in ("burst_loss", "bit_errors"):
+            if kwargs.get(field_name) is not None:
+                kwargs[field_name] = tuple(kwargs[field_name])
+        return cls(**kwargs)
+
+    def fingerprint(self):
+        """Digest naming this exact channel (parameters + seed)."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def __repr__(self):
+        return "ChannelPlan(name=%r, seed=%d, fingerprint=%s)" % (
+            self.name, self.seed, self.fingerprint(),
+        )
+
+
+#: Named plans for the ``channel`` CLI, the chaos harness, and the
+#: ``channel-*`` experiment family.  The regimes span the error models
+#: the splice tables cannot express: burst bit errors (Gilbert-
+#: Elliott), burst loss, reordering/duplication, and queue overflow.
+NAMED_CHANNEL_PLANS = {
+    # A perfect link: the control regime every table anchors on.
+    "clean": dict(),
+    # Memoryless cell loss -- the paper's own loss model, now under ARQ.
+    "lossy-link": dict(loss_rate=0.05),
+    # Bursty everything: Gilbert burst loss (mean bad run of 4 cells)
+    # plus Gilbert-Elliott bit errors concentrated in the bad state.
+    # Detection behaviour here diverges sharply from the independent
+    # model -- the Jepsen burst-error observation this family exists
+    # to measure.
+    "bursty-link": dict(
+        burst_loss=(0.05, 0.25),
+        bit_errors=(0.02, 0.30, 0.0, 0.01),
+    ),
+    # Heavy jitter with explicit reordering and duplication: cells of
+    # adjacent frames interleave on arrival, splicing frames exactly
+    # as in the paper's model -- but produced by timing, not loss.
+    # Jitter stays below the cell interval so frames mostly hold
+    # together; the explicit reorder holds are what interleave cells
+    # across frames and defeat AAL5 reassembly until retransmission.
+    "reordering-link": dict(
+        jitter=0.4,
+        reorder_rate=0.08,
+        reorder_span=20.0,
+        duplicate_rate=0.03,
+    ),
+    # A sustained-overload bounded queue: service is slower than the
+    # sender's cell clock, so window bursts overflow and drop tails.
+    "congested-queue": dict(
+        queue_capacity=16,
+        queue_service=1.3,
+        jitter=2.0,
+    ),
+}
+
+
+def channel_plan_names():
+    """The named channel plans, sorted (CLI ``choices``)."""
+    return sorted(NAMED_CHANNEL_PLANS)
+
+
+def named_channel_plan(name, seed=0):
+    """Instantiate a named channel plan with the given seed."""
+    if name not in NAMED_CHANNEL_PLANS:
+        raise KeyError(
+            "unknown channel plan %r; available: %s"
+            % (name, ", ".join(channel_plan_names()))
+        )
+    return ChannelPlan(name=name, seed=seed, **NAMED_CHANNEL_PLANS[name])

@@ -1,0 +1,176 @@
+"""Replayable channel traces: record a run, replay it bit-identically.
+
+A trace captures everything a channel run depends on -- the corpus
+recipe (profile, bytes, seed), the :class:`ChannelPlan`, the
+:class:`ArqConfig`, the packetizer configuration, the CRC toggle --
+plus everything it produced: the full event stream (sends, timeouts,
+checksum rejections, deliveries with their clean/corrupt verdicts) and
+the merged report.  Because the simulator is a pure function of the
+recorded inputs, :func:`replay_channel_trace` re-runs the sweep from
+the recipe and compares event-for-event: any divergence is either
+nondeterminism (a bug this file exists to catch) or a tampered trace
+(caught earlier by the self-digest).
+
+The trace file is canonical JSON with an embedded sha256 over its own
+canonical form, so a flipped bit in a stored trace is a
+:class:`TraceError`, not a confusing replay mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.channel.arq import ArqConfig, ChannelReport
+from repro.channel.plan import ChannelPlan
+from repro.channel.sweep import _packetizer_dict, run_channel_sweep
+from repro.protocols.packetizer import ChecksumPlacement, PacketizerConfig
+
+__all__ = [
+    "ReplayResult",
+    "TraceError",
+    "build_channel_trace",
+    "read_channel_trace",
+    "replay_channel_trace",
+    "write_channel_trace",
+]
+
+TRACE_SCHEMA = "repro-channel-trace/1"
+
+
+class TraceError(ValueError):
+    """The trace file is not a valid, intact channel trace."""
+
+
+def _canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload):
+    """Self-digest over the canonical payload minus the digest field."""
+    stripped = {k: v for k, v in payload.items() if k != "digest"}
+    return hashlib.sha256(_canonical(stripped).encode()).hexdigest()
+
+
+def build_channel_trace(plan, arq, config, use_crc, corpus, events, report):
+    """Assemble the portable trace payload for one recorded run.
+
+    ``corpus`` is the recipe dict (``profile``/``bytes``/``seed``)
+    that :func:`replay_channel_trace` feeds back into
+    :func:`repro.corpus.profiles.build_filesystem`.
+    """
+    payload = {
+        "schema": TRACE_SCHEMA,
+        "corpus": dict(corpus),
+        "plan": plan.to_dict(),
+        "arq": arq.to_dict(),
+        "packetizer": _packetizer_dict(config),
+        "use_crc": bool(use_crc),
+        "events": list(events),
+        "report": report.to_dict(),
+    }
+    payload["digest"] = _digest(payload)
+    return payload
+
+
+def write_channel_trace(path, payload):
+    """Write a trace payload as canonical JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_canonical(payload))
+        handle.write("\n")
+
+
+def read_channel_trace(path):
+    """Read and validate a trace file; raises :class:`TraceError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise TraceError("unreadable channel trace %s: %s" % (path, exc))
+    if not isinstance(payload, dict):
+        raise TraceError("channel trace %s: not a JSON object" % path)
+    if payload.get("schema") != TRACE_SCHEMA:
+        raise TraceError(
+            "channel trace %s: schema %r is not %r"
+            % (path, payload.get("schema"), TRACE_SCHEMA)
+        )
+    for key in ("corpus", "plan", "arq", "packetizer", "use_crc",
+                "events", "report", "digest"):
+        if key not in payload:
+            raise TraceError("channel trace %s: missing %r" % (path, key))
+    if payload["digest"] != _digest(payload):
+        raise TraceError(
+            "channel trace %s: digest mismatch (the file was modified "
+            "after it was recorded)" % path
+        )
+    return payload
+
+
+def _packetizer_from_dict(payload):
+    payload = dict(payload)
+    if "placement" in payload:
+        payload["placement"] = ChecksumPlacement(payload["placement"])
+    return PacketizerConfig(**payload)
+
+
+@dataclass
+class ReplayResult:
+    """The verdict of replaying a recorded trace."""
+
+    identical: bool
+    report: ChannelReport
+    mismatches: list = field(default_factory=list)
+
+    def describe(self):
+        if self.identical:
+            return "replay identical: every event and verdict reproduced"
+        return "replay diverged: %s" % "; ".join(self.mismatches[:5])
+
+
+def _diff_events(recorded, replayed):
+    mismatches = []
+    if len(recorded) != len(replayed):
+        mismatches.append(
+            "event count %d != recorded %d" % (len(replayed), len(recorded))
+        )
+    for position, (a, b) in enumerate(zip(recorded, replayed)):
+        if a != b:
+            mismatches.append(
+                "event %d: recorded %s, replayed %s"
+                % (position, _canonical(a), _canonical(b))
+            )
+            if len(mismatches) >= 5:
+                break
+    return mismatches
+
+
+def replay_channel_trace(payload, workers=None, health=None):
+    """Re-run a recorded trace and compare, event for event.
+
+    ``payload`` is a validated trace (from :func:`read_channel_trace`).
+    Returns a :class:`ReplayResult`: ``identical`` means every event
+    -- including every checksum verdict and every clean/corrupt
+    delivery call -- and the merged report reproduced exactly.
+    """
+    from repro.corpus.profiles import build_filesystem
+
+    corpus = payload["corpus"]
+    filesystem = build_filesystem(
+        corpus["profile"], int(corpus["bytes"]), int(corpus.get("seed", 0))
+    )
+    plan = ChannelPlan.from_dict(payload["plan"])
+    arq = ArqConfig.from_dict(payload["arq"])
+    config = _packetizer_from_dict(payload["packetizer"])
+    events = []
+    report = run_channel_sweep(
+        filesystem, plan, arq=arq, config=config,
+        use_crc=payload["use_crc"], workers=workers, health=health,
+        events_out=events,
+    )
+    mismatches = _diff_events(payload["events"], events)
+    if report.to_dict() != payload["report"]:
+        mismatches.append("merged report differs from the recorded report")
+    return ReplayResult(
+        identical=not mismatches, report=report, mismatches=mismatches
+    )

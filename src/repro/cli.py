@@ -10,7 +10,14 @@ Subcommands:
   from the artifact store, ``--workers N`` fans out splice runs).
 * ``report`` -- regenerate every experiment into one Markdown file.
 * ``splice`` -- run a custom splice simulation over a profile.
-* ``transfer`` -- simulate a reliable transfer over a lossy link.
+* ``transfer`` -- simulate a reliable transfer over a lossy link
+  (exit 4 when retry exhaustion left delivery incomplete).
+* ``channel run|replay|plans`` -- the timed discrete-event channel:
+  sweep a corpus through a named impairment plan under ARQ recovery
+  (``--trace`` records a replayable trace; exit 4 on degraded
+  delivery), re-run a recorded trace and verify every event and
+  checksum verdict reproduces (exit 1 on divergence, 2 on a tampered
+  trace), or list the named plans.
 * ``cache stats|audit|clear`` -- inspect, integrity-audit, or empty the
   content-addressed artifact store (default root
   ``~/.cache/repro-checksums``, overridable with ``--cache-dir`` or
@@ -37,7 +44,7 @@ telemetry (span timings, counters, throughput meters, latency
 histograms) is collected for the run and written as JSON or markdown
 to stdout (``--metrics json``/``--metrics md``) or to a file path.
 
-``run``/``splice``/``chaos`` run under a sweep guard:
+``run``/``splice``/``chaos``/``channel`` run under a sweep guard:
 ``--shard-timeout`` arms the supervisor's per-shard timeout rung,
 ``--deadline`` stops a sweep cleanly at a shard boundary once the time
 budget is spent (partial report, exit 3), SIGINT/SIGTERM stop it
@@ -65,6 +72,7 @@ import sys
 
 from repro.api import (
     algorithm_names,
+    channel_plan_names,
     experiment_ids,
     open_store,
     plan_names,
@@ -77,6 +85,10 @@ from repro.api import (
 #: construction does not import the packetizer (and with it numpy) on
 #: every CLI start-up; ``tests/test_cli.py`` pins the equivalence.
 _PLACEMENT_CHOICES = ("header", "trailer")
+
+#: ``repro.channel.arq.ARQ_KINDS``, spelled literally for the same
+#: reason; ``tests/channel/test_cli.py`` pins the equivalence.
+_ARQ_CHOICES = ("stop-and-wait", "go-back-n", "selective-repeat")
 
 __all__ = ["build_parser", "main"]
 
@@ -347,6 +359,55 @@ def build_parser():
     p_transfer.add_argument("--loss", type=float, default=0.25)
     p_transfer.add_argument("--no-crc", action="store_true",
                             help="rely on the TCP checksum alone")
+
+    p_channel = sub.add_parser(
+        "channel",
+        help="timed channel simulation with ARQ recovery "
+             "(run | replay | plans)",
+    )
+    channel_sub = p_channel.add_subparsers(dest="channel_command",
+                                           required=True)
+    channel_sub.add_parser("plans", help="list the named channel plans")
+    p_crun = channel_sub.add_parser(
+        "run",
+        help="sweep a corpus through a simulated link under ARQ "
+             "(exit 4 when delivery degraded)",
+        parents=[_profile_parent("nsc05"), _corpus_parent(120_000, 2),
+                 _cache_parent(),
+                 _workers_parent(help_text="fan files out over N processes"),
+                 _metrics_parent(), _sweep_parent()],
+    )
+    p_crun.add_argument("--plan", default="bursty-link",
+                        choices=channel_plan_names(),
+                        help="named channel plan (default: bursty-link)")
+    p_crun.add_argument("--channel-seed", type=int, default=0,
+                        help="seed of the channel's impairment streams")
+    p_crun.add_argument("--arq", default="go-back-n", choices=_ARQ_CHOICES,
+                        help="ARQ discipline (default: go-back-n)")
+    p_crun.add_argument("--window", type=int, default=8,
+                        help="sender window in frames")
+    p_crun.add_argument("--timeout", type=float, default=64.0,
+                        help="initial retransmission timeout in ticks")
+    p_crun.add_argument("--budget", type=int, default=8,
+                        help="retransmission budget per frame; exhausting "
+                             "it abandons the frame (degraded, exit 4)")
+    p_crun.add_argument("--algorithm", default="tcp",
+                        choices=["tcp", "fletcher255", "fletcher256"])
+    p_crun.add_argument("--no-crc", action="store_true",
+                        help="drop the AAL5 CRC from the receiver's stack")
+    p_crun.add_argument("--mss", type=int, default=256)
+    p_crun.add_argument("--trace", metavar="PATH", default=None,
+                        help="record the run as a replayable trace file")
+    p_creplay = channel_sub.add_parser(
+        "replay",
+        help="re-run a recorded trace; exit 0 iff every event and "
+             "verdict reproduces (1 diverged, 2 unreadable/tampered)",
+        parents=[_workers_parent(help_text="worker count for the replay "
+                                           "(the result must not depend "
+                                           "on it)")],
+    )
+    p_creplay.add_argument("trace", help="trace file written by "
+                                         "'channel run --trace'")
 
     p_bench = sub.add_parser(
         "bench",
@@ -686,6 +747,28 @@ def _cmd_chaos(args):
         == named_plan(args.plan, seed=args.fault_seed).preview()
     )
 
+    # A plan paired with a channel regime also proves the *link* is
+    # replayable: two transfers under the same channel plan must agree
+    # event-for-event (clean-vs-chaotic store state cannot leak in).
+    channel_name = named_plan(args.plan, seed=args.fault_seed).channel
+    channel_ok = True
+    if channel_name:
+        from repro.api import named_channel_plan, run_channel_transfer
+
+        channel_plan = named_channel_plan(channel_name, seed=args.fault_seed)
+        data = fs.files[0].data
+        first_events, second_events = [], []
+        first = run_channel_transfer(
+            data, channel_plan, trace_events=first_events
+        )
+        second = run_channel_transfer(
+            data, channel_plan, trace_events=second_events
+        )
+        channel_ok = (
+            first_events == second_events
+            and first.to_dict() == second.to_dict()
+        )
+
     identical = True
     print("total splices      %d" % clean.counters.total)
     for label, result, plan, pass_health in passes:
@@ -697,9 +780,13 @@ def _cmd_chaos(args):
             pass_health.summary(),
         ))
     print("plan replay        %s" % ("deterministic" if replay_ok else "BROKEN"))
+    if channel_name:
+        print("channel link       %s (%s: %d frames, %d retransmissions)" % (
+            "deterministic" if channel_ok else "BROKEN",
+            channel_name, first.frames, first.retransmissions))
     print(health.render())
     print("store root         %s" % root)
-    ok = identical and replay_ok
+    ok = identical and replay_ok and channel_ok
     print("verdict            %s" % (
         "faults cost time, never correctness" if ok else "FAILED"))
     return 0 if ok else 1
@@ -715,7 +802,7 @@ def _cmd_transfer(args):
             file.data, IndependentLoss(args.loss),
             use_crc=not args.no_crc, seed=args.seed,
         )
-        report = part if report is None else _merge_reports(report, part)
+        report = part if report is None else report + part
     print("packets              %d" % report.packets)
     print("transmissions        %d (%.2f per packet)" % (
         report.transmissions, report.retransmission_ratio))
@@ -723,7 +810,103 @@ def _cmd_transfer(args):
     print("delivered clean      %d" % report.delivered_clean)
     print("silently corrupted   %d" % report.delivered_corrupted)
     print("gave up              %d" % report.gave_up)
-    return 0
+    if report.health.eventful:
+        print(report.health.render())
+    # Retry exhaustion is incomplete delivery, not a footnote: the
+    # documented degraded-delivery exit code.
+    return 4 if report.gave_up else 0
+
+
+def _cmd_channel(args):
+    if args.channel_command == "plans":
+        from repro.api import named_channel_plan
+
+        for name in channel_plan_names():
+            plan = named_channel_plan(name)
+            knobs = {
+                key: value for key, value in sorted(plan.to_dict().items())
+                if key not in ("name", "seed") and value
+                and value != getattr(type(plan)(), key, None)
+            }
+            print("%-18s %s" % (name, ", ".join(
+                "%s=%s" % (k, v) for k, v in knobs.items()) or "(no "
+                "impairments)"))
+        return 0
+    if args.channel_command == "replay":
+        from repro.api import (
+            TraceError,
+            read_channel_trace,
+            replay_channel_trace,
+        )
+
+        try:
+            payload = read_channel_trace(args.trace)
+        except TraceError as exc:
+            print("repro-checksums: %s" % exc, file=sys.stderr)
+            return 2
+        result = replay_channel_trace(payload, workers=args.workers)
+        print("trace              %s" % args.trace)
+        print("corpus             %s (%s bytes, seed %s)" % (
+            payload["corpus"]["profile"], payload["corpus"]["bytes"],
+            payload["corpus"].get("seed", 0)))
+        print("plan               %s" % payload["plan"].get("name"))
+        print("events             %d recorded" % len(payload["events"]))
+        print("verdict            %s" % result.describe())
+        return 0 if result.identical else 1
+
+    from repro.api import (
+        ArqConfig,
+        PacketizerConfig,
+        RunHealth,
+        build_channel_trace,
+        build_filesystem,
+        named_channel_plan,
+        run_channel_sweep,
+        write_channel_trace,
+    )
+
+    fs = build_filesystem(args.profile, args.bytes, args.seed)
+    plan = named_channel_plan(args.plan, seed=args.channel_seed)
+    arq = ArqConfig(kind=args.arq, window=args.window,
+                    timeout=args.timeout, budget=args.budget)
+    config = PacketizerConfig(mss=args.mss, algorithm=args.algorithm)
+    use_crc = not args.no_crc
+    health = RunHealth()
+    events = [] if args.trace else None
+    report = run_channel_sweep(
+        fs, plan, arq=arq, config=config, use_crc=use_crc,
+        workers=args.workers, health=health, store=_make_store(args),
+        events_out=events,
+    )
+    print("corpus             %s (%d bytes, %d files)" % (
+        fs.name, fs.total_bytes, len(fs)))
+    print("channel plan       %s (seed %d)" % (plan.name, plan.seed))
+    print("ARQ                %s (window %d, budget %d)" % (
+        arq.kind, arq.window, arq.budget))
+    print("frames             %d" % report.frames)
+    print("transmissions      %d (%.2f per frame)" % (
+        report.transmissions, report.retransmission_ratio))
+    print("timeouts           %d" % report.timeouts)
+    print("frames rejected    %d (checksum verdicts)" % report.frames_rejected)
+    print("delivered clean    %d" % report.delivered_clean)
+    print("silently corrupted %d" % report.delivered_corrupted)
+    print("frames abandoned   %d" % report.frames_failed)
+    print("goodput            %.3f" % report.goodput)
+    print("simulated ticks    %d (%d events)" % (report.ticks, report.events))
+    if args.trace:
+        payload = build_channel_trace(
+            plan, arq, config, use_crc,
+            {"profile": args.profile, "bytes": args.bytes,
+             "seed": args.seed},
+            events, report,
+        )
+        write_channel_trace(args.trace, payload)
+        print("trace              %s (%d events)" % (args.trace, len(events)))
+    if health.eventful:
+        print(health.render())
+    # Degraded delivery (abandoned or silently corrupted frames) is
+    # the documented exit 4 -- a partial result, not a failure.
+    return 4 if report.degraded else 0
 
 
 def _cmd_bench(args):
@@ -838,20 +1021,12 @@ def _cmd_lint(args):
     return result.exit_code
 
 
-def _merge_reports(a, b):
-    from repro.api import TransferReport
-
-    merged = TransferReport()
-    for name in merged.__dataclass_fields__:
-        setattr(merged, name, getattr(a, name) + getattr(b, name))
-    return merged
-
-
 _COMMANDS = {
     "run": _cmd_run,
     "report": _cmd_report,
     "splice": _cmd_splice,
     "transfer": _cmd_transfer,
+    "channel": _cmd_channel,
     "cache": _cmd_cache,
     "store": _cmd_store,
     "chaos": _cmd_chaos,
@@ -871,7 +1046,7 @@ def _dispatch(args):
 
 
 #: Commands dispatched under a sweep guard (signal + deadline control).
-_GUARDED_COMMANDS = ("run", "splice", "chaos")
+_GUARDED_COMMANDS = ("run", "splice", "chaos", "channel")
 
 
 def _sweep_kwargs(args):

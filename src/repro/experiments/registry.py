@@ -34,6 +34,7 @@ __all__ = [
 ]
 
 _ABLATIONS = "repro.experiments.ablations"
+_CHANNEL = "repro.experiments.channel_tables"
 _DIST = "repro.experiments.distribution_tables"
 _EXT = "repro.experiments.extensions"
 _FIGURES = "repro.experiments.figures"
@@ -68,6 +69,9 @@ EXPERIMENTS = {
     "failure-locality": _EXT + ":failure_locality",
     "uniformity": _EXT + ":uniformity_checks",
     "corpus-stats": _EXT + ":corpus_stats",
+    "channel-regimes": _CHANNEL + ":channel_regimes",
+    "channel-goodput": _CHANNEL + ":channel_goodput",
+    "channel-arq": _CHANNEL + ":channel_arq",
 }
 
 

@@ -93,6 +93,7 @@ class FaultPlan:
         stall_seconds=1.5,
         slow_seconds=0.05,
         shard_timeout=None,
+        channel=None,
         name="custom",
     ):
         self.seed = int(seed)
@@ -108,6 +109,10 @@ class FaultPlan:
         #: suggested SupervisedPool per-shard timeout (set by plans
         #: that inject stalls; None disables the timeout rung).
         self.shard_timeout = shard_timeout
+        #: name of a :data:`repro.channel.plan.NAMED_CHANNEL_PLANS`
+        #: entry pairing this fault diet with a link regime; the chaos
+        #: CLI runs its channel replay-determinism check against it.
+        self.channel = channel
         unknown = {
             kind for kind in self.store_rates if kind not in KIND_TO_OP
         } | {
@@ -210,6 +215,7 @@ class FaultPlan:
             stall_seconds=self.stall_seconds,
             slow_seconds=self.slow_seconds,
             shard_timeout=self.shard_timeout,
+            channel=self.channel,
             name=self.name,
         )
 
@@ -261,6 +267,26 @@ NAMED_PLANS = {
     "replica-outage": dict(
         store_rates={"eio": 1.0, "erofs": 1.0},
         max_faults=1_000_000,
+    ),
+    # Burst-noisy link plus slow store reads: the channel regime where
+    # clustered bit errors stress the checksums while the store limps.
+    "bursty-link": dict(
+        store_rates={"slowread": 0.05},
+        slow_seconds=0.01,
+        channel="bursty-link",
+    ),
+    # Cells arrive jittered, held back, duplicated; remote reads time
+    # out now and then.
+    "reordering-link": dict(
+        store_rates={"conntimeout": 0.05},
+        channel="reordering-link",
+    ),
+    # A congested bounded queue overflowing (splice factory) while
+    # store reads crawl.
+    "congested-queue": dict(
+        store_rates={"slowread": 0.10},
+        slow_seconds=0.02,
+        channel="congested-queue",
     ),
     # Everything at once (the default chaos diet).
     "monkey": dict(

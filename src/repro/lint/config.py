@@ -42,6 +42,7 @@ class LintConfig:
         "repro.core", "repro.analysis", "repro.experiments",
         "repro.corpus", "repro.protocols", "repro.checksums",
         "repro.sim", "repro.faults", "repro.store", "repro.telemetry",
+        "repro.channel",
     ))
 
     #: Function-name shapes treated as serialization/report producers

@@ -7,6 +7,10 @@ retransmissions, and above all the probability that corrupted data is
 silently delivered.
 """
 
-from repro.sim.transfer import TransferReport, simulate_file_transfer
+from repro.sim.transfer import (
+    TransferReport,
+    frame_acceptable,
+    simulate_file_transfer,
+)
 
-__all__ = ["TransferReport", "simulate_file_transfer"]
+__all__ = ["TransferReport", "frame_acceptable", "simulate_file_transfer"]

@@ -15,22 +15,32 @@ delivered to the application -- the event all the paper's machinery
 exists to prevent -- and its probability per transferred file is the
 bottom line.  Disabling the CRC (``use_crc=False``) shows what the
 transport checksum alone would let through.
+
+:func:`frame_acceptable` is the receiver's whole integrity stack over
+one reassembled frame; the timed channel simulator
+(:mod:`repro.channel`) drives its ARQ recovery decisions through the
+same function, so both simulations accept exactly the same frames.
+
+Retry exhaustion is a *degradation*, not a silent counter: a transfer
+that gave up on any packet marks its report's :class:`RunHealth`
+degraded, and the CLI surfaces it with a nonzero exit code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
 from repro.core.engine import EngineOptions
+from repro.core.supervisor import RunHealth
 from repro.protocols.aal5 import AAL5_TRAILER_LEN, CELL_PAYLOAD, aal5_crc_engine
 from repro.core.reference import _header_ok, _transport_ok
 from repro.protocols.cellstream import AAL5Reassembler, MarkedCell, apply_loss
 from repro.protocols.ftpsim import FileTransferSimulator
 from repro.protocols.packetizer import PacketizerConfig
 
-__all__ = ["TransferReport", "simulate_file_transfer"]
+__all__ = ["TransferReport", "frame_acceptable", "simulate_file_transfer"]
 
 
 @dataclass
@@ -46,6 +56,23 @@ class TransferReport:
     delivered_clean: int = 0
     delivered_corrupted: int = 0
     gave_up: int = 0
+    #: supervision record: retry exhaustion degrades here rather than
+    #: hiding in the ``gave_up`` counter.
+    health: RunHealth = field(default_factory=RunHealth)
+
+    def __add__(self, other):
+        """Merge two reports: counters sum, health records merge."""
+        merged = TransferReport()
+        for spec in fields(self):
+            if spec.name == "health":
+                continue
+            setattr(
+                merged, spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        merged.health.merge(self.health)
+        merged.health.merge(other.health)
+        return merged
 
     @property
     def retransmission_ratio(self):
@@ -63,9 +90,21 @@ class TransferReport:
         """Packets delivered to the application with wrong bytes."""
         return self.delivered_corrupted
 
+    @property
+    def degraded(self):
+        """Did delivery fall short (packets abandoned or corrupted)?"""
+        return self.gave_up > 0 or self.delivered_corrupted > 0
 
-def _frame_acceptable(data, options, use_crc):
-    """The receiver's integrity stack over one reassembled frame."""
+
+def frame_acceptable(data, options, use_crc=True):
+    """The receiver's integrity stack over one reassembled frame.
+
+    Returns ``(acceptable, payload_length)``.  The stack, in order:
+    AAL5 length plausibility (cell-aligned size, encoded length within
+    the last cell's window), the IP header checks, the transport
+    checksum per ``options``, and -- unless ``use_crc`` is False -- the
+    AAL5 CRC-32 over the whole frame.
+    """
     if len(data) < CELL_PAYLOAD or len(data) % CELL_PAYLOAD:
         return False, 0
     length = int.from_bytes(data[-6:-4], "big")
@@ -92,6 +131,7 @@ def simulate_file_transfer(
     use_crc=True,
     max_attempts=64,
     seed=0,
+    health=None,
 ):
     """Reliably transfer ``data`` over a lossy link; report the outcome.
 
@@ -99,7 +139,9 @@ def simulate_file_transfer(
     adjacent-packet splices can form exactly as in the paper's error
     model) until the receiver accepts a frame for that sequence
     position; ``max_attempts`` bounds the retries.  Returns a
-    :class:`TransferReport`.
+    :class:`TransferReport`; a transfer that exhausted the retry
+    budget on any packet records a degradation note in the report's
+    ``health`` (and in ``health`` when one is passed in).
     """
     config = config or PacketizerConfig()
     options = EngineOptions.from_packetizer(config, aux_crcs=())
@@ -107,6 +149,8 @@ def simulate_file_transfer(
     units = FileTransferSimulator(config).transfer(data)
 
     report = TransferReport(packets=len(units))
+    if health is not None:
+        report.health = health
     for index, unit in enumerate(units):
         # The wire window: this packet followed by the next (if any),
         # so losses can splice them -- the paper's scenario.
@@ -132,7 +176,7 @@ def simulate_file_transfer(
             if not frames:
                 continue
             frame_bytes = b"".join(frames[0])
-            ok, length = _frame_acceptable(frame_bytes, options, use_crc)
+            ok, length = frame_acceptable(frame_bytes, options, use_crc)
             if not ok:
                 report.frames_rejected += 1
                 continue
@@ -152,4 +196,10 @@ def simulate_file_transfer(
             break
         if not accepted:
             report.gave_up += 1
+    if report.gave_up:
+        report.health.degrade(
+            "transfer degraded: gave up on %d of %d packet(s) after %d "
+            "attempt(s) each; delivery is incomplete"
+            % (report.gave_up, report.packets, max_attempts)
+        )
     return report

@@ -108,17 +108,24 @@ class ShardJournal:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def open_run(self, fingerprint, label="", total=0, resume=False):
+    def open_run(self, fingerprint, label="", total=0, resume=False,
+                 codec=None):
         """Bind the journal to one sweep; return the resumable counters.
 
         With ``resume``, a stored journal whose fingerprint matches
-        ``fingerprint`` yields its ``{shard_key: SpliceCounters}`` map;
-        a mismatched or defective journal is discarded with a warning
+        ``fingerprint`` yields its ``{shard_key: counters}`` map; a
+        mismatched or defective journal is discarded with a warning
         and an empty map is returned.  Without ``resume`` the journal
         always starts empty (the first :meth:`record` overwrites any
         leftover file).
+
+        ``codec`` is the counters class used to revive entries
+        (anything with ``from_dict``/``to_dict``); it defaults to
+        :class:`~repro.core.results.SpliceCounters`, and the channel
+        sweeps pass :class:`~repro.channel.arq.ChannelReport`.
         """
-        from repro.core.results import SpliceCounters
+        if codec is None:
+            from repro.core.results import SpliceCounters as codec
 
         self._fingerprint = fingerprint
         self._label = label
@@ -144,9 +151,7 @@ class ShardJournal:
         entries = {}
         try:
             for key in sorted(payload.get("entries", {})):
-                entries[key] = SpliceCounters.from_dict(
-                    payload["entries"][key]
-                )
+                entries[key] = codec.from_dict(payload["entries"][key])
         except (TypeError, ValueError):
             warnings.warn(
                 "defective sweep journal %s: entries failed to parse; "

@@ -54,6 +54,10 @@ _ENGINE_KEYS = {
     "splices_per_sec",
 }
 _OVERHEAD_KEYS = {"disabled_pct", "enabled_pct", "batches"}
+#: Optional section (older snapshots predate it) -- validated when
+#: present so drift cannot creep in behind the optionality.
+_CHANNEL_KEYS = {"cells", "seconds", "cells_per_sec", "frames",
+                 "retransmissions"}
 
 _CELL = 48
 _SEED = 1
@@ -297,6 +301,36 @@ def _overhead_section(quick):
     }
 
 
+def _channel_section(quick):
+    """Simulated cells/sec of the discrete-event channel + ARQ stack.
+
+    One english file end-to-end through each plan; the rate counts
+    every cell the sender pushed into the link (retransmissions
+    included), which is the work the simulator actually performed.
+    """
+    from repro.channel.arq import run_channel_transfer
+    from repro.channel.plan import named_channel_plan
+    from repro.corpus.generators import generate
+
+    data = generate("english", 30_000 if quick else 120_000, _SEED)
+    section = {}
+    for plan_name in ("clean", "bursty-link"):
+        plan = named_channel_plan(plan_name, seed=_SEED)
+        report = run_channel_transfer(data, plan)
+        seconds = _best_seconds(
+            lambda: run_channel_transfer(data, plan),
+            0.05 if quick else 0.2,
+        )
+        section[plan_name] = {
+            "cells": report.cells_sent,
+            "seconds": round(seconds, 6),
+            "cells_per_sec": round(report.cells_sent / seconds, 2),
+            "frames": report.frames,
+            "retransmissions": report.retransmissions,
+        }
+    return section
+
+
 # ----------------------------------------------------------------------
 # snapshot assembly, persistence, validation, deltas
 
@@ -309,6 +343,7 @@ def run_bench(quick=False, engine="batch"):
     algorithms, algo_meta = _algorithm_section(quick)
     engine, engine_meta = _engine_section(quick, engine)
     overhead = _overhead_section(quick)
+    channel = _channel_section(quick)
     workload = {"seed": _SEED, "cell_bytes": _CELL}
     workload.update(algo_meta)
     workload.update(engine_meta)
@@ -327,6 +362,7 @@ def run_bench(quick=False, engine="batch"):
         "algorithms": algorithms,
         "engine": engine,
         "overhead": overhead,
+        "channel": channel,
     }
 
 
@@ -339,7 +375,9 @@ def validate_snapshot(payload):
             "bench schema mismatch: expected %r, got %r"
             % (BENCH_SCHEMA, payload.get("schema"))
         )
-    drift = set(payload) ^ _TOP_KEYS
+    # "channel" joined the layout later: optional for old snapshots,
+    # but never an excuse for unknown keys.
+    drift = (set(payload) - {"channel"}) ^ _TOP_KEYS
     if drift:
         raise ValueError(
             "bench snapshot top-level drift: %s" % ", ".join(sorted(drift))
@@ -369,6 +407,18 @@ def validate_snapshot(payload):
         raise ValueError(
             "overhead section missing keys: %s" % ", ".join(sorted(missing))
         )
+    for plan_name, entry in payload.get("channel", {}).items():
+        drift = set(entry) ^ _CHANNEL_KEYS
+        if drift:
+            raise ValueError(
+                "channel plan %r key drift: %s"
+                % (plan_name, ", ".join(sorted(drift)))
+            )
+        if not isinstance(entry["cells_per_sec"], (int, float)) \
+                or entry["cells_per_sec"] <= 0:
+            raise ValueError(
+                "channel plan %r has non-positive cells_per_sec" % plan_name
+            )
     return payload
 
 
@@ -459,6 +509,18 @@ def delta_table(previous, current_payload):
                 row["splices_per_sec"],
                 "%.0f" % old if old else "-",
                 _pct_delta(row["splices_per_sec"], old),
+            )
+        )
+    prev_channel = (previous or {}).get("channel", {})
+    for plan_name, entry in sorted(current_payload.get("channel", {}).items()):
+        old = prev_channel.get(plan_name, {}).get("cells_per_sec")
+        lines.append(
+            "| channel %s cells/s | %.0f | %s | %s |"
+            % (
+                plan_name,
+                entry["cells_per_sec"],
+                "%.0f" % old if old else "-",
+                _pct_delta(entry["cells_per_sec"], old),
             )
         )
     overhead = current_payload["overhead"]

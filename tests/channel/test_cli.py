@@ -1,0 +1,97 @@
+"""Tests for the ``channel`` CLI subcommand."""
+
+import json
+
+from repro.channel.arq import ARQ_KINDS
+from repro.cli import _ARQ_CHOICES, main
+
+
+class TestChoices:
+    def test_arq_choices_match_package(self):
+        assert _ARQ_CHOICES == ARQ_KINDS
+
+
+class TestPlans:
+    def test_lists_named_plans(self, capsys):
+        assert main(["channel", "plans"]) == 0
+        out = capsys.readouterr().out
+        for name in ("clean", "lossy-link", "bursty-link",
+                     "reordering-link", "congested-queue"):
+            assert name in out
+
+
+class TestRun:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["channel", "run", "--plan", "clean",
+                     "--bytes", "30000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "frames abandoned   0" in out
+        assert "silently corrupted 0" in out
+
+    def test_degraded_delivery_exits_four(self, capsys):
+        # Budget 0 on a lossy link: frames are abandoned, the report
+        # still prints, and the documented exit code is 4.
+        code = main(["channel", "run", "--plan", "lossy-link",
+                     "--bytes", "30000", "--budget", "0",
+                     "--timeout", "8"])
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "frames abandoned" in out
+        assert "budget exhausted" in out
+
+    def test_arq_kind_selectable(self, capsys):
+        code = main(["channel", "run", "--plan", "clean",
+                     "--bytes", "20000", "--arq", "stop-and-wait"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stop-and-wait" in out
+
+
+class TestTraceReplay:
+    def test_record_then_replay_identical(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        assert main(["channel", "run", "--plan", "bursty-link",
+                     "--bytes", "30000", "--trace", str(trace)]) == 0
+        assert trace.exists()
+        assert main(["channel", "replay", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "replay identical" in out
+
+    def test_replay_workers_flag_irrelevant(self, tmp_path):
+        trace = tmp_path / "run.trace"
+        assert main(["channel", "run", "--plan", "lossy-link",
+                     "--bytes", "30000", "--trace", str(trace)]) == 0
+        assert main(["channel", "replay", str(trace),
+                     "--workers", "4"]) == 0
+
+    def test_tampered_trace_exits_two(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        assert main(["channel", "run", "--plan", "clean",
+                     "--bytes", "20000", "--trace", str(trace)]) == 0
+        payload = json.loads(trace.read_text())
+        payload["report"]["delivered_clean"] += 1
+        trace.write_text(json.dumps(payload))
+        code = main(["channel", "replay", str(trace)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "digest" in err
+
+    def test_missing_trace_exits_two(self, capsys):
+        assert main(["channel", "replay", "/nonexistent/file.trace"]) == 2
+
+
+class TestChaosChannelCheck:
+    def test_chaos_reports_channel_determinism(self, capsys):
+        code = main(["chaos", "--plan", "congested-queue",
+                     "--bytes", "30000", "--workers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "channel link       deterministic" in out
+
+    def test_chaos_without_channel_plan_omits_line(self, capsys):
+        code = main(["chaos", "--plan", "bitrot", "--bytes", "30000",
+                     "--workers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "channel link" not in out

@@ -1,0 +1,71 @@
+"""Tests for the channel-* experiment family."""
+
+from repro.experiments.channel_tables import (
+    channel_arq,
+    channel_goodput,
+    channel_regimes,
+)
+from repro.experiments.markdown import DEFAULT_SECTIONS
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+FS_BYTES = 60_000
+
+
+class TestRegistry:
+    def test_family_registered(self):
+        for experiment_id in ("channel-regimes", "channel-goodput",
+                              "channel-arq"):
+            assert experiment_id in EXPERIMENTS
+
+    def test_markdown_sections_include_family(self):
+        ids = [i for _, section in DEFAULT_SECTIONS for i in section]
+        assert "channel-regimes" in ids
+        assert "channel-goodput" in ids
+        assert "channel-arq" in ids
+
+    def test_run_experiment_forwards_kwargs(self):
+        report = run_experiment("channel-goodput", fs_bytes=FS_BYTES,
+                                seed=3, loss_rates=(0.0, 0.05))
+        assert report.experiment_id == "channel-goodput"
+        assert len(report.data["rows"]) == 2
+
+
+class TestChannelGoodput:
+    def test_goodput_monotone_in_badness(self):
+        report = channel_goodput(fs_bytes=FS_BYTES,
+                                 loss_rates=(0.0, 0.1))
+        clean, lossy = report.data["rows"]
+        assert clean["goodput"] > lossy["goodput"]
+        assert lossy["retransmissions"] > clean["retransmissions"]
+        assert clean["delivery_ratio"] == 1.0
+
+    def test_deterministic(self):
+        a = channel_goodput(fs_bytes=FS_BYTES, loss_rates=(0.05,))
+        b = channel_goodput(fs_bytes=FS_BYTES, loss_rates=(0.05,))
+        assert a.text == b.text
+        assert a.data == b.data
+
+
+class TestChannelArq:
+    def test_compares_all_disciplines(self):
+        report = channel_arq(fs_bytes=FS_BYTES)
+        kinds = [row["arq"] for row in report.data["rows"]]
+        assert kinds == ["stop-and-wait", "go-back-n", "selective-repeat"]
+        gbn = report.data["rows"][1]
+        srp = report.data["rows"][2]
+        # Go-back-N always retransmits at least as much as
+        # selective-repeat on the same link.
+        assert gbn["transmissions"] >= srp["transmissions"]
+
+
+class TestChannelRegimes:
+    def test_rows_cover_matrix(self):
+        report = channel_regimes(fs_bytes=FS_BYTES)
+        rows = report.data["rows"]
+        regimes = {row["regime"] for row in rows}
+        algorithms = {row["algorithm"] for row in rows}
+        assert regimes == {"clean", "lossy-link", "bursty-link",
+                           "congested-queue"}
+        assert algorithms == {"tcp", "fletcher255", "fletcher256"}
+        clean_rows = [r for r in rows if r["regime"] == "clean"]
+        assert all(r["silent_corruption_rate"] == 0 for r in clean_rows)

@@ -1,0 +1,69 @@
+"""Tests for the composed link pipeline."""
+
+from repro.channel.link import ChannelLink
+from repro.channel.plan import ChannelPlan, named_channel_plan
+
+
+def drive(plan, cells=2_000):
+    link = ChannelLink(plan)
+    deliveries = []
+    for index in range(cells):
+        deliveries.extend(link.send(bytes([index % 251]) * 48, False, float(index)))
+    return link, deliveries
+
+
+class TestCleanLink:
+    def test_everything_delivered_in_order(self):
+        link, deliveries = drive(ChannelPlan(latency=8.0), cells=200)
+        assert len(deliveries) == 200
+        assert link.stats.cells_lost == 0
+        arrivals = [t for t, _, _ in deliveries]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 8.0
+
+
+class TestImpairedLink:
+    def test_loss_counted(self):
+        link, deliveries = drive(ChannelPlan(seed=2, loss_rate=0.1))
+        assert link.stats.cells_lost > 0
+        assert len(deliveries) == 2_000 - link.stats.cells_lost
+
+    def test_bit_errors_counted_and_applied(self):
+        plan = ChannelPlan(seed=3, bit_errors=(0.05, 0.25, 0.0, 0.01))
+        link, deliveries = drive(plan)
+        assert link.stats.cells_errored > 0
+        assert link.stats.bits_flipped >= link.stats.cells_errored
+        mutated = sum(
+            1 for _, payload, _ in deliveries
+            if len(set(payload)) > 1  # sent payloads are uniform bytes
+        )
+        assert mutated > 0
+        assert all(len(p) == 48 for _, p, _ in deliveries)
+
+    def test_overflow_drops(self):
+        plan = ChannelPlan(queue_capacity=4, queue_service=5.0)
+        link, deliveries = drive(plan, cells=100)
+        assert link.stats.cells_overflowed > 0
+        assert len(deliveries) < 100
+
+    def test_duplicates_arrive_later(self):
+        plan = ChannelPlan(seed=5, duplicate_rate=0.3, duplicate_lag=3.0)
+        link, deliveries = drive(plan, cells=500)
+        assert link.stats.cells_duplicated > 0
+        assert len(deliveries) == 500 + link.stats.cells_duplicated
+
+    def test_stats_to_dict(self):
+        link, _ = drive(named_channel_plan("bursty-link", 7), cells=300)
+        payload = link.stats.to_dict()
+        assert payload["cells_sent"] == 300
+        assert set(payload) >= {"cells_lost", "cells_errored", "bits_flipped"}
+
+
+class TestDeterminism:
+    def test_same_plan_same_trajectory(self):
+        for name in ("lossy-link", "bursty-link", "reordering-link",
+                     "congested-queue"):
+            plan = named_channel_plan(name, seed=13)
+            _, a = drive(plan, cells=800)
+            _, b = drive(plan, cells=800)
+            assert a == b, name

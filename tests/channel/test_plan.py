@@ -1,0 +1,79 @@
+"""Tests for ChannelPlan: validation, serialization, derivation."""
+
+import pytest
+
+from repro.channel.plan import (
+    ChannelPlan,
+    NAMED_CHANNEL_PLANS,
+    channel_plan_names,
+    derive_seed,
+    named_channel_plan,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_streams_independent(self):
+        assert derive_seed(7, "loss") != derive_seed(7, "jitter")
+        assert derive_seed(7, "loss") != derive_seed(8, "loss")
+
+
+class TestValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError):
+            ChannelPlan(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            ChannelPlan(duplicate_rate=-0.1)
+
+    def test_burst_tuple_shape(self):
+        with pytest.raises(ValueError):
+            ChannelPlan(burst_loss=(0.5,))
+        plan = ChannelPlan(burst_loss=[0.1, 0.5])
+        assert plan.burst_loss == (0.1, 0.5)
+
+    def test_bit_error_tuple_shape(self):
+        with pytest.raises(ValueError):
+            ChannelPlan(bit_errors=(0.1, 0.5))
+        plan = ChannelPlan(bit_errors=[0.1, 0.5, 0.0, 0.01])
+        assert plan.bit_errors == (0.1, 0.5, 0.0, 0.01)
+
+    def test_queue_capacity_positive(self):
+        with pytest.raises(ValueError):
+            ChannelPlan(queue_capacity=0)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = named_channel_plan("bursty-link", seed=9)
+        clone = ChannelPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.fingerprint() == plan.fingerprint()
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            ChannelPlan.from_dict({"loss_rate": 0.1, "nope": 1})
+
+    def test_fingerprint_tracks_content(self):
+        a = ChannelPlan(loss_rate=0.05)
+        b = ChannelPlan(loss_rate=0.06)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestNamedPlans:
+    def test_names_sorted_and_complete(self):
+        assert channel_plan_names() == sorted(NAMED_CHANNEL_PLANS)
+        for expected in ("clean", "lossy-link", "bursty-link",
+                         "reordering-link", "congested-queue"):
+            assert expected in channel_plan_names()
+
+    def test_named_plan_instantiates(self):
+        plan = named_channel_plan("congested-queue", seed=3)
+        assert plan.name == "congested-queue"
+        assert plan.seed == 3
+        assert plan.queue_capacity == 16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            named_channel_plan("no-such-link")

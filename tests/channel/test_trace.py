@@ -1,0 +1,110 @@
+"""Tests for channel traces: integrity, replay, tamper detection."""
+
+import json
+
+import pytest
+
+from repro.channel.arq import ArqConfig
+from repro.channel.plan import named_channel_plan
+from repro.channel.sweep import run_channel_sweep
+from repro.channel.trace import (
+    TraceError,
+    build_channel_trace,
+    read_channel_trace,
+    replay_channel_trace,
+    write_channel_trace,
+)
+from repro.corpus.profiles import build_filesystem
+from repro.protocols.packetizer import PacketizerConfig
+
+CORPUS = {"profile": "nsc05", "bytes": 50_000, "seed": 2}
+
+
+def record(plan_name="lossy-link", use_crc=True):
+    fs = build_filesystem(CORPUS["profile"], CORPUS["bytes"], CORPUS["seed"])
+    plan = named_channel_plan(plan_name, seed=6)
+    arq = ArqConfig()
+    config = PacketizerConfig()
+    events = []
+    report = run_channel_sweep(
+        fs, plan, arq=arq, config=config, use_crc=use_crc,
+        events_out=events,
+    )
+    return build_channel_trace(
+        plan, arq, config, use_crc, CORPUS, events, report
+    )
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        payload = record()
+        path = tmp_path / "run.trace"
+        write_channel_trace(path, payload)
+        assert read_channel_trace(path) == payload
+
+    def test_replay_reproduces_every_verdict(self, tmp_path):
+        payload = record()
+        result = replay_channel_trace(payload)
+        assert result.identical, result.mismatches
+        assert result.report.to_dict() == payload["report"]
+
+    def test_replay_is_workers_independent(self):
+        payload = record()
+        result = replay_channel_trace(payload, workers=4)
+        assert result.identical, result.mismatches
+
+
+class TestTampering:
+    def test_flipped_report_counter_detected(self, tmp_path):
+        payload = record()
+        path = tmp_path / "tampered.trace"
+        payload["report"]["delivered_clean"] += 1
+        write_channel_trace(path, payload)
+        with pytest.raises(TraceError, match="digest"):
+            read_channel_trace(path)
+
+    def test_edited_event_detected(self, tmp_path):
+        payload = record()
+        payload["events"][-1] = {"t": 0.0, "event": "forged"}
+        path = tmp_path / "tampered.trace"
+        write_channel_trace(path, payload)
+        with pytest.raises(TraceError, match="digest"):
+            read_channel_trace(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        payload = record()
+        payload["schema"] = "repro-channel-trace/999"
+        path = tmp_path / "schema.trace"
+        write_channel_trace(path, payload)
+        with pytest.raises(TraceError, match="schema"):
+            read_channel_trace(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.trace"
+        path.write_text("not json at all {")
+        with pytest.raises(TraceError, match="unreadable"):
+            read_channel_trace(path)
+
+    def test_missing_section_rejected(self, tmp_path):
+        payload = record()
+        del payload["events"]
+        path = tmp_path / "partial.trace"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TraceError, match="events"):
+            read_channel_trace(path)
+
+
+class TestDivergenceDetection:
+    def test_mutated_recorded_events_diverge_on_replay(self):
+        # Re-digest after mutation so the divergence (not the digest)
+        # is what the replayer reports.
+        from repro.channel.trace import _digest
+
+        payload = record()
+        payload["events"][-1] = dict(payload["events"][-1])
+        payload["events"][-1]["t"] = 999999.0
+        payload["digest"] = _digest(payload)
+        result = replay_channel_trace(payload)
+        assert not result.identical
+        assert result.mismatches
+        assert "diverged" in result.describe()

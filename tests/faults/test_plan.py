@@ -147,6 +147,19 @@ class TestNamedPlans:
         with pytest.raises(KeyError, match="unknown fault plan"):
             named_plan("does-not-exist")
 
+    def test_channel_field_defaults_to_none(self):
+        assert FaultPlan(0).channel is None
+        assert named_plan("bitrot").channel is None
+
+    def test_channel_paired_plans_name_their_link(self):
+        for name in ("bursty-link", "reordering-link", "congested-queue"):
+            assert name in plan_names()
+            assert named_plan(name).channel == name
+
+    def test_clone_carries_the_channel(self):
+        plan = named_plan("bursty-link", seed=4)
+        assert plan.clone().channel == "bursty-link"
+
 
 def test_event_as_tuple():
     assert FaultEvent("store.get", 4, "bitflip").as_tuple() == (

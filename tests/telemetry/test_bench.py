@@ -50,6 +50,16 @@ def _payload():
     }
 
 
+def _channel_entry(cells_per_sec=5e4):
+    return {
+        "cells": 2604,
+        "seconds": 0.05,
+        "cells_per_sec": cells_per_sec,
+        "frames": 63,
+        "retransmissions": 0,
+    }
+
+
 class TestValidation:
     def test_valid_payload_passes(self):
         assert validate_snapshot(_payload()) is not None
@@ -88,6 +98,25 @@ class TestValidation:
         payload = _payload()
         payload["engine"] = []
         with pytest.raises(ValueError, match="engine"):
+            validate_snapshot(payload)
+
+    def test_channel_section_is_optional(self):
+        # BENCH_0001/0002 predate the channel simulator.
+        assert "channel" not in _payload()
+        assert validate_snapshot(_payload()) is not None
+
+    def test_channel_section_validated_when_present(self):
+        payload = _payload()
+        payload["channel"] = {"clean": _channel_entry()}
+        assert validate_snapshot(payload) is not None
+        payload["channel"]["clean"]["surprise"] = 1
+        with pytest.raises(ValueError, match="channel plan 'clean'"):
+            validate_snapshot(payload)
+
+    def test_channel_non_positive_rate_rejected(self):
+        payload = _payload()
+        payload["channel"] = {"clean": _channel_entry(cells_per_sec=0)}
+        with pytest.raises(ValueError, match="non-positive"):
             validate_snapshot(payload)
 
 
@@ -131,3 +160,16 @@ class TestDeltaTable:
 
     def test_overhead_line_present(self):
         assert "telemetry disabled overhead" in delta_table(None, _payload())
+
+    def test_channel_rows_render_when_present(self):
+        payload = _payload()
+        payload["channel"] = {"bursty-link": _channel_entry()}
+        text = delta_table(None, payload)
+        assert "| channel bursty-link cells/s | 50000 | - | n/a |" in text
+
+    def test_channel_delta_against_previous(self):
+        previous = _payload()
+        previous["channel"] = {"clean": _channel_entry(5e4)}
+        current_payload = _payload()
+        current_payload["channel"] = {"clean": _channel_entry(1e5)}
+        assert "+100.0%" in delta_table(previous, current_payload)

@@ -9,7 +9,10 @@ import repro.api as api
 class TestFacadeSurface:
     def test_all_is_exactly_the_contract(self):
         assert sorted(api.__all__) == [
+            "ArqConfig",
             "BatchChecksumAlgorithm",
+            "ChannelPlan",
+            "ChannelReport",
             "ChecksumPlacement",
             "CircuitBreaker",
             "EngineKind",
@@ -23,6 +26,7 @@ class TestFacadeSurface:
             "ShardJournal",
             "SweepInterrupted",
             "Telemetry",
+            "TraceError",
             "TransferReport",
             "WriteSpool",
             "activate_telemetry",
@@ -31,7 +35,9 @@ class TestFacadeSurface:
             "algorithms",
             "audit_run_store",
             "bench_delta_table",
+            "build_channel_trace",
             "build_filesystem",
+            "channel_plan_names",
             "current_controller",
             "current_telemetry",
             "deactivate_telemetry",
@@ -42,6 +48,7 @@ class TestFacadeSurface:
             "generate_markdown_report",
             "latest_bench_snapshot",
             "lint_rules",
+            "named_channel_plan",
             "named_plan",
             "open_backend",
             "open_journal",
@@ -49,7 +56,11 @@ class TestFacadeSurface:
             "plan_names",
             "profile_names",
             "profile_summaries",
+            "read_channel_trace",
+            "replay_channel_trace",
             "run_bench",
+            "run_channel_sweep",
+            "run_channel_transfer",
             "run_experiment",
             "run_lint",
             "run_splice_experiment",
@@ -62,6 +73,7 @@ class TestFacadeSurface:
             "validate_bench_snapshot",
             "wrap_run_store",
             "write_bench_snapshot",
+            "write_channel_trace",
             "write_figure_svg",
             "write_metrics",
         ]

@@ -78,8 +78,44 @@ class TestSilentCorruption:
         assert report.delivered_corrupted == 0
 
 
+class TestDegradedDelivery:
+    def test_gave_up_marks_health_and_renders(self):
+        data = generate("english", 2_000, 5)
+        report = simulate_file_transfer(
+            data, IndependentLoss(0.9), max_attempts=2, seed=6
+        )
+        assert report.gave_up > 0
+        assert report.degraded
+        assert report.health.eventful
+        rendered = report.health.render()
+        assert "gave up" in rendered
+        assert "incomplete" in rendered
+
+    def test_clean_transfer_is_not_degraded(self):
+        data = generate("english", 3_000, 1)
+        report = simulate_file_transfer(data, IndependentLoss(0.0))
+        assert not report.degraded
+        assert not report.health.eventful
+
+    def test_add_merges_counters_and_health(self):
+        data = generate("english", 2_000, 5)
+        clean = simulate_file_transfer(data, IndependentLoss(0.0))
+        broken = simulate_file_transfer(
+            data, IndependentLoss(0.9), max_attempts=2, seed=6
+        )
+        merged = clean + broken
+        assert merged.packets == clean.packets + broken.packets
+        assert merged.gave_up == broken.gave_up
+        assert merged.degraded
+        assert merged.health.eventful
+        assert "gave up" in merged.health.render()
+        # The operands keep their own health records.
+        assert not clean.health.eventful
+
+
 def test_report_defaults():
     report = TransferReport()
     assert report.retransmission_ratio == 0.0
     assert report.goodput == 0.0
     assert report.silent_corruption == 0
+    assert not report.degraded
